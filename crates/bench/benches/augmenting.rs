@@ -1,0 +1,37 @@
+//! Criterion benches for the Section 3 augmentation engine (Figure 1/2
+//! machinery): coloring a whole graph by repeated augmenting sequences at
+//! different slack levels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forest_decomp::augmenting::complete_by_augmentation;
+use forest_graph::decomposition::PartialEdgeColoring;
+use forest_graph::{generators, matroid, ListAssignment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_augmentation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_augmentation");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let mut rng = StdRng::seed_from_u64(5);
+    let g = generators::planted_forest_union(96, 3, &mut rng);
+    let alpha = matroid::arboricity(&g);
+    for extra in [1usize, 2, 4] {
+        let lists = ListAssignment::uniform(g.num_edges(), alpha + extra);
+        group.bench_with_input(
+            BenchmarkId::new("complete_by_augmentation", format!("excess{extra}")),
+            &lists,
+            |b, lists| {
+                b.iter(|| {
+                    let mut coloring = PartialEdgeColoring::new_uncolored(g.num_edges());
+                    complete_by_augmentation(&g, lists, &mut coloring, 500).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_augmentation);
+criterion_main!(benches);

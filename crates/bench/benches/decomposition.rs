@@ -1,0 +1,52 @@
+//! Criterion benches for the forest-decomposition pipelines (Table 1 rows):
+//! the (1+eps)alpha pipeline of Theorem 4.6, the Barenboim-Elkin baseline and
+//! the exact centralized matroid partition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forest_decomp::baselines::barenboim_elkin_forest_decomposition;
+use forest_decomp::combine::{forest_decomposition, FdOptions};
+use forest_graph::{generators, matroid, orientation};
+use local_model::RoundLedger;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_forest_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_forest_decomposition");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(n, k) in &[(64usize, 3usize), (128, 4)] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::planted_forest_union(n, k, &mut rng);
+        let alpha_star = orientation::pseudoarboricity(&g);
+        group.bench_with_input(
+            BenchmarkId::new("thm4_6_eps0.5", format!("n{n}_a{k}")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(2);
+                    forest_decomposition(g, &FdOptions::new(0.5).with_alpha(k), &mut rng).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("barenboim_elkin", format!("n{n}_a{k}")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut ledger = RoundLedger::new();
+                    barenboim_elkin_forest_decomposition(g, 0.5, alpha_star, &mut ledger).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact_matroid", format!("n{n}_a{k}")),
+            &g,
+            |b, g| b.iter(|| matroid::exact_forest_decomposition(g)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_forest_decomposition);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches for the Theorem 2.1 toolbox: H-partition peeling and the
+//! derived star-forest decomposition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forest_decomp::hpartition::{acyclic_orientation, h_partition, star_forest_decomposition};
+use forest_graph::{generators, orientation};
+use local_model::RoundLedger;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_hpartition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem21_hpartition");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &n in &[256usize, 512] {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::planted_forest_union(n, 4, &mut rng);
+        let alpha_star = orientation::pseudoarboricity(&g);
+        group.bench_with_input(BenchmarkId::new("h_partition", n), &g, |b, g| {
+            b.iter(|| {
+                let mut ledger = RoundLedger::new();
+                h_partition(g, 0.25, alpha_star, &mut ledger).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("3t_star_forest", n), &g, |b, g| {
+            b.iter(|| {
+                let mut ledger = RoundLedger::new();
+                let hp = h_partition(g, 0.25, alpha_star, &mut ledger).unwrap();
+                let o = acyclic_orientation(g, &hp);
+                star_forest_decomposition(g, &o, &mut ledger)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hpartition);
+criterion_main!(benches);

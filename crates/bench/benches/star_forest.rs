@@ -1,0 +1,41 @@
+//! Criterion benches for the Section 5 star-forest decomposition (Theorem 5.4
+//! / Corollary 1.2) against the folklore 2-alpha construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forest_decomp::baselines::two_color_star_forests;
+use forest_decomp::star_forest::{star_forest_decomposition_simple, SfdConfig};
+use forest_graph::{generators, matroid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_star_forest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("corollary12_star_forest");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &(n, k) in &[(96usize, 4usize), (128, 6)] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::planted_simple_arboricity(n, k, &mut rng);
+        let exact = matroid::exact_forest_decomposition(g.graph());
+        group.bench_with_input(
+            BenchmarkId::new("thm5_4_sfd", format!("n{n}_a{k}")),
+            &g,
+            |b, g| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(4);
+                    star_forest_decomposition_simple(g, &SfdConfig::new(0.5).with_alpha(k), &mut rng)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("two_color_baseline", format!("n{n}_a{k}")),
+            &g,
+            |b, g| b.iter(|| two_color_star_forests(g.graph(), &exact.decomposition)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_star_forest);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Regenerates the Proposition 2.4 / Corollary 2.5 measurement: diameter
+//! reduction of deep forest decompositions at the cost of about
+//! ceil(eps*alpha) extra forests.
+
+use bench::TextTable;
+use forest_decomp::diameter_reduction::{reduce_diameter, DiameterTarget};
+use forest_graph::decomposition::max_forest_diameter;
+use forest_graph::{generators, matroid};
+use local_model::RoundLedger;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut table = TextTable::new(&[
+        "workload", "eps", "target", "diameter before", "diameter after", "extra colors",
+        "ceil(eps*alpha)",
+    ]);
+    let workloads = vec![
+        ("fat-path len=300 mult=4", generators::fat_path(300, 4), 4usize),
+        ("fat-path len=300 mult=8", generators::fat_path(300, 8), 8usize),
+        ("path n=400", generators::path(400), 1usize),
+    ];
+    for (name, g, _alpha_hint) in workloads {
+        let exact = matroid::exact_forest_decomposition(&g);
+        let alpha = exact.arboricity;
+        let before = max_forest_diameter(&g, &exact.decomposition.to_partial());
+        for epsilon in [0.5f64, 0.25, 0.1] {
+            for (target, label) in [
+                (DiameterTarget::LogOverEpsilon, "O(log n / eps)"),
+                (DiameterTarget::OneOverEpsilon, "O(1/eps)"),
+            ] {
+                let mut rng = StdRng::seed_from_u64(9);
+                let mut ledger = RoundLedger::new();
+                let out = reduce_diameter(
+                    &g,
+                    &exact.decomposition.to_partial(),
+                    epsilon,
+                    target,
+                    &mut rng,
+                    &mut ledger,
+                )
+                .unwrap();
+                table.row(vec![
+                    name.to_string(),
+                    format!("{epsilon}"),
+                    label.to_string(),
+                    before.to_string(),
+                    out.max_diameter.to_string(),
+                    out.num_new_colors.to_string(),
+                    ((epsilon * alpha as f64).ceil() as usize).to_string(),
+                ]);
+            }
+        }
+    }
+    println!("Proposition 2.4 / Corollary 2.5 (measured): diameter reduction");
+    println!("{}", table.render());
+}

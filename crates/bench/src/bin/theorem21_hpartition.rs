@@ -1,0 +1,47 @@
+//! Regenerates the Theorem 2.1 measurements: H-partition class counts,
+//! peeling rounds, orientation out-degree and the derived 3t-SFD / t-LFD.
+
+use bench::{multigraph_suite, TextTable};
+use forest_decomp::hpartition::{
+    acyclic_orientation, h_partition, list_forest_decomposition, star_forest_decomposition,
+};
+use forest_graph::decomposition::{
+    validate_forest_decomposition, validate_star_forest_decomposition,
+};
+use forest_graph::{orientation, ListAssignment};
+use local_model::RoundLedger;
+
+fn main() {
+    let mut table = TextTable::new(&[
+        "workload", "eps", "alpha*", "t", "classes", "rounds", "orientation out-deg",
+        "3t-SFD colors", "t-LFD ok",
+    ]);
+    for workload in multigraph_suite(5) {
+        let g = &workload.graph;
+        let alpha_star = orientation::pseudoarboricity(g);
+        for epsilon in [0.5f64, 0.25, 0.1] {
+            let mut ledger = RoundLedger::new();
+            let hp = h_partition(g, epsilon, alpha_star, &mut ledger).unwrap();
+            let rounds = ledger.total_rounds();
+            let orientation = acyclic_orientation(g, &hp);
+            let sfd = star_forest_decomposition(g, &orientation, &mut ledger);
+            validate_star_forest_decomposition(g, &sfd, Some(3 * hp.degree_threshold)).unwrap();
+            validate_forest_decomposition(g, &sfd, Some(3 * hp.degree_threshold)).unwrap();
+            let lists = ListAssignment::uniform(g.num_edges(), hp.degree_threshold.max(1));
+            let lfd_ok = list_forest_decomposition(g, &orientation, &lists, &mut ledger).is_ok();
+            table.row(vec![
+                workload.name.clone(),
+                format!("{epsilon}"),
+                alpha_star.to_string(),
+                hp.degree_threshold.to_string(),
+                hp.num_classes.to_string(),
+                rounds.to_string(),
+                orientation.max_out_degree(g).to_string(),
+                sfd.num_colors_used().to_string(),
+                lfd_ok.to_string(),
+            ]);
+        }
+    }
+    println!("Theorem 2.1 (measured): H-partition toolbox");
+    println!("{}", table.render());
+}

@@ -1,0 +1,507 @@
+//! The `CUT` procedure of Algorithm 2 (Section 4.1, Theorem 4.2).
+//!
+//! When Algorithm 2 processes a cluster `C` it must make sure that every
+//! monochromatic path starting in the augmentation region `C' = N^{R'}(C)`
+//! stays inside the view `C'' = N^{R+R'}(C)`; otherwise verifying an
+//! augmenting sequence would require looking outside the cluster's view.
+//! `CUT(C', R)` removes a small set of already-colored edges of
+//! `H_c[C''] = E(C'') \ E(C')` per color `c` so that `C'` becomes
+//! disconnected from everything outside `C''` in every color class. The
+//! removed edges across the whole run form the *leftover graph*, whose
+//! pseudo-arboricity must stay `O(εα)` so it can be recolored with few extra
+//! colors afterwards.
+//!
+//! Two strategies from Theorem 4.2 are implemented:
+//!
+//! * [`CutStrategy::DepthModulo`] (Theorem 4.2(1)/(2)): per color, root the
+//!   trees of `H_c[C'']` at the cluster side and delete every `levels`-th
+//!   depth layer at a random offset. Survivor paths have length `< 2·levels`,
+//!   so choosing `levels ≤ R/2` guarantees goodness outright.
+//! * [`CutStrategy::ConditionedSampling`] (Theorem 4.2(3)/(4)): the
+//!   load-balanced sampling of Su–Vu extended to trees — each vertex below
+//!   its load cap deletes a random outgoing edge (w.r.t. a fixed
+//!   `3α`-orientation `J`) with probability `p`, so the per-vertex leftover
+//!   load is bounded by the cap with probability one.
+//!
+//! Because the paper's "with high probability" guarantees are asymptotic, the
+//! caller can request `force_good`: after the randomized removal the
+//! procedure deterministically cuts any surviving core-to-outside path,
+//! counting those extra removals separately so the benchmarks can report how
+//! often the randomness alone sufficed.
+
+use forest_graph::decomposition::PartialEdgeColoring;
+use forest_graph::{Color, EdgeId, MultiGraph, Orientation, VertexId};
+use rand::Rng;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Which CUT rule to apply (Theorem 4.2).
+#[derive(Clone, Debug, PartialEq)]
+pub enum CutStrategy {
+    /// Delete every `levels`-th depth layer (random offset) of every
+    /// per-color tree. Guarantees goodness whenever `2 * levels <= R`.
+    DepthModulo {
+        /// Spacing between deleted layers.
+        levels: usize,
+    },
+    /// Conditioned sampling against a fixed orientation: every vertex whose
+    /// load is below `load_cap` deletes one random out-edge with probability
+    /// `probability`.
+    ConditionedSampling {
+        /// Per-invocation deletion probability.
+        probability: f64,
+        /// Maximum number of deletions charged to a single vertex.
+        load_cap: usize,
+    },
+}
+
+/// Mutable state shared by every CUT invocation of one Algorithm 2 run.
+#[derive(Clone, Debug)]
+pub struct CutState {
+    /// The fixed orientation `J` used by conditioned sampling (ignored by the
+    /// depth-modulo rule).
+    pub orientation: Option<Orientation>,
+    /// Per-vertex load `L(v)`: number of deleted out-edges charged to `v`.
+    pub load: Vec<usize>,
+}
+
+impl CutState {
+    /// Creates a state with zero loads and no orientation.
+    pub fn new(num_vertices: usize) -> Self {
+        CutState {
+            orientation: None,
+            load: vec![0; num_vertices],
+        }
+    }
+
+    /// Creates a state carrying the fixed orientation `J`.
+    pub fn with_orientation(num_vertices: usize, orientation: Orientation) -> Self {
+        CutState {
+            orientation: Some(orientation),
+            load: vec![0; num_vertices],
+        }
+    }
+
+    /// Maximum load charged to any vertex so far.
+    pub fn max_load(&self) -> usize {
+        self.load.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Result of one CUT invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CutOutcome {
+    /// Edges removed by the randomized rule.
+    pub removed: Vec<EdgeId>,
+    /// Whether the randomized removal alone already disconnected the core
+    /// from everything outside the view in every color.
+    pub good: bool,
+    /// Edges additionally removed by the deterministic completion (empty when
+    /// `force_good` was false or the execution was already good).
+    pub forced: Vec<EdgeId>,
+}
+
+impl CutOutcome {
+    /// All removed edges (randomized plus forced).
+    pub fn all_removed(&self) -> Vec<EdgeId> {
+        let mut all = self.removed.clone();
+        all.extend_from_slice(&self.forced);
+        all
+    }
+}
+
+fn eligible_edges(
+    g: &MultiGraph,
+    coloring: &PartialEdgeColoring,
+    core: &HashSet<VertexId>,
+    view: &HashSet<VertexId>,
+) -> Vec<EdgeId> {
+    g.edges()
+        .filter(|&(e, u, v)| {
+            coloring.color(e).is_some()
+                && view.contains(&u)
+                && view.contains(&v)
+                && !(core.contains(&u) && core.contains(&v))
+        })
+        .map(|(e, _, _)| e)
+        .collect()
+}
+
+/// Checks goodness: no color class (over the non-removed colored edges)
+/// connects a core vertex to a vertex outside the view.
+pub fn is_good(
+    g: &MultiGraph,
+    coloring: &PartialEdgeColoring,
+    removed: &HashSet<EdgeId>,
+    core: &HashSet<VertexId>,
+    view: &HashSet<VertexId>,
+) -> bool {
+    find_escaping_path(g, coloring, removed, core, view).is_none()
+}
+
+/// Finds a monochromatic path from the core to a vertex outside the view, if
+/// one exists, as a list of edge ids (ordered from the core outward).
+fn find_escaping_path(
+    g: &MultiGraph,
+    coloring: &PartialEdgeColoring,
+    removed: &HashSet<EdgeId>,
+    core: &HashSet<VertexId>,
+    view: &HashSet<VertexId>,
+) -> Option<Vec<EdgeId>> {
+    // Group colored, non-removed edges by color once.
+    let mut by_color: HashMap<Color, Vec<EdgeId>> = HashMap::new();
+    for e in g.edge_ids() {
+        if removed.contains(&e) {
+            continue;
+        }
+        if let Some(c) = coloring.color(e) {
+            by_color.entry(c).or_default().push(e);
+        }
+    }
+    for (_, edges) in by_color {
+        let in_class: HashSet<EdgeId> = edges.iter().copied().collect();
+        // Multi-source BFS from the core over this color class.
+        let mut parent_edge: HashMap<VertexId, EdgeId> = HashMap::new();
+        let mut visited: HashSet<VertexId> = core.clone();
+        let mut queue: VecDeque<VertexId> = core.iter().copied().collect();
+        while let Some(u) = queue.pop_front() {
+            for (w, e) in g.incidences(u) {
+                if in_class.contains(&e) && !visited.contains(&w) {
+                    visited.insert(w);
+                    parent_edge.insert(w, e);
+                    if !view.contains(&w) {
+                        // Reconstruct the path back to the core.
+                        let mut path = Vec::new();
+                        let mut cur = w;
+                        while let Some(&pe) = parent_edge.get(&cur) {
+                            path.push(pe);
+                            cur = g.other_endpoint(pe, cur);
+                            if core.contains(&cur) {
+                                break;
+                            }
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Executes `CUT(C', R)` for one cluster.
+///
+/// `core` is `C'`, `view` is `C''`; the colored edges inside the view but not
+/// inside the core are eligible for removal. Removed edges are *not* cleared
+/// from `coloring` here — the caller does that so it can also track the
+/// leftover set.
+pub fn execute_cut<R: Rng + ?Sized>(
+    g: &MultiGraph,
+    coloring: &PartialEdgeColoring,
+    core: &HashSet<VertexId>,
+    view: &HashSet<VertexId>,
+    strategy: &CutStrategy,
+    state: &mut CutState,
+    force_good: bool,
+    rng: &mut R,
+) -> CutOutcome {
+    let eligible = eligible_edges(g, coloring, core, view);
+    let eligible_set: HashSet<EdgeId> = eligible.iter().copied().collect();
+    let mut removed: Vec<EdgeId> = Vec::new();
+    match strategy {
+        CutStrategy::DepthModulo { levels } => {
+            let levels = (*levels).max(1);
+            // Group eligible edges by color.
+            let mut by_color: HashMap<Color, Vec<EdgeId>> = HashMap::new();
+            for &e in &eligible {
+                let c = coloring.color(e).expect("eligible edges are colored");
+                by_color.entry(c).or_default().push(e);
+            }
+            for (_, edges) in by_color {
+                let in_class: HashSet<EdgeId> = edges.iter().copied().collect();
+                // Root the per-color forest, preferring roots inside the core
+                // so that depth measures the distance leaving the cluster.
+                let rooted = forest_graph::traversal::root_forest(
+                    g,
+                    |e| in_class.contains(&e),
+                    |v| usize::from(!core.contains(&v)),
+                );
+                let offset = rng.gen_range(0..levels);
+                for v in g.vertices() {
+                    if let Some(pe) = rooted.parent_edge[v.index()] {
+                        if in_class.contains(&pe) && rooted.depth[v.index()] % levels == offset {
+                            removed.push(pe);
+                            // The deleted edge is charged to (oriented away
+                            // from) the child vertex v.
+                            state.load[v.index()] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        CutStrategy::ConditionedSampling {
+            probability,
+            load_cap,
+        } => {
+            let orientation = state
+                .orientation
+                .clone()
+                .expect("conditioned sampling requires a fixed orientation in CutState");
+            let p = probability.clamp(0.0, 1.0);
+            for v in g.vertices() {
+                if !view.contains(&v) || core.contains(&v) {
+                    continue;
+                }
+                if state.load[v.index()] >= *load_cap {
+                    continue;
+                }
+                if !rng.gen_bool(p) {
+                    continue;
+                }
+                let candidates: Vec<EdgeId> = orientation
+                    .out_edges(g, v)
+                    .into_iter()
+                    .filter(|e| eligible_set.contains(e))
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let pick = candidates[rng.gen_range(0..candidates.len())];
+                removed.push(pick);
+                state.load[v.index()] += 1;
+            }
+        }
+    }
+    removed.sort_unstable();
+    removed.dedup();
+    let mut removed_set: HashSet<EdgeId> = removed.iter().copied().collect();
+    let good = is_good(g, coloring, &removed_set, core, view);
+    let mut forced = Vec::new();
+    if force_good && !good {
+        // Deterministic completion: repeatedly cut a surviving escape path at
+        // an eligible edge whose charged vertex has minimum load.
+        let limit = eligible.len() + 1;
+        for _ in 0..limit {
+            let Some(path) = find_escaping_path(g, coloring, &removed_set, core, view) else {
+                break;
+            };
+            let candidate = path
+                .iter()
+                .copied()
+                .filter(|e| eligible_set.contains(e) && !removed_set.contains(e))
+                .min_by_key(|&e| {
+                    let (u, v) = g.endpoints(e);
+                    state.load[u.index()].min(state.load[v.index()])
+                });
+            let Some(e) = candidate else {
+                // Every edge of the path lies inside the core (should not
+                // happen); give up rather than loop.
+                break;
+            };
+            let (u, v) = g.endpoints(e);
+            let charged = if state.load[u.index()] <= state.load[v.index()] {
+                u
+            } else {
+                v
+            };
+            state.load[charged.index()] += 1;
+            removed_set.insert(e);
+            forced.push(e);
+        }
+    }
+    CutOutcome {
+        removed,
+        good,
+        forced,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forest_graph::generators;
+    use forest_graph::orientation::min_max_outdegree_orientation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A long path colored entirely with one color, core = first two
+    /// vertices, view = first `view_len` vertices.
+    fn long_path_setup(
+        n: usize,
+        view_len: usize,
+    ) -> (
+        MultiGraph,
+        PartialEdgeColoring,
+        HashSet<VertexId>,
+        HashSet<VertexId>,
+    ) {
+        let g = generators::path(n);
+        let mut coloring = PartialEdgeColoring::new_uncolored(g.num_edges());
+        for e in g.edge_ids() {
+            coloring.set(e, Color::new(0));
+        }
+        let core: HashSet<VertexId> = (0..2).map(VertexId::new).collect();
+        let view: HashSet<VertexId> = (0..view_len).map(VertexId::new).collect();
+        (g, coloring, core, view)
+    }
+
+    #[test]
+    fn ungood_configuration_is_detected() {
+        let (g, coloring, core, view) = long_path_setup(30, 10);
+        assert!(!is_good(&g, &coloring, &HashSet::new(), &core, &view));
+        // Removing the edge that leaves the view restores goodness.
+        let removed: HashSet<EdgeId> = [EdgeId::new(9)].into_iter().collect();
+        assert!(is_good(&g, &coloring, &removed, &core, &view));
+    }
+
+    #[test]
+    fn depth_modulo_cut_disconnects_core_from_outside() {
+        let (g, coloring, core, view) = long_path_setup(40, 12);
+        let mut state = CutState::new(g.num_vertices());
+        let mut rng = StdRng::seed_from_u64(5);
+        let outcome = execute_cut(
+            &g,
+            &coloring,
+            &core,
+            &view,
+            &CutStrategy::DepthModulo { levels: 4 },
+            &mut state,
+            false,
+            &mut rng,
+        );
+        // levels = 4 <= R/2 for the implied R = 10, so the cut is always good.
+        assert!(outcome.good);
+        assert!(outcome.forced.is_empty());
+        let removed: HashSet<EdgeId> = outcome.all_removed().into_iter().collect();
+        assert!(is_good(&g, &coloring, &removed, &core, &view));
+        // Only eligible (outside-core, inside-view) edges were touched.
+        for e in &outcome.removed {
+            let (u, v) = g.endpoints(*e);
+            assert!(view.contains(&u) && view.contains(&v));
+            assert!(!(core.contains(&u) && core.contains(&v)));
+        }
+    }
+
+    #[test]
+    fn depth_modulo_load_stays_bounded() {
+        let (g, coloring, core, view) = long_path_setup(60, 20);
+        let mut state = CutState::new(g.num_vertices());
+        let mut rng = StdRng::seed_from_u64(6);
+        execute_cut(
+            &g,
+            &coloring,
+            &core,
+            &view,
+            &CutStrategy::DepthModulo { levels: 5 },
+            &mut state,
+            false,
+            &mut rng,
+        );
+        // One color and one invocation: every vertex loses at most one parent
+        // edge.
+        assert!(state.max_load() <= 1);
+    }
+
+    #[test]
+    fn conditioned_sampling_respects_load_cap() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::planted_forest_union(40, 3, &mut rng);
+        let mut coloring = PartialEdgeColoring::new_uncolored(g.num_edges());
+        for e in g.edge_ids() {
+            coloring.set(e, Color::new(e.index() % 3));
+        }
+        let (orientation, _) = min_max_outdegree_orientation(&g);
+        let mut state = CutState::with_orientation(g.num_vertices(), orientation);
+        let core: HashSet<VertexId> = (0..3).map(VertexId::new).collect();
+        let view: HashSet<VertexId> = g.vertices().collect();
+        for _ in 0..20 {
+            execute_cut(
+                &g,
+                &coloring,
+                &core,
+                &view,
+                &CutStrategy::ConditionedSampling {
+                    probability: 0.9,
+                    load_cap: 2,
+                },
+                &mut state,
+                false,
+                &mut rng,
+            );
+        }
+        assert!(state.max_load() <= 2, "load cap violated: {}", state.max_load());
+    }
+
+    #[test]
+    fn force_good_completes_a_weak_random_cut() {
+        let (g, coloring, core, view) = long_path_setup(50, 15);
+        let (orientation, _) = min_max_outdegree_orientation(&g);
+        let mut state = CutState::with_orientation(g.num_vertices(), orientation);
+        let mut rng = StdRng::seed_from_u64(11);
+        let outcome = execute_cut(
+            &g,
+            &coloring,
+            &core,
+            &view,
+            &CutStrategy::ConditionedSampling {
+                probability: 0.05,
+                load_cap: 1,
+            },
+            &mut state,
+            true,
+            &mut rng,
+        );
+        let removed: HashSet<EdgeId> = outcome.all_removed().into_iter().collect();
+        assert!(is_good(&g, &coloring, &removed, &core, &view));
+    }
+
+    #[test]
+    fn cut_ignores_uncolored_edges() {
+        let (g, mut coloring, core, view) = long_path_setup(30, 10);
+        // Uncolor everything: nothing is eligible and nothing can escape.
+        for e in g.edge_ids() {
+            coloring.clear(e);
+        }
+        let mut state = CutState::new(g.num_vertices());
+        let mut rng = StdRng::seed_from_u64(3);
+        let outcome = execute_cut(
+            &g,
+            &coloring,
+            &core,
+            &view,
+            &CutStrategy::DepthModulo { levels: 3 },
+            &mut state,
+            true,
+            &mut rng,
+        );
+        assert!(outcome.removed.is_empty());
+        assert!(outcome.good);
+    }
+
+    #[test]
+    fn multi_color_paths_are_all_cut() {
+        // Two interleaved colors along a path; both must be disconnected.
+        let g = generators::path(40);
+        let mut coloring = PartialEdgeColoring::new_uncolored(g.num_edges());
+        for e in g.edge_ids() {
+            coloring.set(e, Color::new(e.index() % 2));
+        }
+        let core: HashSet<VertexId> = (0..2).map(VertexId::new).collect();
+        let view: HashSet<VertexId> = (0..14).map(VertexId::new).collect();
+        let mut state = CutState::new(g.num_vertices());
+        let mut rng = StdRng::seed_from_u64(8);
+        let outcome = execute_cut(
+            &g,
+            &coloring,
+            &core,
+            &view,
+            &CutStrategy::DepthModulo { levels: 3 },
+            &mut state,
+            true,
+            &mut rng,
+        );
+        let removed: HashSet<EdgeId> = outcome.all_removed().into_iter().collect();
+        assert!(is_good(&g, &coloring, &removed, &core, &view));
+    }
+}

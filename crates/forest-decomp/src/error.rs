@@ -1,0 +1,141 @@
+//! Error type for the decomposition algorithms.
+
+use forest_graph::{EdgeId, ValidationError};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the forest-decomposition algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FdError {
+    /// An edge's palette is too small for the requested decomposition.
+    PaletteTooSmall {
+        /// The offending edge.
+        edge: EdgeId,
+        /// Number of colors the algorithm needs on this edge.
+        needed: usize,
+        /// Number of colors actually available.
+        available: usize,
+    },
+    /// No augmenting sequence was found for an uncolored edge within the
+    /// allotted locality radius (indicates the palette/arboricity
+    /// preconditions are violated).
+    AugmentationFailed {
+        /// The edge that could not be colored.
+        edge: EdgeId,
+    },
+    /// The provided arboricity bound is smaller than what the graph requires.
+    ArboricityBoundTooSmall {
+        /// The bound that was supplied.
+        bound: usize,
+        /// A lower bound on the true arboricity.
+        required: usize,
+    },
+    /// A randomized phase failed to converge within its round budget.
+    NotConverged {
+        /// Description of the phase.
+        phase: String,
+    },
+    /// The algorithm requires a simple graph but was given parallel edges.
+    NotSimple,
+    /// An epsilon outside the supported range `(0, 1)` was supplied.
+    InvalidEpsilon {
+        /// The supplied value.
+        epsilon: f64,
+    },
+    /// A produced decomposition failed validation (internal invariant
+    /// violation; should not happen).
+    InvalidDecomposition(ValidationError),
+}
+
+impl fmt::Display for FdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FdError::PaletteTooSmall {
+                edge,
+                needed,
+                available,
+            } => write!(
+                f,
+                "palette of edge {edge} has {available} colors but {needed} are needed"
+            ),
+            FdError::AugmentationFailed { edge } => {
+                write!(f, "no augmenting sequence found for edge {edge}")
+            }
+            FdError::ArboricityBoundTooSmall { bound, required } => write!(
+                f,
+                "arboricity bound {bound} is below the required value {required}"
+            ),
+            FdError::NotConverged { phase } => {
+                write!(f, "randomized phase did not converge: {phase}")
+            }
+            FdError::NotSimple => write!(f, "algorithm requires a simple graph"),
+            FdError::InvalidEpsilon { epsilon } => {
+                write!(f, "epsilon {epsilon} outside the supported range (0, 1)")
+            }
+            FdError::InvalidDecomposition(err) => {
+                write!(f, "produced decomposition failed validation: {err}")
+            }
+        }
+    }
+}
+
+impl Error for FdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FdError::InvalidDecomposition(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ValidationError> for FdError {
+    fn from(err: ValidationError) -> Self {
+        FdError::InvalidDecomposition(err)
+    }
+}
+
+/// Validates that epsilon lies in the supported range `(0, 1)`.
+pub fn check_epsilon(epsilon: f64) -> Result<(), FdError> {
+    if epsilon > 0.0 && epsilon < 1.0 && epsilon.is_finite() {
+        Ok(())
+    } else {
+        Err(FdError::InvalidEpsilon { epsilon })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = FdError::PaletteTooSmall {
+            edge: EdgeId::new(3),
+            needed: 5,
+            available: 2,
+        };
+        let text = err.to_string();
+        assert!(text.contains("e3"));
+        assert!(text.contains('5'));
+        assert!(text.contains('2'));
+    }
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(check_epsilon(0.25).is_ok());
+        assert!(check_epsilon(0.0).is_err());
+        assert!(check_epsilon(1.0).is_err());
+        assert!(check_epsilon(-0.5).is_err());
+        assert!(check_epsilon(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn validation_error_converts() {
+        let inner = ValidationError::UncoloredEdge {
+            edge: EdgeId::new(1),
+        };
+        let err: FdError = inner.clone().into();
+        assert_eq!(err, FdError::InvalidDecomposition(inner));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

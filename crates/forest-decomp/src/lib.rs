@@ -1,0 +1,75 @@
+//! Distributed `(1+ε)α` forest, list-forest and star-forest decompositions.
+//!
+//! This crate implements the algorithms of Harris, Su and Vu, *"On the
+//! Locality of Nash-Williams Forest Decomposition and Star-Forest
+//! Decomposition"* (PODC 2021), on top of the [`forest_graph`] substrate and
+//! the [`local_model`] LOCAL-model simulator:
+//!
+//! * [`hpartition`] — the H-partition toolbox of Theorem 2.1: the vertex
+//!   peeling itself, acyclic `t`-orientations, `3t`-star-forest and
+//!   `t`-list-forest decompositions.
+//! * [`lsfd_degeneracy`] — Theorems 2.2 / 2.3: list-star-forest
+//!   decompositions from low-degeneracy orientations.
+//! * [`diameter_reduction`] — Proposition 2.4 / Corollary 2.5.
+//! * [`augmenting`] — Section 3: augmenting sequences for list-forest
+//!   decomposition (Algorithm 1, Proposition 3.4, Lemma 3.1).
+//! * [`cut`] — the CUT load-balancing rules of Theorem 4.2.
+//! * [`algorithm2`] — Algorithm 2 / Theorem 4.5: local forest decomposition
+//!   via network decomposition, CUT and augmentation.
+//! * [`color_splitting`] — Theorem 4.9 vertex-color-splittings.
+//! * [`combine`] — the end-to-end pipelines of Theorem 4.6 (ordinary colors)
+//!   and Theorem 4.10 (lists).
+//! * [`star_forest`] — Section 5 / Theorem 5.4: star-forest and
+//!   list-star-forest decompositions of simple graphs.
+//! * [`orientation`] — Corollary 1.1: `(1+ε)α`-orientations.
+//! * [`baselines`] — Barenboim–Elkin `(2+ε)α`-FD, the folklore `2α`-SFD and
+//!   the exact centralized decomposition.
+//!
+//! # Quick example
+//!
+//! ```
+//! use forest_decomp::combine::{forest_decomposition, FdOptions};
+//! use forest_graph::generators;
+//! use forest_graph::decomposition::validate_forest_decomposition;
+//!
+//! let mut rng = rand::thread_rng();
+//! let g = generators::planted_forest_union(64, 3, &mut rng);
+//! let result = forest_decomposition(&g, &FdOptions::new(0.5), &mut rng)?;
+//! validate_forest_decomposition(&g, &result.decomposition, Some(result.num_colors))?;
+//! println!(
+//!     "alpha = {}, colors used = {}, LOCAL rounds = {}",
+//!     result.arboricity,
+//!     result.num_colors,
+//!     result.ledger.total_rounds()
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod algorithm2;
+pub mod augmenting;
+pub mod baselines;
+pub mod color_splitting;
+pub mod combine;
+pub mod cut;
+pub mod diameter_reduction;
+pub mod error;
+pub mod hpartition;
+pub mod lsfd_degeneracy;
+pub mod matching;
+pub mod orientation;
+pub mod star_forest;
+
+pub use algorithm2::{algorithm2, Algorithm2Config, Algorithm2Output, CutStrategyKind};
+pub use augmenting::{AugmentationContext, AugmentingSequence};
+pub use combine::{forest_decomposition, list_forest_decomposition, FdOptions, FdResult, LfdResult};
+pub use diameter_reduction::{reduce_diameter, DiameterTarget};
+pub use error::FdError;
+pub use hpartition::HPartition;
+pub use orientation::{low_outdegree_orientation, OrientationResult};
+pub use star_forest::{
+    list_star_forest_decomposition_simple, star_forest_decomposition_simple, SfdConfig,
+    StarForestResult,
+};

@@ -1,0 +1,183 @@
+//! Hopcroft–Karp maximum bipartite matching.
+//!
+//! The star-forest construction of Section 5 matches, for every vertex `v`,
+//! its outgoing edges against the colors of `C(v)` in the bipartite graph
+//! `H_v` (Proposition 5.1). This module provides the matching substrate.
+
+use std::collections::VecDeque;
+
+/// A maximum matching in a bipartite graph with `num_left` left nodes and
+/// `num_right` right nodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BipartiteMatching {
+    /// For each left node, the matched right node (if any).
+    pub pair_left: Vec<Option<usize>>,
+    /// For each right node, the matched left node (if any).
+    pub pair_right: Vec<Option<usize>>,
+    /// Number of matched pairs.
+    pub size: usize,
+}
+
+const INF: usize = usize::MAX;
+
+/// Computes a maximum matching with the Hopcroft–Karp algorithm.
+///
+/// `adj[l]` lists the right nodes adjacent to left node `l`.
+///
+/// # Panics
+///
+/// Panics if an adjacency entry is out of range.
+pub fn maximum_bipartite_matching(
+    num_left: usize,
+    num_right: usize,
+    adj: &[Vec<usize>],
+) -> BipartiteMatching {
+    assert_eq!(adj.len(), num_left, "adjacency must cover every left node");
+    for nbrs in adj {
+        for &r in nbrs {
+            assert!(r < num_right, "right node {r} out of range");
+        }
+    }
+    let mut pair_left: Vec<Option<usize>> = vec![None; num_left];
+    let mut pair_right: Vec<Option<usize>> = vec![None; num_right];
+    let mut dist = vec![INF; num_left];
+
+    fn bfs(
+        adj: &[Vec<usize>],
+        pair_left: &[Option<usize>],
+        pair_right: &[Option<usize>],
+        dist: &mut [usize],
+    ) -> bool {
+        let mut queue = VecDeque::new();
+        for (l, d) in dist.iter_mut().enumerate() {
+            if pair_left[l].is_none() {
+                *d = 0;
+                queue.push_back(l);
+            } else {
+                *d = INF;
+            }
+        }
+        let mut found = false;
+        while let Some(l) = queue.pop_front() {
+            for &r in &adj[l] {
+                match pair_right[r] {
+                    None => found = true,
+                    Some(l2) => {
+                        if dist[l2] == INF {
+                            dist[l2] = dist[l] + 1;
+                            queue.push_back(l2);
+                        }
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    fn dfs(
+        l: usize,
+        adj: &[Vec<usize>],
+        pair_left: &mut [Option<usize>],
+        pair_right: &mut [Option<usize>],
+        dist: &mut [usize],
+    ) -> bool {
+        for i in 0..adj[l].len() {
+            let r = adj[l][i];
+            let ok = match pair_right[r] {
+                None => true,
+                Some(l2) => dist[l2] == dist[l] + 1 && dfs(l2, adj, pair_left, pair_right, dist),
+            };
+            if ok {
+                pair_left[l] = Some(r);
+                pair_right[r] = Some(l);
+                return true;
+            }
+        }
+        dist[l] = INF;
+        false
+    }
+
+    let mut size = 0;
+    while bfs(adj, &pair_left, &pair_right, &mut dist) {
+        for l in 0..num_left {
+            if pair_left[l].is_none() && dfs(l, adj, &mut pair_left, &mut pair_right, &mut dist) {
+                size += 1;
+            }
+        }
+    }
+    BipartiteMatching {
+        pair_left,
+        pair_right,
+        size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_identity() {
+        let adj: Vec<Vec<usize>> = (0..5).map(|i| vec![i]).collect();
+        let m = maximum_bipartite_matching(5, 5, &adj);
+        assert_eq!(m.size, 5);
+        for i in 0..5 {
+            assert_eq!(m.pair_left[i], Some(i));
+            assert_eq!(m.pair_right[i], Some(i));
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let m = maximum_bipartite_matching(3, 3, &[vec![], vec![], vec![]]);
+        assert_eq!(m.size, 0);
+        assert!(m.pair_left.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn augmenting_path_is_found() {
+        // Left 0 -> {0}, Left 1 -> {0, 1}: maximum matching has size 2 and
+        // requires an augmenting path through left 1.
+        let adj = vec![vec![0], vec![0, 1]];
+        let m = maximum_bipartite_matching(2, 2, &adj);
+        assert_eq!(m.size, 2);
+        assert_eq!(m.pair_left[0], Some(0));
+        assert_eq!(m.pair_left[1], Some(1));
+    }
+
+    #[test]
+    fn hall_violator_limits_matching() {
+        // Three left nodes all adjacent only to right node 0.
+        let adj = vec![vec![0], vec![0], vec![0]];
+        let m = maximum_bipartite_matching(3, 2, &adj);
+        assert_eq!(m.size, 1);
+    }
+
+    #[test]
+    fn larger_random_like_instance() {
+        // A 6x6 instance with a known perfect matching along the diagonal,
+        // plus extra noise edges.
+        let adj = vec![
+            vec![0, 1],
+            vec![1, 2],
+            vec![2, 3],
+            vec![3, 4],
+            vec![4, 5],
+            vec![5, 0],
+        ];
+        let m = maximum_bipartite_matching(6, 6, &adj);
+        assert_eq!(m.size, 6);
+        // Matching is consistent.
+        for l in 0..6 {
+            let r = m.pair_left[l].unwrap();
+            assert_eq!(m.pair_right[r], Some(l));
+            assert!(adj[l].contains(&r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_right_node() {
+        maximum_bipartite_matching(1, 1, &[vec![5]]);
+    }
+}

@@ -1,0 +1,646 @@
+//! Edge colorings, forest decompositions and their validation.
+//!
+//! A *k-forest decomposition* assigns every edge one of `k` colors so that
+//! each color class is a forest (Nash-Williams). A *star-forest
+//! decomposition* additionally requires every tree to be a star. This module
+//! holds the result types returned by every algorithm in the workspace plus
+//! the validators used throughout the test suites and benchmarks.
+
+use crate::error::ValidationError;
+use crate::ids::{Color, EdgeId, VertexId};
+use crate::multigraph::MultiGraph;
+use crate::palette::ListAssignment;
+use crate::traversal;
+use crate::union_find::UnionFind;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A partial edge coloring: some edges may still be uncolored.
+///
+/// This is the working state of the augmentation algorithms of Sections 3–4
+/// of the paper: edges get colored one augmenting sequence at a time.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PartialEdgeColoring {
+    colors: Vec<Option<Color>>,
+}
+
+impl PartialEdgeColoring {
+    /// Creates a coloring of `m` edges with every edge uncolored.
+    pub fn new_uncolored(m: usize) -> Self {
+        PartialEdgeColoring {
+            colors: vec![None; m],
+        }
+    }
+
+    /// Creates a partial coloring from an explicit vector.
+    pub fn from_colors(colors: Vec<Option<Color>>) -> Self {
+        PartialEdgeColoring { colors }
+    }
+
+    /// Number of edges covered by this coloring (colored or not).
+    pub fn len(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Returns `true` if the coloring covers no edges.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// The color of `e`, if any.
+    #[inline]
+    pub fn color(&self, e: EdgeId) -> Option<Color> {
+        self.colors[e.index()]
+    }
+
+    /// Assigns color `c` to edge `e`.
+    pub fn set(&mut self, e: EdgeId, c: Color) {
+        self.colors[e.index()] = Some(c);
+    }
+
+    /// Removes the color of edge `e`.
+    pub fn clear(&mut self, e: EdgeId) {
+        self.colors[e.index()] = None;
+    }
+
+    /// All currently uncolored edges.
+    pub fn uncolored_edges(&self) -> Vec<EdgeId> {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_none())
+            .map(|(i, _)| EdgeId::new(i))
+            .collect()
+    }
+
+    /// Number of colored edges.
+    pub fn colored_count(&self) -> usize {
+        self.colors.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Returns `true` if every edge is colored.
+    pub fn is_complete(&self) -> bool {
+        self.colors.iter().all(Option::is_some)
+    }
+
+    /// The distinct colors in use.
+    pub fn colors_used(&self) -> BTreeSet<Color> {
+        self.colors.iter().flatten().copied().collect()
+    }
+
+    /// Number of distinct colors in use.
+    pub fn num_colors_used(&self) -> usize {
+        self.colors_used().len()
+    }
+
+    /// Edges currently assigned color `c`.
+    pub fn edges_with_color(&self, c: Color) -> Vec<EdgeId> {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| **x == Some(c))
+            .map(|(i, _)| EdgeId::new(i))
+            .collect()
+    }
+
+    /// Converts into a complete [`ForestDecomposition`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidationError::UncoloredEdge`] if any edge is uncolored.
+    /// Note this does **not** check the forest property; use
+    /// [`validate_forest_decomposition`] for that.
+    pub fn into_complete(self) -> Result<ForestDecomposition, ValidationError> {
+        let mut colors = Vec::with_capacity(self.colors.len());
+        for (i, c) in self.colors.into_iter().enumerate() {
+            match c {
+                Some(c) => colors.push(c),
+                None => {
+                    return Err(ValidationError::UncoloredEdge {
+                        edge: EdgeId::new(i),
+                    })
+                }
+            }
+        }
+        Ok(ForestDecomposition { colors })
+    }
+}
+
+/// A complete assignment of a color to every edge of a graph.
+///
+/// The name reflects the intended invariant (each color class is a forest),
+/// but the struct itself is just the color vector; call
+/// [`validate_forest_decomposition`] to check the invariant.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ForestDecomposition {
+    colors: Vec<Color>,
+}
+
+impl ForestDecomposition {
+    /// Creates a decomposition from an explicit per-edge color vector.
+    pub fn from_colors(colors: Vec<Color>) -> Self {
+        ForestDecomposition { colors }
+    }
+
+    /// Number of edges covered.
+    pub fn num_edges(&self) -> usize {
+        self.colors.len()
+    }
+
+    /// Returns `true` if no edges are covered.
+    pub fn is_empty(&self) -> bool {
+        self.colors.is_empty()
+    }
+
+    /// Color of edge `e`.
+    #[inline]
+    pub fn color(&self, e: EdgeId) -> Color {
+        self.colors[e.index()]
+    }
+
+    /// Distinct colors in use.
+    pub fn colors_used(&self) -> BTreeSet<Color> {
+        self.colors.iter().copied().collect()
+    }
+
+    /// Number of distinct colors in use.
+    pub fn num_colors_used(&self) -> usize {
+        self.colors_used().len()
+    }
+
+    /// Edges assigned color `c`.
+    pub fn edges_with_color(&self, c: Color) -> Vec<EdgeId> {
+        self.colors
+            .iter()
+            .enumerate()
+            .filter(|(_, x)| **x == c)
+            .map(|(i, _)| EdgeId::new(i))
+            .collect()
+    }
+
+    /// View as a partial coloring (every edge colored).
+    pub fn to_partial(&self) -> PartialEdgeColoring {
+        PartialEdgeColoring {
+            colors: self.colors.iter().map(|&c| Some(c)).collect(),
+        }
+    }
+
+    /// Relabels colors to the dense range `0..k` (preserving the relative
+    /// order of the original color labels) and returns `k`.
+    pub fn relabel_colors_dense(&mut self) -> usize {
+        let used: BTreeSet<Color> = self.colors.iter().copied().collect();
+        let map: BTreeMap<Color, Color> = used
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (c, Color::new(i)))
+            .collect();
+        for c in &mut self.colors {
+            *c = map[c];
+        }
+        map.len()
+    }
+
+    /// Sizes of each color class, keyed by color.
+    pub fn class_sizes(&self) -> BTreeMap<Color, usize> {
+        let mut sizes = BTreeMap::new();
+        for &c in &self.colors {
+            *sizes.entry(c).or_insert(0) += 1;
+        }
+        sizes
+    }
+}
+
+fn check_length(g: &MultiGraph, len: usize) -> Result<(), ValidationError> {
+    if len != g.num_edges() {
+        Err(ValidationError::LengthMismatch {
+            coloring_len: len,
+            num_edges: g.num_edges(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn group_by_color<F>(g: &MultiGraph, color_of: F) -> BTreeMap<Color, Vec<EdgeId>>
+where
+    F: Fn(EdgeId) -> Option<Color>,
+{
+    let mut classes: BTreeMap<Color, Vec<EdgeId>> = BTreeMap::new();
+    for e in g.edge_ids() {
+        if let Some(c) = color_of(e) {
+            classes.entry(c).or_default().push(e);
+        }
+    }
+    classes
+}
+
+/// Checks that every color class of a (possibly partial) coloring is a forest.
+///
+/// # Errors
+///
+/// Returns [`ValidationError::CycleInColorClass`] naming a cycle edge if some
+/// color class contains a cycle, or a length mismatch error.
+pub fn validate_partial_forest_decomposition(
+    g: &MultiGraph,
+    coloring: &PartialEdgeColoring,
+) -> Result<(), ValidationError> {
+    check_length(g, coloring.len())?;
+    let classes = group_by_color(g, |e| coloring.color(e));
+    for (color, edges) in classes {
+        let mut uf = UnionFind::new(g.num_vertices());
+        for &e in &edges {
+            let (u, v) = g.endpoints(e);
+            if !uf.union(u.index(), v.index()) {
+                return Err(ValidationError::CycleInColorClass { color, witness: e });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that a complete coloring is a forest decomposition, optionally with
+/// a bound on the number of colors used.
+///
+/// # Errors
+///
+/// Returns the first violation found (cycle or too many colors).
+pub fn validate_forest_decomposition(
+    g: &MultiGraph,
+    fd: &ForestDecomposition,
+    max_colors: Option<usize>,
+) -> Result<(), ValidationError> {
+    check_length(g, fd.num_edges())?;
+    if let Some(bound) = max_colors {
+        let used = fd.num_colors_used();
+        if used > bound {
+            return Err(ValidationError::TooManyColors { used, bound });
+        }
+    }
+    validate_partial_forest_decomposition(g, &fd.to_partial())
+}
+
+/// Checks that every color class is a *star* forest: every component of each
+/// class is a star (equivalently, every edge has an endpoint whose degree in
+/// the class is exactly 1).
+///
+/// # Errors
+///
+/// Returns [`ValidationError::NotAStarForest`] naming the middle vertex of a
+/// three-edge path (or of a cycle).
+pub fn validate_star_forest_decomposition(
+    g: &MultiGraph,
+    fd: &ForestDecomposition,
+    max_colors: Option<usize>,
+) -> Result<(), ValidationError> {
+    check_length(g, fd.num_edges())?;
+    if let Some(bound) = max_colors {
+        let used = fd.num_colors_used();
+        if used > bound {
+            return Err(ValidationError::TooManyColors { used, bound });
+        }
+    }
+    let classes = group_by_color(g, |e| Some(fd.color(e)));
+    for (color, edges) in classes {
+        let mut class_degree = vec![0usize; g.num_vertices()];
+        for &e in &edges {
+            let (u, v) = g.endpoints(e);
+            class_degree[u.index()] += 1;
+            class_degree[v.index()] += 1;
+        }
+        for &e in &edges {
+            let (u, v) = g.endpoints(e);
+            if class_degree[u.index()] >= 2 && class_degree[v.index()] >= 2 {
+                return Err(ValidationError::NotAStarForest { color, witness: u });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that every colored edge's color belongs to its palette.
+///
+/// # Errors
+///
+/// Returns [`ValidationError::ColorNotInPalette`] for the first violation.
+pub fn validate_list_coloring(
+    g: &MultiGraph,
+    coloring: &PartialEdgeColoring,
+    lists: &ListAssignment,
+) -> Result<(), ValidationError> {
+    check_length(g, coloring.len())?;
+    for e in g.edge_ids() {
+        if let Some(c) = coloring.color(e) {
+            if !lists.contains(e, c) {
+                return Err(ValidationError::ColorNotInPalette { edge: e, color: c });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Maximum strong diameter over all trees in all color classes of a (possibly
+/// partial) coloring. The coloring must already be a valid (partial) forest
+/// decomposition.
+pub fn max_forest_diameter(g: &MultiGraph, coloring: &PartialEdgeColoring) -> usize {
+    let classes = group_by_color(g, |e| coloring.color(e));
+    let mut max_diam = 0;
+    for (_, edges) in classes {
+        let in_class: std::collections::HashSet<EdgeId> = edges.iter().copied().collect();
+        let diam = traversal::forest_diameter(g, |e| in_class.contains(&e));
+        max_diam = max_diam.max(diam);
+    }
+    max_diam
+}
+
+/// Checks that every tree in every color class has diameter at most `bound`.
+///
+/// # Errors
+///
+/// Returns [`ValidationError::DiameterExceeded`] for the first violating
+/// color class.
+pub fn validate_diameter_bound(
+    g: &MultiGraph,
+    coloring: &PartialEdgeColoring,
+    bound: usize,
+) -> Result<(), ValidationError> {
+    let classes = group_by_color(g, |e| coloring.color(e));
+    for (color, edges) in classes {
+        let in_class: std::collections::HashSet<EdgeId> = edges.iter().copied().collect();
+        let measured = traversal::forest_diameter(g, |e| in_class.contains(&e));
+        if measured > bound {
+            return Err(ValidationError::DiameterExceeded {
+                color,
+                measured,
+                bound,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Summary statistics of a complete forest decomposition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecompositionStats {
+    /// Number of distinct colors used.
+    pub num_colors: usize,
+    /// Maximum tree diameter over all color classes.
+    pub max_diameter: usize,
+    /// Size of the largest color class.
+    pub max_class_size: usize,
+    /// `true` if every color class is a star-forest.
+    pub is_star_forest: bool,
+}
+
+/// Computes [`DecompositionStats`] for a complete decomposition that is
+/// already known to be a valid forest decomposition.
+pub fn decomposition_stats(g: &MultiGraph, fd: &ForestDecomposition) -> DecompositionStats {
+    let num_colors = fd.num_colors_used();
+    let max_diameter = max_forest_diameter(g, &fd.to_partial());
+    let max_class_size = fd.class_sizes().values().copied().max().unwrap_or(0);
+    let is_star_forest = validate_star_forest_decomposition(g, fd, None).is_ok();
+    DecompositionStats {
+        num_colors,
+        max_diameter,
+        max_class_size,
+        is_star_forest,
+    }
+}
+
+/// Merges two partial colorings over disjoint edge sets (used by
+/// Proposition 4.8's combination step). Colors in `second` are shifted by
+/// `color_offset` to keep the color spaces disjoint when desired (pass 0 to
+/// keep original colors).
+///
+/// # Panics
+///
+/// Panics if both colorings assign a color to the same edge or their lengths
+/// differ.
+pub fn merge_disjoint_colorings(
+    first: &PartialEdgeColoring,
+    second: &PartialEdgeColoring,
+    color_offset: usize,
+) -> PartialEdgeColoring {
+    assert_eq!(first.len(), second.len(), "colorings must cover the same edges");
+    let mut merged = PartialEdgeColoring::new_uncolored(first.len());
+    for i in 0..first.len() {
+        let e = EdgeId::new(i);
+        match (first.color(e), second.color(e)) {
+            (Some(c), None) => merged.set(e, c),
+            (None, Some(c)) => merged.set(e, Color::new(c.index() + color_offset)),
+            (None, None) => {}
+            (Some(_), Some(_)) => panic!("edge {e} colored by both colorings"),
+        }
+    }
+    merged
+}
+
+/// Finds a vertex witnessing that the color class of `color` is not a star,
+/// or `None` if it is one. Used as a diagnostic helper in tests.
+pub fn star_violation_witness(
+    g: &MultiGraph,
+    fd: &ForestDecomposition,
+    color: Color,
+) -> Option<VertexId> {
+    let edges = fd.edges_with_color(color);
+    let mut class_degree = vec![0usize; g.num_vertices()];
+    for &e in &edges {
+        let (u, v) = g.endpoints(e);
+        class_degree[u.index()] += 1;
+        class_degree[v.index()] += 1;
+    }
+    for &e in &edges {
+        let (u, v) = g.endpoints(e);
+        if class_degree[u.index()] >= 2 && class_degree[v.index()] >= 2 {
+            return Some(u);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: usize) -> Color {
+        Color::new(i)
+    }
+
+    fn e(i: usize) -> EdgeId {
+        EdgeId::new(i)
+    }
+
+    fn triangle() -> MultiGraph {
+        MultiGraph::from_pairs(3, &[(0, 1), (1, 2), (2, 0)]).unwrap()
+    }
+
+    #[test]
+    fn partial_coloring_basic_operations() {
+        let mut pc = PartialEdgeColoring::new_uncolored(3);
+        assert_eq!(pc.len(), 3);
+        assert!(!pc.is_empty());
+        assert!(!pc.is_complete());
+        pc.set(e(0), c(1));
+        pc.set(e(2), c(1));
+        assert_eq!(pc.color(e(0)), Some(c(1)));
+        assert_eq!(pc.color(e(1)), None);
+        assert_eq!(pc.colored_count(), 2);
+        assert_eq!(pc.uncolored_edges(), vec![e(1)]);
+        assert_eq!(pc.edges_with_color(c(1)), vec![e(0), e(2)]);
+        assert_eq!(pc.num_colors_used(), 1);
+        pc.clear(e(0));
+        assert_eq!(pc.color(e(0)), None);
+        pc.set(e(0), c(0));
+        pc.set(e(1), c(2));
+        let fd = pc.into_complete().unwrap();
+        assert_eq!(fd.num_colors_used(), 3);
+    }
+
+    #[test]
+    fn into_complete_rejects_uncolored() {
+        let pc = PartialEdgeColoring::new_uncolored(2);
+        assert!(matches!(
+            pc.into_complete(),
+            Err(ValidationError::UncoloredEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn forest_validation_accepts_proper_decomposition() {
+        let g = triangle();
+        // Two colors: edges 0,1 in color 0 (a path), edge 2 in color 1.
+        let fd = ForestDecomposition::from_colors(vec![c(0), c(0), c(1)]);
+        assert!(validate_forest_decomposition(&g, &fd, Some(2)).is_ok());
+        assert!(matches!(
+            validate_forest_decomposition(&g, &fd, Some(1)),
+            Err(ValidationError::TooManyColors { .. })
+        ));
+    }
+
+    #[test]
+    fn forest_validation_rejects_cycles() {
+        let g = triangle();
+        let fd = ForestDecomposition::from_colors(vec![c(0), c(0), c(0)]);
+        assert!(matches!(
+            validate_forest_decomposition(&g, &fd, None),
+            Err(ValidationError::CycleInColorClass { .. })
+        ));
+    }
+
+    #[test]
+    fn forest_validation_rejects_parallel_edges_same_color() {
+        let g = MultiGraph::from_pairs(2, &[(0, 1), (0, 1)]).unwrap();
+        let fd = ForestDecomposition::from_colors(vec![c(0), c(0)]);
+        assert!(validate_forest_decomposition(&g, &fd, None).is_err());
+        let fd = ForestDecomposition::from_colors(vec![c(0), c(1)]);
+        assert!(validate_forest_decomposition(&g, &fd, None).is_ok());
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let g = triangle();
+        let fd = ForestDecomposition::from_colors(vec![c(0), c(0)]);
+        assert!(matches!(
+            validate_forest_decomposition(&g, &fd, None),
+            Err(ValidationError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn star_forest_validation() {
+        // Path of 3 edges in a single color: not a star forest.
+        let g = MultiGraph::from_pairs(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let fd = ForestDecomposition::from_colors(vec![c(0), c(0), c(0)]);
+        assert!(validate_forest_decomposition(&g, &fd, None).is_ok());
+        assert!(validate_star_forest_decomposition(&g, &fd, None).is_err());
+        assert!(star_violation_witness(&g, &fd, c(0)).is_some());
+        // Split the middle edge into its own color: both classes become stars.
+        let fd = ForestDecomposition::from_colors(vec![c(0), c(1), c(0)]);
+        assert!(validate_star_forest_decomposition(&g, &fd, None).is_ok());
+        assert!(star_violation_witness(&g, &fd, c(0)).is_none());
+        // A star with many leaves is fine in one color.
+        let g = MultiGraph::from_pairs(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
+        let fd = ForestDecomposition::from_colors(vec![c(0); 4]);
+        assert!(validate_star_forest_decomposition(&g, &fd, None).is_ok());
+    }
+
+    #[test]
+    fn list_coloring_validation() {
+        let g = MultiGraph::from_pairs(3, &[(0, 1), (1, 2)]).unwrap();
+        let lists = ListAssignment::uniform(2, 2);
+        let mut pc = PartialEdgeColoring::new_uncolored(2);
+        pc.set(e(0), c(1));
+        assert!(validate_list_coloring(&g, &pc, &lists).is_ok());
+        pc.set(e(1), c(5));
+        assert!(matches!(
+            validate_list_coloring(&g, &pc, &lists),
+            Err(ValidationError::ColorNotInPalette { .. })
+        ));
+    }
+
+    #[test]
+    fn diameter_measurement_and_bound() {
+        let g = MultiGraph::from_pairs(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let fd = ForestDecomposition::from_colors(vec![c(0); 4]);
+        assert_eq!(max_forest_diameter(&g, &fd.to_partial()), 4);
+        assert!(validate_diameter_bound(&g, &fd.to_partial(), 4).is_ok());
+        assert!(matches!(
+            validate_diameter_bound(&g, &fd.to_partial(), 3),
+            Err(ValidationError::DiameterExceeded { .. })
+        ));
+        // Alternate colors: diameter drops to 1 per class.
+        let fd = ForestDecomposition::from_colors(vec![c(0), c(1), c(0), c(1)]);
+        assert_eq!(max_forest_diameter(&g, &fd.to_partial()), 1);
+    }
+
+    #[test]
+    fn stats_summarize_decomposition() {
+        let g = triangle();
+        let fd = ForestDecomposition::from_colors(vec![c(0), c(0), c(1)]);
+        let stats = decomposition_stats(&g, &fd);
+        assert_eq!(stats.num_colors, 2);
+        assert_eq!(stats.max_diameter, 2);
+        assert_eq!(stats.max_class_size, 2);
+        assert!(stats.is_star_forest);
+    }
+
+    #[test]
+    fn relabeling_compresses_colors() {
+        let mut fd = ForestDecomposition::from_colors(vec![c(7), c(3), c(7)]);
+        let k = fd.relabel_colors_dense();
+        assert_eq!(k, 2);
+        assert_eq!(fd.color(e(0)), c(1));
+        assert_eq!(fd.color(e(1)), c(0));
+        assert_eq!(fd.color(e(2)), c(1));
+    }
+
+    #[test]
+    fn class_sizes_counts_edges() {
+        let fd = ForestDecomposition::from_colors(vec![c(0), c(1), c(0), c(0)]);
+        let sizes = fd.class_sizes();
+        assert_eq!(sizes[&c(0)], 3);
+        assert_eq!(sizes[&c(1)], 1);
+        assert_eq!(fd.edges_with_color(c(1)), vec![e(1)]);
+    }
+
+    #[test]
+    fn merge_disjoint_colorings_combines() {
+        let mut a = PartialEdgeColoring::new_uncolored(3);
+        a.set(e(0), c(0));
+        let mut b = PartialEdgeColoring::new_uncolored(3);
+        b.set(e(1), c(0));
+        b.set(e(2), c(1));
+        let merged = merge_disjoint_colorings(&a, &b, 10);
+        assert_eq!(merged.color(e(0)), Some(c(0)));
+        assert_eq!(merged.color(e(1)), Some(c(10)));
+        assert_eq!(merged.color(e(2)), Some(c(11)));
+    }
+
+    #[test]
+    #[should_panic(expected = "colored by both")]
+    fn merge_panics_on_overlap() {
+        let mut a = PartialEdgeColoring::new_uncolored(1);
+        a.set(e(0), c(0));
+        let mut b = PartialEdgeColoring::new_uncolored(1);
+        b.set(e(0), c(1));
+        merge_disjoint_colorings(&a, &b, 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Graph substrate for the Nash-Williams forest-decomposition workspace.
+//!
+//! This crate provides everything the distributed decomposition algorithms
+//! (crate `forest-decomp`) and the LOCAL-model simulator (crate
+//! `local-model`) need from a graph library, built from scratch:
+//!
+//! * [`MultiGraph`] / [`SimpleGraph`] — undirected (multi-)graph containers
+//!   with dense [`VertexId`] / [`EdgeId`] identifiers.
+//! * [`decomposition`] — forest / star-forest decompositions and their
+//!   validators, the central result types of the whole workspace.
+//! * [`palette`] — per-edge color lists for list-forest decompositions.
+//! * [`orientation`] — edge orientations and exact minimum-out-degree
+//!   orientations (pseudo-arboricity).
+//! * [`matroid`] — the exact centralized `α`-forest decomposition
+//!   (Gabow–Westermann-style matroid partition), used as ground truth.
+//! * [`density`] — exact densest subgraph and the Nash-Williams sparsity
+//!   measures.
+//! * [`generators`] — synthetic benchmark families (fat paths, planted
+//!   arboricity graphs, `G(n,m)`, cliques, grids, hypercubes, ...).
+//! * [`flow`], [`traversal`], [`union_find`] — supporting algorithms.
+//!
+//! # Quick example
+//!
+//! ```
+//! use forest_graph::{generators, matroid, decomposition};
+//!
+//! // A multigraph with planted arboricity 3.
+//! let mut rng = rand::thread_rng();
+//! let g = generators::planted_forest_union(32, 3, &mut rng);
+//! let exact = matroid::exact_forest_decomposition(&g);
+//! assert!(exact.arboricity <= 3);
+//! decomposition::validate_forest_decomposition(&g, &exact.decomposition, Some(exact.arboricity))
+//!     .expect("matroid partition always returns a valid decomposition");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod decomposition;
+pub mod density;
+mod error;
+pub mod flow;
+pub mod generators;
+mod ids;
+pub mod matroid;
+mod multigraph;
+pub mod orientation;
+pub mod palette;
+pub mod traversal;
+pub mod union_find;
+
+pub use decomposition::{DecompositionStats, ForestDecomposition, PartialEdgeColoring};
+pub use error::{GraphError, ValidationError};
+pub use flow::FlowNetwork;
+pub use ids::{Color, EdgeId, VertexId};
+pub use multigraph::{InducedSubgraph, MultiGraph, SimpleGraph};
+pub use orientation::Orientation;
+pub use palette::ListAssignment;
+pub use union_find::UnionFind;

@@ -1,0 +1,330 @@
+//! Exact centralized forest decomposition via matroid partition.
+//!
+//! Gabow and Westermann [GW92] showed that an exact `α`-forest decomposition
+//! can be computed in polynomial time using matroid partition for the graphic
+//! matroid. This module implements the classical augmenting-path matroid
+//! partition algorithm: edges are inserted one at a time, and when an edge
+//! cannot be placed directly into one of the `k` forests, a shortest
+//! augmenting sequence of exchanges is found by BFS over the exchange graph.
+//!
+//! The paper's distributed algorithms are benchmarked against this exact
+//! baseline, and [`arboricity`] (the minimum number of forests) serves as the
+//! ground-truth `α` for every experiment.
+
+use crate::decomposition::{ForestDecomposition, PartialEdgeColoring};
+use crate::ids::{Color, EdgeId, VertexId};
+use crate::multigraph::MultiGraph;
+use crate::traversal::path_between;
+use std::collections::VecDeque;
+
+/// Attempts to color `edge` in the partial `k`-forest partition `coloring` by
+/// finding a shortest augmenting sequence in the exchange graph.
+///
+/// Returns `true` on success (the coloring is updated in place and remains a
+/// valid partial forest partition) and `false` if no augmenting sequence
+/// exists, which certifies that the already-colored edges plus `edge` cannot
+/// be partitioned into `k` forests.
+fn try_augment(
+    g: &MultiGraph,
+    coloring: &mut PartialEdgeColoring,
+    edge: EdgeId,
+    k: usize,
+) -> bool {
+    // BFS over edges of the exchange graph. `prev[e]` records the edge from
+    // which `e` was reached.
+    let m = g.num_edges();
+    let mut visited = vec![false; m];
+    let mut prev: Vec<Option<EdgeId>> = vec![None; m];
+    let mut queue = VecDeque::new();
+    visited[edge.index()] = true;
+    queue.push_back(edge);
+
+    while let Some(f) = queue.pop_front() {
+        let (u, v) = g.endpoints(f);
+        let f_color = coloring.color(f);
+        for i in 0..k {
+            let color = Color::new(i);
+            if f_color == Some(color) {
+                continue;
+            }
+            // The path between f's endpoints inside forest i (not using f,
+            // which is not in forest i anyway).
+            let path = path_between(g, u, v, |x| x != f && coloring.color(x) == Some(color));
+            match path {
+                None => {
+                    // Sink: f can be added to forest i directly. Walk the BFS
+                    // tree backwards performing the exchanges.
+                    let mut cur = f;
+                    let mut target = color;
+                    loop {
+                        let old = coloring.color(cur);
+                        coloring.set(cur, target);
+                        match (cur == edge, old) {
+                            (true, _) => return true,
+                            (false, Some(old_color)) => {
+                                target = old_color;
+                                cur = prev[cur.index()]
+                                    .expect("every non-root BFS edge has a predecessor");
+                            }
+                            (false, None) => {
+                                unreachable!("only the root of the BFS is uncolored")
+                            }
+                        }
+                    }
+                }
+                Some(path_edges) => {
+                    for x in path_edges {
+                        if !visited[x.index()] {
+                            visited[x.index()] = true;
+                            prev[x.index()] = Some(f);
+                            queue.push_back(x);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Attempts to partition all edges of `g` into at most `k` forests.
+///
+/// Returns `None` if no such partition exists (i.e. `k < α(G)`), otherwise a
+/// complete forest decomposition using colors `0..k`.
+pub fn forest_partition_with(g: &MultiGraph, k: usize) -> Option<ForestDecomposition> {
+    if g.num_edges() == 0 {
+        return Some(ForestDecomposition::from_colors(Vec::new()));
+    }
+    if k == 0 {
+        return None;
+    }
+    let mut coloring = PartialEdgeColoring::new_uncolored(g.num_edges());
+    for e in g.edge_ids() {
+        if !try_augment(g, &mut coloring, e, k) {
+            return None;
+        }
+    }
+    Some(
+        coloring
+            .into_complete()
+            .expect("all edges colored by construction"),
+    )
+}
+
+/// Result of the exact minimum forest partition.
+#[derive(Clone, Debug)]
+pub struct ExactForestDecomposition {
+    /// The decomposition into `arboricity` forests.
+    pub decomposition: ForestDecomposition,
+    /// The arboricity `α(G)` (number of forests used).
+    pub arboricity: usize,
+}
+
+/// Computes the exact arboricity `α(G)` and an `α(G)`-forest decomposition
+/// using incremental matroid partition.
+///
+/// The search starts from the Nash-Williams lower bound `⌈m/(n-1)⌉` and
+/// increases `k` only when an edge provably cannot be accommodated, so the
+/// number of restarts is at most `α` minus the lower bound.
+pub fn exact_forest_decomposition(g: &MultiGraph) -> ExactForestDecomposition {
+    let m = g.num_edges();
+    let n = g.num_vertices();
+    if m == 0 {
+        return ExactForestDecomposition {
+            decomposition: ForestDecomposition::from_colors(Vec::new()),
+            arboricity: 0,
+        };
+    }
+    // Whole-graph Nash-Williams lower bound. (The max over subgraphs can be
+    // larger, but the incremental loop below will simply bump k when needed.)
+    let mut k = m.div_ceil(n.saturating_sub(1).max(1)).max(1);
+    let mut coloring = PartialEdgeColoring::new_uncolored(m);
+    for e in g.edge_ids() {
+        while !try_augment(g, &mut coloring, e, k) {
+            // Certified: the colored edges plus e need more than k forests.
+            k += 1;
+        }
+    }
+    let decomposition = coloring
+        .into_complete()
+        .expect("all edges colored by construction");
+    ExactForestDecomposition {
+        decomposition,
+        arboricity: k,
+    }
+}
+
+/// Exact arboricity `α(G)` of a multigraph (0 for an edgeless graph).
+///
+/// By Nash-Williams, `α(G) = max_H ⌈|E(H)| / (|V(H)|-1)⌉` over subgraphs with
+/// at least two vertices; this function computes it constructively via matroid
+/// partition.
+pub fn arboricity(g: &MultiGraph) -> usize {
+    exact_forest_decomposition(g).arboricity
+}
+
+/// Nash-Williams whole-graph lower bound `⌈m/(n-1)⌉` (0 when `m = 0`).
+pub fn arboricity_lower_bound(g: &MultiGraph) -> usize {
+    let m = g.num_edges();
+    let n = g.num_vertices();
+    if m == 0 || n < 2 {
+        0
+    } else {
+        m.div_ceil(n - 1)
+    }
+}
+
+/// Decomposes the graph into the minimum number of forests and reports how
+/// many vertices each rooted tree spans. Convenience wrapper used by examples.
+pub fn minimum_forest_count(g: &MultiGraph) -> usize {
+    arboricity(g)
+}
+
+/// A vertex-labelled witness that the arboricity is at least `bound`:
+/// a subgraph `H` with `|E(H)| > (bound - 1) * (|V(H)| - 1)`.
+///
+/// Searching all subgraphs is exponential in general, so this helper only
+/// checks the whole graph and each connected component — enough for the
+/// planted workloads used in tests. Returns `None` when no witness is found
+/// at this granularity.
+pub fn density_witness(g: &MultiGraph, bound: usize) -> Option<Vec<VertexId>> {
+    if bound == 0 {
+        return Some(g.vertices().collect());
+    }
+    let check = |vertices: &[VertexId]| -> bool {
+        if vertices.len() < 2 {
+            return false;
+        }
+        let in_set: std::collections::HashSet<VertexId> = vertices.iter().copied().collect();
+        let edges = g
+            .edges()
+            .filter(|(_, u, v)| in_set.contains(u) && in_set.contains(v))
+            .count();
+        edges > (bound - 1) * (vertices.len() - 1)
+    };
+    let all: Vec<VertexId> = g.vertices().collect();
+    if check(&all) {
+        return Some(all);
+    }
+    let (comp, num_comp) = crate::traversal::connected_components(g, |_| true);
+    for c in 0..num_comp {
+        let vertices: Vec<VertexId> = g.vertices().filter(|v| comp[v.index()] == c).collect();
+        if check(&vertices) {
+            return Some(vertices);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::validate_forest_decomposition;
+
+    fn complete_graph(n: usize) -> MultiGraph {
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            for j in i + 1..n {
+                pairs.push((i, j));
+            }
+        }
+        MultiGraph::from_pairs(n, &pairs).unwrap()
+    }
+
+    #[test]
+    fn tree_has_arboricity_one() {
+        let g = MultiGraph::from_pairs(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let exact = exact_forest_decomposition(&g);
+        assert_eq!(exact.arboricity, 1);
+        assert!(validate_forest_decomposition(&g, &exact.decomposition, Some(1)).is_ok());
+    }
+
+    #[test]
+    fn cycle_has_arboricity_two() {
+        let g = MultiGraph::from_pairs(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert_eq!(arboricity(&g), 2);
+        assert!(forest_partition_with(&g, 1).is_none());
+        let fd = forest_partition_with(&g, 2).unwrap();
+        assert!(validate_forest_decomposition(&g, &fd, Some(2)).is_ok());
+    }
+
+    #[test]
+    fn complete_graph_arboricity_matches_formula() {
+        // alpha(K_n) = ceil(n/2).
+        for n in 2..=7usize {
+            let g = complete_graph(n);
+            assert_eq!(arboricity(&g), n.div_ceil(2), "K_{n}");
+        }
+    }
+
+    #[test]
+    fn fat_path_arboricity_equals_multiplicity() {
+        // Fat path with multiplicity 3: every pair of adjacent vertices is
+        // joined by 3 parallel edges, so alpha = 3.
+        let mut g = MultiGraph::new(5);
+        for i in 0..4usize {
+            for _ in 0..3 {
+                g.add_edge(VertexId::new(i), VertexId::new(i + 1)).unwrap();
+            }
+        }
+        let exact = exact_forest_decomposition(&g);
+        assert_eq!(exact.arboricity, 3);
+        assert!(validate_forest_decomposition(&g, &exact.decomposition, Some(3)).is_ok());
+    }
+
+    #[test]
+    fn partition_with_extra_colors_succeeds() {
+        let g = complete_graph(6);
+        let fd = forest_partition_with(&g, 5).unwrap();
+        assert!(validate_forest_decomposition(&g, &fd, Some(5)).is_ok());
+        assert!(forest_partition_with(&g, 2).is_none());
+    }
+
+    #[test]
+    fn partition_with_zero_colors_only_for_empty() {
+        let g = MultiGraph::new(3);
+        assert!(forest_partition_with(&g, 0).is_some());
+        let g = MultiGraph::from_pairs(2, &[(0, 1)]).unwrap();
+        assert!(forest_partition_with(&g, 0).is_none());
+    }
+
+    #[test]
+    fn lower_bound_is_respected() {
+        let g = complete_graph(6);
+        assert!(arboricity_lower_bound(&g) <= arboricity(&g));
+        assert_eq!(arboricity_lower_bound(&g), 3);
+        let empty = MultiGraph::new(4);
+        assert_eq!(arboricity_lower_bound(&empty), 0);
+        assert_eq!(arboricity(&empty), 0);
+    }
+
+    #[test]
+    fn density_witness_on_dense_graph() {
+        let g = complete_graph(5);
+        // alpha(K5) = 3, so a witness against 2 forests must exist.
+        assert!(density_witness(&g, 3).is_some());
+        assert!(density_witness(&g, 4).is_none());
+        assert!(density_witness(&g, 0).is_some());
+    }
+
+    #[test]
+    fn arboricity_of_disjoint_union_is_max() {
+        // K4 union a long path: arboricity = max(2, 1) = 2.
+        let mut g = complete_graph(4);
+        let base = 4;
+        for _ in 0..5 {
+            g.add_vertex();
+        }
+        for i in 0..4usize {
+            g.add_edge(VertexId::new(base + i), VertexId::new(base + i + 1))
+                .unwrap();
+        }
+        assert_eq!(arboricity(&g), 2);
+    }
+
+    #[test]
+    fn minimum_forest_count_alias() {
+        let g = complete_graph(4);
+        assert_eq!(minimum_forest_count(&g), 2);
+    }
+}

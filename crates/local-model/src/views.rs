@@ -1,0 +1,159 @@
+//! Neighborhood views and power graphs.
+//!
+//! In the LOCAL model a vertex can learn everything within distance `r` in
+//! `r` rounds, and the power graph `G^r` can be simulated with an `O(r)`
+//! overhead (Section 1.1 of the paper). These helpers materialize such views
+//! for the centrally-simulated cluster computations of Algorithm 2.
+
+use crate::rounds::RoundLedger;
+use forest_graph::traversal::{multi_source_bfs, UNREACHABLE};
+use forest_graph::{EdgeId, MultiGraph, VertexId};
+
+/// The radius-`r` view around a set of center vertices: the vertices within
+/// distance `r` and the edges with both endpoints in that ball.
+#[derive(Clone, Debug)]
+pub struct NeighborhoodView {
+    /// The centers the view was grown from.
+    pub centers: Vec<VertexId>,
+    /// Radius of the view.
+    pub radius: usize,
+    /// Vertices within distance `radius` of some center.
+    pub vertices: Vec<VertexId>,
+    /// Distance of each graph vertex from the center set ([`usize::MAX`] if
+    /// farther than `radius` — distances beyond the radius are not revealed,
+    /// as the LOCAL view would not contain them).
+    pub distance: Vec<usize>,
+    /// Edges with both endpoints inside the view.
+    pub edges: Vec<EdgeId>,
+}
+
+impl NeighborhoodView {
+    /// Returns `true` if the vertex is inside the view.
+    pub fn contains_vertex(&self, v: VertexId) -> bool {
+        self.distance[v.index()] != UNREACHABLE
+    }
+
+    /// Returns `true` if the edge is inside the view.
+    pub fn contains_edge(&self, g: &MultiGraph, e: EdgeId) -> bool {
+        let (u, v) = g.endpoints(e);
+        self.contains_vertex(u) && self.contains_vertex(v)
+    }
+}
+
+/// Collects the radius-`r` neighborhood of `centers`, charging `r` rounds to
+/// the ledger (gathering a radius-`r` view costs `r` LOCAL rounds).
+pub fn collect_view(
+    g: &MultiGraph,
+    centers: &[VertexId],
+    radius: usize,
+    ledger: &mut RoundLedger,
+) -> NeighborhoodView {
+    ledger.charge(format!("collect radius-{radius} view"), radius.max(1));
+    let mut distance = multi_source_bfs(g, centers, |_| true);
+    for d in distance.iter_mut() {
+        if *d > radius {
+            *d = UNREACHABLE;
+        }
+    }
+    let vertices: Vec<VertexId> = g
+        .vertices()
+        .filter(|v| distance[v.index()] != UNREACHABLE)
+        .collect();
+    let edges: Vec<EdgeId> = g
+        .edges()
+        .filter(|(_, u, v)| {
+            distance[u.index()] != UNREACHABLE && distance[v.index()] != UNREACHABLE
+        })
+        .map(|(e, _, _)| e)
+        .collect();
+    NeighborhoodView {
+        centers: centers.to_vec(),
+        radius,
+        vertices,
+        distance,
+        edges,
+    }
+}
+
+/// Builds the power graph `G^r`: same vertex set, an edge between `u` and `v`
+/// whenever their distance in `G` is between 1 and `r`. The result is simple
+/// (no parallel edges) regardless of multiplicities in `G`.
+///
+/// Simulating one round of `G^r` costs `O(r)` rounds of `G`; callers charge
+/// that separately when they run algorithms on the power graph.
+pub fn power_graph(g: &MultiGraph, r: usize) -> MultiGraph {
+    let n = g.num_vertices();
+    let mut pg = MultiGraph::new(n);
+    if r == 0 {
+        return pg;
+    }
+    for v in g.vertices() {
+        let dist = forest_graph::traversal::bfs_distances(g, v, |_| true);
+        for u in g.vertices() {
+            if u > v && dist[u.index()] != UNREACHABLE && dist[u.index()] <= r {
+                pg.add_edge(v, u).expect("power graph edge");
+            }
+        }
+    }
+    pg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forest_graph::generators;
+
+    #[test]
+    fn view_contains_ball_vertices_and_edges() {
+        let g = generators::path(8);
+        let mut ledger = RoundLedger::new();
+        let view = collect_view(&g, &[VertexId::new(3)], 2, &mut ledger);
+        assert_eq!(ledger.total_rounds(), 2);
+        let mut ids: Vec<usize> = view.vertices.iter().map(|v| v.index()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+        // Edges fully inside the ball: (1,2),(2,3),(3,4),(4,5).
+        assert_eq!(view.edges.len(), 4);
+        assert!(view.contains_vertex(VertexId::new(5)));
+        assert!(!view.contains_vertex(VertexId::new(6)));
+        assert!(view.contains_edge(&g, EdgeId::new(2)));
+        assert!(!view.contains_edge(&g, EdgeId::new(6)));
+    }
+
+    #[test]
+    fn view_with_multiple_centers() {
+        let g = generators::path(10);
+        let mut ledger = RoundLedger::new();
+        let view = collect_view(
+            &g,
+            &[VertexId::new(0), VertexId::new(9)],
+            1,
+            &mut ledger,
+        );
+        let mut ids: Vec<usize> = view.vertices.iter().map(|v| v.index()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1, 8, 9]);
+    }
+
+    #[test]
+    fn power_graph_of_path() {
+        let g = generators::path(5);
+        let p2 = power_graph(&g, 2);
+        // Edges: distance 1 (4 of them) + distance 2 (3 of them).
+        assert_eq!(p2.num_edges(), 7);
+        assert!(p2.is_simple());
+        let p0 = power_graph(&g, 0);
+        assert_eq!(p0.num_edges(), 0);
+        // Large radius: complete graph.
+        let p10 = power_graph(&g, 10);
+        assert_eq!(p10.num_edges(), 5 * 4 / 2);
+    }
+
+    #[test]
+    fn power_graph_ignores_multiplicity() {
+        let g = generators::fat_path(3, 4);
+        let p1 = power_graph(&g, 1);
+        assert_eq!(p1.num_edges(), 3);
+        assert!(p1.is_simple());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests (proptest) over random multigraphs: every algorithm
+//! output must validate as the kind of decomposition it claims to be, across
+//! arbitrary edge sets and palette shapes.
+
+use forest_decomp::augmenting::{apply_augmentation, AugmentationContext};
+use forest_decomp::baselines::two_color_star_forests;
+use forest_decomp::combine::{forest_decomposition, FdOptions};
+use forest_decomp::hpartition::{acyclic_orientation, h_partition, star_forest_decomposition};
+use forest_graph::decomposition::{
+    validate_forest_decomposition, validate_partial_forest_decomposition,
+    validate_star_forest_decomposition, PartialEdgeColoring,
+};
+use forest_graph::{matroid, orientation, ListAssignment, MultiGraph, VertexId};
+use local_model::RoundLedger;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random multigraph with up to `max_n` vertices and `max_m`
+/// edges (self-loops excluded by construction).
+fn arb_multigraph(max_n: usize, max_m: usize) -> impl Strategy<Value = MultiGraph> {
+    (2..max_n, 0..max_m).prop_flat_map(|(n, m)| {
+        proptest::collection::vec((0..n, 0..n), m).prop_map(move |pairs| {
+            let mut g = MultiGraph::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    g.add_edge(VertexId::new(u), VertexId::new(v)).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn exact_decomposition_is_always_valid(g in arb_multigraph(20, 60)) {
+        let exact = matroid::exact_forest_decomposition(&g);
+        prop_assert!(validate_forest_decomposition(&g, &exact.decomposition, Some(exact.arboricity)).is_ok());
+        // Nash-Williams sandwich: alpha* <= alpha <= 2 alpha*.
+        let ps = orientation::pseudoarboricity(&g);
+        prop_assert!(ps <= exact.arboricity);
+        prop_assert!(exact.arboricity <= (2 * ps).max(1));
+    }
+
+    #[test]
+    fn hpartition_star_forest_is_always_valid(g in arb_multigraph(18, 50)) {
+        let ps = orientation::pseudoarboricity(&g).max(1);
+        let mut ledger = RoundLedger::new();
+        let hp = h_partition(&g, 0.5, ps, &mut ledger).unwrap();
+        prop_assert!(hp.satisfies_degree_property(&g));
+        let o = acyclic_orientation(&g, &hp);
+        prop_assert!(o.is_acyclic(&g));
+        prop_assert!(o.max_out_degree(&g) <= hp.degree_threshold);
+        let sfd = star_forest_decomposition(&g, &o, &mut ledger);
+        prop_assert!(validate_star_forest_decomposition(&g, &sfd, Some(3 * hp.degree_threshold)).is_ok());
+    }
+
+    #[test]
+    fn augmentation_preserves_forest_invariant(g in arb_multigraph(14, 35)) {
+        let alpha = matroid::arboricity(&g).max(1);
+        let lists = ListAssignment::uniform(g.num_edges(), alpha + 1);
+        let ctx = AugmentationContext::new(&g, &lists);
+        let mut coloring = PartialEdgeColoring::new_uncolored(g.num_edges());
+        for e in g.edge_ids() {
+            if coloring.color(e).is_some() {
+                continue;
+            }
+            let seq = ctx.find_augmenting_sequence(&coloring, e, 300);
+            prop_assert!(seq.is_some(), "sequence must exist with alpha+1 colors");
+            let seq = seq.unwrap();
+            prop_assert!(ctx.is_valid_augmenting_sequence(&coloring, &seq));
+            apply_augmentation(&mut coloring, &seq);
+            prop_assert!(validate_partial_forest_decomposition(&g, &coloring).is_ok());
+        }
+        prop_assert!(coloring.is_complete());
+    }
+
+    #[test]
+    fn pipeline_output_is_always_a_forest_decomposition(g in arb_multigraph(16, 40)) {
+        let alpha = matroid::arboricity(&g).max(1);
+        let mut rng = StdRng::seed_from_u64(11);
+        let result = forest_decomposition(&g, &FdOptions::new(0.5).with_alpha(alpha), &mut rng);
+        prop_assert!(result.is_ok());
+        let result = result.unwrap();
+        prop_assert!(validate_forest_decomposition(&g, &result.decomposition, Some(result.num_colors)).is_ok());
+        prop_assert!(result.num_colors >= matroid::arboricity(&g));
+    }
+
+    #[test]
+    fn two_coloring_always_yields_star_forests(g in arb_multigraph(16, 40)) {
+        let exact = matroid::exact_forest_decomposition(&g);
+        let stars = two_color_star_forests(&g, &exact.decomposition);
+        prop_assert!(validate_star_forest_decomposition(&g, &stars, Some((2 * exact.arboricity).max(1))).is_ok());
+    }
+
+    #[test]
+    fn densest_subgraph_density_is_consistent(g in arb_multigraph(14, 40)) {
+        let ds = forest_graph::density::densest_subgraph(&g);
+        // Density is an upper bound for the whole-graph average density and a
+        // lower bound for pseudo-arboricity.
+        if g.num_vertices() > 0 {
+            let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+            prop_assert!(ds.density >= avg - 1e-9);
+        }
+        let ps = orientation::pseudoarboricity(&g);
+        prop_assert!(ps as f64 + 1e-9 >= ds.density);
+        prop_assert!((ps as f64) - ds.density < 1.0 + 1e-9);
+    }
+}
