@@ -1,0 +1,66 @@
+//! Criterion bench for batch throughput: one `Decomposer` request executed
+//! over 64 random graphs sequentially (`run` in a loop) vs fanned out across
+//! all cores (`run_batch` via rayon). The request disables the validation
+//! pass so the bench measures pipeline throughput, not the validators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, ProblemKind};
+use forest_graph::{generators, MultiGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BATCH: usize = 64;
+
+fn workload() -> Vec<MultiGraph> {
+    let mut rng = StdRng::seed_from_u64(8);
+    (0..BATCH)
+        .map(|i| generators::planted_forest_union(48 + (i % 7) * 8, 3, &mut rng))
+        .collect()
+}
+
+fn bench_batch(c: &mut Criterion) {
+    let graphs = workload();
+    let mut group = c.benchmark_group("decomposer_batch");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for engine in [Engine::HarrisSuVu, Engine::ExactMatroid] {
+        let decomposer = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_engine(engine)
+                .with_epsilon(0.5)
+                .with_alpha(3)
+                .with_seed(9)
+                .without_validation(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sequential_run_loop", format!("{engine}/{BATCH}_graphs")),
+            &graphs,
+            |b, graphs| {
+                b.iter(|| {
+                    graphs
+                        .iter()
+                        .map(|g| decomposer.run(g).unwrap().num_colors)
+                        .sum::<usize>()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("rayon_run_batch", format!("{engine}/{BATCH}_graphs")),
+            &graphs,
+            |b, graphs| {
+                b.iter(|| {
+                    decomposer
+                        .run_batch(graphs)
+                        .into_iter()
+                        .map(|r| r.unwrap().num_colors)
+                        .sum::<usize>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

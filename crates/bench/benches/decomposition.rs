@@ -1,12 +1,11 @@
 //! Criterion benches for the forest-decomposition pipelines (Table 1 rows):
 //! the (1+eps)alpha pipeline of Theorem 4.6, the Barenboim-Elkin baseline and
-//! the exact centralized matroid partition.
+//! the exact centralized matroid partition — all three as `Decomposer`
+//! requests differing only in the engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use forest_decomp::baselines::barenboim_elkin_forest_decomposition;
-use forest_decomp::combine::{forest_decomposition, FdOptions};
-use forest_graph::{generators, matroid, orientation};
-use local_model::RoundLedger;
+use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, ProblemKind};
+use forest_graph::{generators, orientation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -19,31 +18,25 @@ fn bench_forest_decomposition(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(1);
         let g = generators::planted_forest_union(n, k, &mut rng);
         let alpha_star = orientation::pseudoarboricity(&g);
-        group.bench_with_input(
-            BenchmarkId::new("thm4_6_eps0.5", format!("n{n}_a{k}")),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    let mut rng = StdRng::seed_from_u64(2);
-                    forest_decomposition(g, &FdOptions::new(0.5).with_alpha(k), &mut rng).unwrap()
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("barenboim_elkin", format!("n{n}_a{k}")),
-            &g,
-            |b, g| {
-                b.iter(|| {
-                    let mut ledger = RoundLedger::new();
-                    barenboim_elkin_forest_decomposition(g, 0.5, alpha_star, &mut ledger).unwrap()
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("exact_matroid", format!("n{n}_a{k}")),
-            &g,
-            |b, g| b.iter(|| matroid::exact_forest_decomposition(g)),
-        );
+        let engines = [
+            ("thm4_6_eps0.5", Engine::HarrisSuVu, k),
+            ("barenboim_elkin", Engine::BarenboimElkin, alpha_star),
+            ("exact_matroid", Engine::ExactMatroid, k),
+        ];
+        for (label, engine, alpha) in engines {
+            // Validation off: time the pipelines, not the validators.
+            let decomposer = Decomposer::new(
+                DecompositionRequest::new(ProblemKind::Forest)
+                    .with_engine(engine)
+                    .with_epsilon(0.5)
+                    .with_alpha(alpha)
+                    .with_seed(2)
+                    .without_validation(),
+            );
+            group.bench_with_input(BenchmarkId::new(label, format!("n{n}_a{k}")), &g, |b, g| {
+                b.iter(|| decomposer.run(g).unwrap())
+            });
+        }
     }
     group.finish();
 }

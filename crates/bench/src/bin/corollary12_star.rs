@@ -1,81 +1,91 @@
 //! Regenerates Corollary 1.2: star-arboricity bounds. For simple graphs the
 //! paper shows alpha_star <= alpha + O(sqrt(log Delta) + log alpha) and
 //! alpha_liststar <= alpha + O(log Delta); the folklore bounds are
-//! alpha_star <= 2 alpha and alpha_liststar <= 4 alpha - 2.
+//! alpha_star <= 2 alpha and alpha_liststar <= 4 alpha - 2. All three
+//! constructions run through the `Decomposer` facade.
 
 use bench::{simple_suite, TextTable};
-use forest_decomp::baselines::two_color_star_forests;
-use forest_decomp::star_forest::{
-    list_star_forest_decomposition_simple, star_forest_decomposition_simple, SfdConfig,
-};
-use forest_graph::decomposition::validate_star_forest_decomposition;
-use forest_graph::{matroid, ListAssignment};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, PaletteSpec, ProblemKind};
+use forest_graph::matroid;
 
 fn main() {
     let epsilon = 0.25;
     let mut table = TextTable::new(&[
-        "workload", "alpha", "Delta", "method", "star forests", "excess over alpha",
+        "workload",
+        "alpha",
+        "Delta",
+        "method",
+        "star forests",
+        "excess over alpha",
     ]);
     for (name, g, bound) in simple_suite(99) {
         let graph = g.graph();
         let alpha = matroid::arboricity(graph);
         let delta = graph.max_degree();
-        let mut rng = StdRng::seed_from_u64(31);
+        let mut row = |method: String, colors: String, excess: String| {
+            table.row(vec![
+                name.clone(),
+                alpha.to_string(),
+                delta.to_string(),
+                method,
+                colors,
+                excess,
+            ]);
+        };
 
         // Folklore 2-alpha baseline.
-        let exact = matroid::exact_forest_decomposition(graph);
-        let naive = two_color_star_forests(graph, &exact.decomposition);
-        validate_star_forest_decomposition(graph, &naive, Some(2 * alpha)).unwrap();
-        table.row(vec![
-            name.clone(),
-            alpha.to_string(),
-            delta.to_string(),
+        let naive = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::StarForest)
+                .with_engine(Engine::Folklore2Alpha)
+                .with_seed(31),
+        )
+        .run(graph)
+        .unwrap();
+        row(
             "2-coloring of exact FD (<= 2 alpha)".into(),
-            naive.num_colors_used().to_string(),
-            format!("{:+}", naive.num_colors_used() as i64 - alpha as i64),
-        ]);
+            naive.num_colors.to_string(),
+            format!("{:+}", naive.num_colors as i64 - alpha as i64),
+        );
 
         // Section 5 SFD: alpha + O(sqrt(log Delta) + log alpha).
-        let config = SfdConfig::new(epsilon).with_alpha(bound);
-        let sfd = star_forest_decomposition_simple(&g, &config, &mut rng).unwrap();
-        validate_star_forest_decomposition(graph, &sfd.decomposition, None).unwrap();
-        table.row(vec![
-            name.clone(),
-            alpha.to_string(),
-            delta.to_string(),
+        let sfd = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::StarForest)
+                .with_epsilon(epsilon)
+                .with_alpha(bound)
+                .with_seed(31),
+        )
+        .run(graph)
+        .unwrap();
+        row(
             "Thm 5.4(1) SFD".into(),
             sfd.num_colors.to_string(),
             format!("{:+}", sfd.num_colors as i64 - alpha as i64),
-        ]);
+        );
 
         // Section 5 LSFD with palettes of size about alpha + O(log Delta).
         let palette = alpha + 2 * ((delta as f64).log2().ceil() as usize) + 4;
-        let lists =
-            ListAssignment::random(graph.num_edges(), 2 * palette, palette, &mut rng);
-        match list_star_forest_decomposition_simple(&g, &lists, &config, &mut rng) {
-            Ok(lsfd) => {
-                validate_star_forest_decomposition(graph, &lsfd.decomposition, None).unwrap();
-                table.row(vec![
-                    name.clone(),
-                    alpha.to_string(),
-                    delta.to_string(),
-                    format!("Thm 5.4(2) LSFD (palette {palette})"),
-                    lsfd.num_colors.to_string(),
-                    format!("{:+}", lsfd.num_colors as i64 - alpha as i64),
-                ]);
-            }
-            Err(err) => {
-                table.row(vec![
-                    name.clone(),
-                    alpha.to_string(),
-                    delta.to_string(),
-                    format!("Thm 5.4(2) LSFD (palette {palette})"),
-                    format!("failed: {err}"),
-                    "-".into(),
-                ]);
-            }
+        let lsfd = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::ListStarForest)
+                .with_epsilon(epsilon)
+                .with_alpha(bound)
+                .with_palettes(PaletteSpec::Random {
+                    space: 2 * palette,
+                    size: palette,
+                })
+                .with_seed(31),
+        )
+        .run(graph);
+        match lsfd {
+            Ok(report) => row(
+                format!("Thm 5.4(2) LSFD (palette {palette})"),
+                report.num_colors.to_string(),
+                format!("{:+}", report.num_colors as i64 - alpha as i64),
+            ),
+            Err(err) => row(
+                format!("Thm 5.4(2) LSFD (palette {palette})"),
+                format!("failed: {err}"),
+                "-".into(),
+            ),
         }
     }
     println!("Corollary 1.2 (measured): star-arboricity constructions, eps = {epsilon}");

@@ -34,8 +34,15 @@ fn main() {
     let lists = ListAssignment::uniform(g.num_edges(), 2);
 
     let ctx = AugmentationContext::new(&g, &lists);
-    println!("Figure 1: chord (0,{}) over two interleaved monochromatic paths", n - 1);
-    println!("  before: {} / {} edges colored, 2 colors", coloring.colored_count(), g.num_edges());
+    println!(
+        "Figure 1: chord (0,{}) over two interleaved monochromatic paths",
+        n - 1
+    );
+    println!(
+        "  before: {} / {} edges colored, 2 colors",
+        coloring.colored_count(),
+        g.num_edges()
+    );
     for c in 0..2usize {
         let blocked = ctx.color_path(&coloring, target, Color::new(c)).is_some();
         println!("    color c{c}: direct coloring closes a cycle = {blocked}");

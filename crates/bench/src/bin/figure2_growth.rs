@@ -7,8 +7,8 @@
 use bench::TextTable;
 use forest_decomp::augmenting::AugmentationContext;
 use forest_graph::decomposition::PartialEdgeColoring;
-use forest_graph::{generators, matroid, Color, EdgeId, ListAssignment, MultiGraph};
 use forest_graph::traversal::path_between;
+use forest_graph::{generators, matroid, Color, EdgeId, ListAssignment, MultiGraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,9 +20,10 @@ fn greedy_until_stuck(
 ) -> (PartialEdgeColoring, Option<EdgeId>) {
     let mut coloring = PartialEdgeColoring::new_uncolored(g.num_edges());
     for (e, u, v) in g.edges() {
-        let choice = lists.palette(e).iter().copied().find(|&c| {
-            path_between(g, u, v, |x| x != e && coloring.color(x) == Some(c)).is_none()
-        });
+        let choice =
+            lists.palette(e).iter().copied().find(|&c| {
+                path_between(g, u, v, |x| x != e && coloring.color(x) == Some(c)).is_none()
+            });
         match choice {
             Some(c) => coloring.set(e, c),
             None => return (coloring, Some(e)),

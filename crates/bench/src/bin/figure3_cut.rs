@@ -20,7 +20,12 @@ fn main() {
     let radius = 12usize;
     let view: HashSet<VertexId> = (0..5 + radius).map(VertexId::new).collect();
     let mut table = TextTable::new(&[
-        "strategy", "levels/prob", "removed", "forced", "good before forcing", "max load",
+        "strategy",
+        "levels/prob",
+        "removed",
+        "forced",
+        "good before forcing",
+        "max load",
     ]);
     for levels in [3usize, 6, 12] {
         let mut state = CutState::new(g.num_vertices());

@@ -12,12 +12,25 @@ use rand::SeedableRng;
 
 fn main() {
     let mut table = TextTable::new(&[
-        "workload", "eps", "target", "diameter before", "diameter after", "extra colors",
+        "workload",
+        "eps",
+        "target",
+        "diameter before",
+        "diameter after",
+        "extra colors",
         "ceil(eps*alpha)",
     ]);
     let workloads = vec![
-        ("fat-path len=300 mult=4", generators::fat_path(300, 4), 4usize),
-        ("fat-path len=300 mult=8", generators::fat_path(300, 8), 8usize),
+        (
+            "fat-path len=300 mult=4",
+            generators::fat_path(300, 4),
+            4usize,
+        ),
+        (
+            "fat-path len=300 mult=8",
+            generators::fat_path(300, 8),
+            8usize,
+        ),
         ("path n=400", generators::path(400), 1usize),
     ];
     for (name, g, _alpha_hint) in workloads {

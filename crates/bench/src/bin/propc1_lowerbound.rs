@@ -1,33 +1,39 @@
 //! Regenerates the Proposition C.1 lower bound: on the fat-path multigraph,
 //! any alpha(1+eps)-forest decomposition has a tree of diameter Omega(1/eps).
-//! We sweep eps, run the bounded-diameter pipeline, and print the achieved
-//! diameter next to the theoretical 1/eps scale.
+//! We sweep eps, run the bounded-diameter pipeline through the `Decomposer`,
+//! and print the achieved diameter next to the theoretical 1/eps scale.
 
 use bench::TextTable;
-use forest_decomp::combine::{forest_decomposition, FdOptions};
+use forest_decomp::api::{Decomposer, DecompositionRequest, ProblemKind};
 use forest_decomp::DiameterTarget;
 use forest_graph::generators;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let multiplicity = 4usize;
     let g = generators::fat_path(400, multiplicity);
     let mut table = TextTable::new(&[
-        "eps", "colors used", "color budget (1+eps)alpha", "measured diameter", "1/(4 eps)",
+        "eps",
+        "colors used",
+        "color budget (1+eps)alpha",
+        "measured diameter",
+        "1/(4 eps)",
     ]);
     for epsilon in [0.5f64, 0.25, 0.125, 0.0625] {
-        let mut rng = StdRng::seed_from_u64(12345);
-        let options = FdOptions::new(epsilon)
-            .with_alpha(multiplicity)
-            .with_diameter_target(DiameterTarget::OneOverEpsilon);
-        let result = forest_decomposition(&g, &options, &mut rng).unwrap();
+        let report = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_epsilon(epsilon)
+                .with_alpha(multiplicity)
+                .with_diameter_target(DiameterTarget::OneOverEpsilon)
+                .with_seed(12345),
+        )
+        .run(&g)
+        .unwrap();
         let budget = ((1.0 + epsilon) * multiplicity as f64).ceil() as usize;
         table.row(vec![
             format!("{epsilon}"),
-            result.num_colors.to_string(),
+            report.num_colors.to_string(),
             budget.to_string(),
-            result.max_diameter.to_string(),
+            report.max_diameter.to_string(),
             format!("{:.1}", 1.0 / (4.0 * epsilon)),
         ]);
     }

@@ -1,88 +1,85 @@
 //! Regenerates Table 1 of the paper: the trade-off matrix between excess
 //! colors, list support, measured LOCAL rounds and forest diameter for the
-//! `(1+eps)alpha`-FD / LFD algorithms, next to the Barenboim-Elkin baseline.
+//! `(1+eps)alpha`-FD / LFD algorithms, next to the Barenboim-Elkin baseline —
+//! every row produced by the same `Decomposer` request shape.
 
 use bench::{multigraph_suite, TextTable};
-use forest_decomp::combine::{forest_decomposition, list_forest_decomposition, FdOptions};
-use forest_decomp::baselines::barenboim_elkin_forest_decomposition;
+use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, PaletteSpec, ProblemKind};
 use forest_decomp::DiameterTarget;
-use forest_graph::decomposition::max_forest_diameter;
-use forest_graph::{matroid, orientation, ListAssignment};
-use local_model::RoundLedger;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forest_graph::{matroid, orientation};
 
 fn main() {
     let epsilon = 0.5;
     let mut table = TextTable::new(&[
-        "workload", "algorithm", "lists", "alpha", "colors", "excess", "rounds", "diameter",
+        "workload",
+        "algorithm",
+        "lists",
+        "alpha",
+        "colors",
+        "excess",
+        "rounds",
+        "diameter",
     ]);
     for workload in multigraph_suite(42) {
         let g = &workload.graph;
         let alpha = matroid::arboricity(g);
         let alpha_star = orientation::pseudoarboricity(g);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut row = |label: &str, lists: &str, report: &forest_decomp::DecompositionReport| {
+            table.row(vec![
+                workload.name.clone(),
+                label.into(),
+                lists.into(),
+                alpha.to_string(),
+                report.num_colors.to_string(),
+                format!("{:+}", report.num_colors as i64 - alpha as i64),
+                report.ledger.total_rounds().to_string(),
+                report.max_diameter.to_string(),
+            ]);
+        };
 
         // Baseline: Barenboim-Elkin (2+eps)alpha*-FD.
-        let mut ledger = RoundLedger::new();
-        let baseline =
-            barenboim_elkin_forest_decomposition(g, epsilon, alpha_star, &mut ledger).unwrap();
-        let diam = max_forest_diameter(g, &baseline.decomposition.to_partial());
-        table.row(vec![
-            workload.name.clone(),
-            "BE10 (2+eps)a*-FD".into(),
-            "no".into(),
-            alpha.to_string(),
-            baseline.decomposition.num_colors_used().to_string(),
-            format!("{:+}", baseline.decomposition.num_colors_used() as i64 - alpha as i64),
-            baseline.rounds.to_string(),
-            diam.to_string(),
-        ]);
+        let baseline = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_engine(Engine::BarenboimElkin)
+                .with_epsilon(epsilon)
+                .with_alpha(alpha_star)
+                .with_seed(7),
+        )
+        .run(g)
+        .unwrap();
+        row("BE10 (2+eps)a*-FD", "no", &baseline);
 
         // Theorem 4.6: (1+eps)alpha-FD (unbounded diameter row of Table 1).
-        let options = FdOptions::new(epsilon).with_alpha(workload.alpha_bound);
-        let fd = forest_decomposition(g, &options, &mut rng).unwrap();
-        table.row(vec![
-            workload.name.clone(),
-            "Thm 4.6 (1+eps)a-FD".into(),
-            "no".into(),
-            alpha.to_string(),
-            fd.num_colors.to_string(),
-            format!("{:+}", fd.num_colors as i64 - alpha as i64),
-            fd.ledger.total_rounds().to_string(),
-            fd.max_diameter.to_string(),
-        ]);
+        let request = DecompositionRequest::new(ProblemKind::Forest)
+            .with_epsilon(epsilon)
+            .with_alpha(workload.alpha_bound)
+            .with_seed(7);
+        let fd = Decomposer::new(request.clone()).run(g).unwrap();
+        row("Thm 4.6 (1+eps)a-FD", "no", &fd);
 
         // Theorem 4.6 + Corollary 2.5: bounded diameter O(1/eps).
-        let options = FdOptions::new(epsilon)
-            .with_alpha(workload.alpha_bound)
-            .with_diameter_target(DiameterTarget::OneOverEpsilon);
-        let fd = forest_decomposition(g, &options, &mut rng).unwrap();
-        table.row(vec![
-            workload.name.clone(),
-            "Thm 4.6 + diam O(1/eps)".into(),
-            "no".into(),
-            alpha.to_string(),
-            fd.num_colors.to_string(),
-            format!("{:+}", fd.num_colors as i64 - alpha as i64),
-            fd.ledger.total_rounds().to_string(),
-            fd.max_diameter.to_string(),
-        ]);
+        let fd = Decomposer::new(
+            request
+                .clone()
+                .with_diameter_target(DiameterTarget::OneOverEpsilon),
+        )
+        .run(g)
+        .unwrap();
+        row("Thm 4.6 + diam O(1/eps)", "no", &fd);
 
         // Theorem 4.10: list version with palettes of size 2(alpha+1).
-        let lists = ListAssignment::uniform(g.num_edges(), 2 * (alpha + 1));
-        let options = FdOptions::new(epsilon).with_alpha(alpha);
-        let lfd = list_forest_decomposition(g, &lists, &options, &mut rng).unwrap();
-        table.row(vec![
-            workload.name.clone(),
-            "Thm 4.10 (1+eps)a-LFD".into(),
-            "yes".into(),
-            alpha.to_string(),
-            lfd.num_colors.to_string(),
-            format!("{:+}", lfd.num_colors as i64 - alpha as i64),
-            lfd.ledger.total_rounds().to_string(),
-            lfd.max_diameter.to_string(),
-        ]);
+        let lfd = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::ListForest)
+                .with_epsilon(epsilon)
+                .with_alpha(alpha)
+                .with_palettes(PaletteSpec::Uniform {
+                    colors: 2 * (alpha + 1),
+                })
+                .with_seed(7),
+        )
+        .run(g)
+        .unwrap();
+        row("Thm 4.10 (1+eps)a-LFD", "yes", &lfd);
     }
     println!("Table 1 (measured): (1+eps)alpha forest decomposition trade-offs, eps = {epsilon}");
     println!("{}", table.render());

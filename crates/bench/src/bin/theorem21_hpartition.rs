@@ -13,8 +13,15 @@ use local_model::RoundLedger;
 
 fn main() {
     let mut table = TextTable::new(&[
-        "workload", "eps", "alpha*", "t", "classes", "rounds", "orientation out-deg",
-        "3t-SFD colors", "t-LFD ok",
+        "workload",
+        "eps",
+        "alpha*",
+        "t",
+        "classes",
+        "rounds",
+        "orientation out-deg",
+        "3t-SFD colors",
+        "t-LFD ok",
     ]);
     for workload in multigraph_suite(5) {
         let g = &workload.graph;

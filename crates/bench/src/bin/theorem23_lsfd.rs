@@ -13,7 +13,13 @@ use rand::SeedableRng;
 fn main() {
     let epsilon = 0.25;
     let mut table = TextTable::new(&[
-        "workload", "alpha", "alpha*", "palette size", "4*alpha-2", "colors used", "rounds",
+        "workload",
+        "alpha",
+        "alpha*",
+        "palette size",
+        "4*alpha-2",
+        "colors used",
+        "rounds",
     ]);
     for workload in multigraph_suite(13) {
         let g = &workload.graph;
@@ -24,8 +30,9 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(3);
         let lists = ListAssignment::random(g.num_edges(), 2 * palette, palette, &mut rng);
         let mut ledger = RoundLedger::new();
-        let out = list_star_forest_decomposition_degeneracy(g, &lists, epsilon, alpha_star, &mut ledger)
-            .unwrap();
+        let out =
+            list_star_forest_decomposition_degeneracy(g, &lists, epsilon, alpha_star, &mut ledger)
+                .unwrap();
         let fd = out.coloring.clone().into_complete().unwrap();
         validate_star_forest_decomposition(g, &fd, None).unwrap();
         table.row(vec![

@@ -1,21 +1,26 @@
 //! Regenerates the Theorem 5.4 measurement: star-forest decomposition of
 //! simple graphs with excess colors O(sqrt(log Delta) + log alpha), and the
-//! list variant with excess O(log Delta); reports matching quality, LLL
-//! rounds and leftover sizes across the alpha regimes.
+//! list variant with excess O(log Delta); reports matching quality, leftover
+//! sizes and the charged LLL round cost across the alpha regimes. Both
+//! variants run through the `Decomposer` facade.
 
 use bench::{simple_suite, TextTable};
-use forest_decomp::star_forest::{
-    list_star_forest_decomposition_simple, star_forest_decomposition_simple, SfdConfig,
-};
-use forest_graph::decomposition::validate_star_forest_decomposition;
-use forest_graph::{matroid, ListAssignment};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use forest_decomp::api::{Decomposer, DecompositionRequest, PaletteSpec, ProblemKind};
+
+use forest_graph::matroid;
 
 fn main() {
     let mut table = TextTable::new(&[
-        "workload", "variant", "eps", "alpha", "sqrt(logD)+log(a)", "colors", "excess",
-        "leftover", "LLL rounds", "rounds",
+        "workload",
+        "variant",
+        "eps",
+        "alpha",
+        "sqrt(logD)+log(a)",
+        "colors",
+        "excess",
+        "leftover",
+        "LLL charge",
+        "rounds",
     ]);
     for (name, g, bound) in simple_suite(7) {
         let graph = g.graph();
@@ -23,10 +28,15 @@ fn main() {
         let delta = graph.max_degree() as f64;
         let reference = delta.log2().sqrt() + (alpha as f64).log2().max(0.0);
         for epsilon in [0.5f64, 0.25] {
-            let mut rng = StdRng::seed_from_u64(19);
-            let config = SfdConfig::new(epsilon).with_alpha(bound);
-            let sfd = star_forest_decomposition_simple(&g, &config, &mut rng).unwrap();
-            validate_star_forest_decomposition(graph, &sfd.decomposition, None).unwrap();
+            let sfd = Decomposer::new(
+                DecompositionRequest::new(ProblemKind::StarForest)
+                    .with_epsilon(epsilon)
+                    .with_alpha(bound)
+                    .with_seed(19),
+            )
+            .run(graph)
+            .unwrap();
+            let lll_charge = sfd.ledger.rounds_for(|label| label.contains("LLL"));
             table.row(vec![
                 name.clone(),
                 "SFD".into(),
@@ -36,26 +46,36 @@ fn main() {
                 sfd.num_colors.to_string(),
                 format!("{:+}", sfd.num_colors as i64 - alpha as i64),
                 sfd.leftover_edges.to_string(),
-                sfd.lll_rounds.to_string(),
+                lll_charge.to_string(),
                 sfd.ledger.total_rounds().to_string(),
             ]);
             // List variant with palettes of size alpha + O(log Delta).
             let palette = alpha + 2 * (delta.log2().ceil() as usize) + 4;
-            let lists = ListAssignment::random(graph.num_edges(), 2 * palette, palette, &mut rng);
-            match list_star_forest_decomposition_simple(&g, &lists, &config, &mut rng) {
-                Ok(lsfd) => {
-                    validate_star_forest_decomposition(graph, &lsfd.decomposition, None).unwrap();
+            let lsfd = Decomposer::new(
+                DecompositionRequest::new(ProblemKind::ListStarForest)
+                    .with_epsilon(epsilon)
+                    .with_alpha(bound)
+                    .with_palettes(PaletteSpec::Random {
+                        space: 2 * palette,
+                        size: palette,
+                    })
+                    .with_seed(19),
+            )
+            .run(graph);
+            match lsfd {
+                Ok(report) => {
+                    let lll_charge = report.ledger.rounds_for(|label| label.contains("LLL"));
                     table.row(vec![
                         name.clone(),
                         "LSFD".into(),
                         format!("{epsilon}"),
                         alpha.to_string(),
                         format!("{reference:.1}"),
-                        lsfd.num_colors.to_string(),
-                        format!("{:+}", lsfd.num_colors as i64 - alpha as i64),
-                        lsfd.leftover_edges.to_string(),
-                        lsfd.lll_rounds.to_string(),
-                        lsfd.ledger.total_rounds().to_string(),
+                        report.num_colors.to_string(),
+                        format!("{:+}", report.num_colors as i64 - alpha as i64),
+                        report.leftover_edges.to_string(),
+                        lll_charge.to_string(),
+                        report.ledger.total_rounds().to_string(),
                     ]);
                 }
                 Err(err) => {

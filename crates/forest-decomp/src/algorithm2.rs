@@ -142,6 +142,12 @@ fn derived_radius(n: usize, epsilon: f64) -> usize {
 /// Returns an error for invalid `ε`, palettes that are too small, or when an
 /// augmentation cannot be completed even without locality restriction (which
 /// indicates the arboricity bound is wrong).
+#[deprecated(
+    since = "0.2.0",
+    note = "drive Algorithm 2 through api::Decomposer (ProblemKind::Forest or \
+            ProblemKind::ListForest + Engine::HarrisSuVu); the raw phase remains \
+            available for the combine pipelines"
+)]
 pub fn algorithm2<R: Rng + ?Sized>(
     g: &MultiGraph,
     lists: &ListAssignment,
@@ -195,10 +201,9 @@ pub fn algorithm2<R: Rng + ?Sized>(
         },
         CutStrategyKind::ConditionedSampling => {
             let load_cap = ((config.epsilon * config.alpha as f64).ceil() as usize).max(1);
-            let probability =
-                ((config.alpha as f64) * (costs::ln_ceil(n).max(1) as f64)
-                    / (0.5 * cut_radius as f64))
-                    .clamp(0.05, 1.0);
+            let probability = ((config.alpha as f64) * (costs::ln_ceil(n).max(1) as f64)
+                / (0.5 * cut_radius as f64))
+                .clamp(0.05, 1.0);
             CutStrategy::ConditionedSampling {
                 probability,
                 load_cap,
@@ -323,9 +328,7 @@ pub fn algorithm2<R: Rng + ?Sized>(
             let cluster_set: HashSet<VertexId> = cluster.iter().copied().collect();
             let view_edges: HashSet<EdgeId> = g
                 .edges()
-                .filter(|(e, u, v)| {
-                    !removed.contains(e) && view.contains(u) && view.contains(v)
-                })
+                .filter(|(e, u, v)| !removed.contains(e) && view.contains(u) && view.contains(v))
                 .map(|(e, _, _)| e)
                 .collect();
             let restricted = AugmentationContext::restricted(g, lists, &view_edges);
@@ -372,6 +375,7 @@ pub fn algorithm2<R: Rng + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests exercise the historical entrypoints directly
 mod tests {
     use super::*;
     use forest_graph::decomposition::{
@@ -399,10 +403,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let g = generators::planted_forest_union(48, 3, &mut rng);
         let alpha = matroid::arboricity(&g);
-        let lists = ListAssignment::uniform(
-            g.num_edges(),
-            ((1.5) * alpha as f64).ceil() as usize,
-        );
+        let lists = ListAssignment::uniform(g.num_edges(), ((1.5) * alpha as f64).ceil() as usize);
         let config = Algorithm2Config::new(0.5, alpha);
         let out = algorithm2(&g, &lists, &config, &mut rng).unwrap();
         check_output(&g, &lists, &out);

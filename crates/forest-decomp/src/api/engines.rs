@@ -1,0 +1,367 @@
+//! Engine adapters: the [`DecompositionEngine`] trait and one adapter per
+//! [`Engine`], wrapping the pre-facade pipeline entrypoints.
+
+#![allow(deprecated)] // the adapters wrap the deprecated free-function shims
+
+use super::report::Artifact;
+use super::{DecompositionRequest, Engine, ProblemKind};
+use crate::baselines::{barenboim_elkin_forest_decomposition, two_color_star_forests};
+use crate::combine::{forest_decomposition, list_forest_decomposition, FdOptions};
+use crate::error::FdError;
+use crate::orientation::orientation_from_decomposition;
+use crate::star_forest::{
+    list_star_forest_decomposition_simple, star_forest_decomposition_simple, SfdConfig,
+};
+use forest_graph::decomposition::max_forest_diameter;
+use forest_graph::{ForestDecomposition, ListAssignment, MultiGraph, SimpleGraph};
+use local_model::RoundLedger;
+use rand::rngs::SmallRng;
+
+/// What an engine adapter hands back to the [`Decomposer`](super::Decomposer)
+/// for packaging into a [`DecompositionReport`](super::DecompositionReport).
+#[derive(Clone, Debug)]
+pub struct EngineOutcome {
+    /// The produced artifact.
+    pub artifact: Artifact,
+    /// The arboricity (or pseudo-arboricity) bound the run was based on.
+    pub arboricity: usize,
+    /// Colors / forests used.
+    pub num_colors: usize,
+    /// Maximum tree diameter of the (underlying) decomposition.
+    pub max_diameter: usize,
+    /// Edges that went through a leftover/recoloring phase.
+    pub leftover_edges: usize,
+    /// Round accounting.
+    pub ledger: RoundLedger,
+}
+
+/// One algorithm family, adapted to the uniform request/outcome shape.
+///
+/// This is the seam later subsystems (server, sharding, caching) plug into:
+/// implementing the trait and registering the engine is all a new pipeline
+/// needs to be reachable from the facade.
+pub trait DecompositionEngine: Sync {
+    /// The engine this adapter implements.
+    fn engine(&self) -> Engine;
+
+    /// Whether the engine can solve `problem` at all.
+    fn supports(&self, problem: ProblemKind) -> bool;
+
+    /// Runs the engine. `lists` is `Some` exactly for list problems (resolved
+    /// by the `Decomposer` from the request's [`PaletteSpec`](super::PaletteSpec)).
+    fn execute(
+        &self,
+        g: &MultiGraph,
+        request: &DecompositionRequest,
+        lists: Option<&ListAssignment>,
+        rng: &mut SmallRng,
+    ) -> Result<EngineOutcome, FdError>;
+}
+
+/// Returns the adapter for `engine`.
+pub(super) fn engine_for(engine: Engine) -> &'static dyn DecompositionEngine {
+    match engine {
+        Engine::HarrisSuVu => &HarrisSuVuEngine,
+        Engine::BarenboimElkin => &BarenboimElkinEngine,
+        Engine::Folklore2Alpha => &Folklore2AlphaEngine,
+        Engine::ExactMatroid => &ExactMatroidEngine,
+    }
+}
+
+fn unsupported(problem: ProblemKind, engine: Engine) -> FdError {
+    FdError::UnsupportedCombination { problem, engine }
+}
+
+fn fd_options(request: &DecompositionRequest) -> FdOptions {
+    let mut options = FdOptions::new(request.epsilon);
+    options.alpha = request.alpha;
+    options.cut = request.cut;
+    options.diameter_target = request.diameter_target;
+    options.radii = request.radii;
+    options
+}
+
+fn resolved_alpha(g: &MultiGraph, request: &DecompositionRequest) -> usize {
+    request
+        .alpha
+        .unwrap_or_else(|| forest_graph::matroid::arboricity(g))
+        .max(1)
+}
+
+fn simple_view(g: &MultiGraph) -> Result<SimpleGraph, FdError> {
+    // Cheap borrowing check first so the error path never pays the clone;
+    // eliminating the clone on the success path too needs a borrowing
+    // SimpleGraph view in the graph substrate.
+    if !g.is_simple() {
+        return Err(FdError::NotSimple);
+    }
+    SimpleGraph::try_from_multigraph(g.clone()).map_err(|_| FdError::NotSimple)
+}
+
+fn required_lists(
+    lists: Option<&ListAssignment>,
+    problem: ProblemKind,
+) -> Result<&ListAssignment, FdError> {
+    lists.ok_or(FdError::MissingPalettes { problem })
+}
+
+fn decomposition_outcome(
+    g: &MultiGraph,
+    decomposition: ForestDecomposition,
+    arboricity: usize,
+    leftover_edges: usize,
+    ledger: RoundLedger,
+) -> EngineOutcome {
+    let num_colors = decomposition.num_colors_used();
+    let max_diameter = max_forest_diameter(g, &decomposition.to_partial());
+    EngineOutcome {
+        artifact: Artifact::Decomposition(decomposition),
+        arboricity,
+        num_colors,
+        max_diameter,
+        leftover_edges,
+        ledger,
+    }
+}
+
+/// Turns a complete forest decomposition into an orientation outcome by
+/// rooting every tree and orienting toward the root (Corollary 1.1).
+fn orient_outcome(g: &MultiGraph, outcome: EngineOutcome) -> EngineOutcome {
+    let EngineOutcome {
+        artifact,
+        arboricity,
+        num_colors,
+        max_diameter,
+        leftover_edges,
+        mut ledger,
+    } = outcome;
+    let decomposition = match artifact {
+        Artifact::Decomposition(fd) => fd,
+        Artifact::Orientation { .. } => unreachable!("orient_outcome takes decompositions"),
+    };
+    ledger.charge("orient each tree toward its root", max_diameter.max(1));
+    let orientation = orientation_from_decomposition(g, &decomposition);
+    let max_out_degree = orientation.max_out_degree(g);
+    EngineOutcome {
+        artifact: Artifact::Orientation {
+            orientation,
+            max_out_degree,
+        },
+        arboricity,
+        num_colors,
+        max_diameter,
+        leftover_edges,
+        ledger,
+    }
+}
+
+/// The paper's `(1+ε)α` pipelines (Theorems 4.6, 4.10, 5.4, Corollary 1.1).
+pub struct HarrisSuVuEngine;
+
+impl HarrisSuVuEngine {
+    fn forest(
+        &self,
+        g: &MultiGraph,
+        request: &DecompositionRequest,
+        rng: &mut SmallRng,
+    ) -> Result<EngineOutcome, FdError> {
+        let result = forest_decomposition(g, &fd_options(request), rng)?;
+        Ok(EngineOutcome {
+            artifact: Artifact::Decomposition(result.decomposition),
+            arboricity: result.arboricity,
+            num_colors: result.num_colors,
+            max_diameter: result.max_diameter,
+            leftover_edges: result.leftover_edges,
+            ledger: result.ledger,
+        })
+    }
+}
+
+impl DecompositionEngine for HarrisSuVuEngine {
+    fn engine(&self) -> Engine {
+        Engine::HarrisSuVu
+    }
+
+    fn supports(&self, _problem: ProblemKind) -> bool {
+        true
+    }
+
+    fn execute(
+        &self,
+        g: &MultiGraph,
+        request: &DecompositionRequest,
+        lists: Option<&ListAssignment>,
+        rng: &mut SmallRng,
+    ) -> Result<EngineOutcome, FdError> {
+        match request.problem {
+            ProblemKind::Forest => self.forest(g, request, rng),
+            ProblemKind::Orientation => {
+                let forest = self.forest(g, request, rng)?;
+                Ok(orient_outcome(g, forest))
+            }
+            ProblemKind::ListForest => {
+                let lists = required_lists(lists, request.problem)?;
+                let result = list_forest_decomposition(g, lists, &fd_options(request), rng)?;
+                let decomposition = result.coloring.into_complete()?;
+                Ok(EngineOutcome {
+                    artifact: Artifact::Decomposition(decomposition),
+                    arboricity: result.arboricity,
+                    num_colors: result.num_colors,
+                    max_diameter: result.max_diameter,
+                    leftover_edges: result.leftover_edges,
+                    ledger: result.ledger,
+                })
+            }
+            ProblemKind::StarForest => {
+                let simple = simple_view(g)?;
+                let alpha = resolved_alpha(g, request);
+                let config = SfdConfig::new(request.epsilon).with_alpha(alpha);
+                let result = star_forest_decomposition_simple(&simple, &config, rng)?;
+                Ok(decomposition_outcome(
+                    g,
+                    result.decomposition,
+                    alpha,
+                    result.leftover_edges,
+                    result.ledger,
+                ))
+            }
+            ProblemKind::ListStarForest => {
+                let lists = required_lists(lists, request.problem)?;
+                let simple = simple_view(g)?;
+                let alpha = resolved_alpha(g, request);
+                let config = SfdConfig::new(request.epsilon).with_alpha(alpha);
+                let result = list_star_forest_decomposition_simple(&simple, lists, &config, rng)?;
+                Ok(decomposition_outcome(
+                    g,
+                    result.decomposition,
+                    alpha,
+                    result.leftover_edges,
+                    result.ledger,
+                ))
+            }
+        }
+    }
+}
+
+/// The `(2+ε)α*` H-partition baseline [BE10].
+pub struct BarenboimElkinEngine;
+
+impl BarenboimElkinEngine {
+    fn forest(
+        &self,
+        g: &MultiGraph,
+        request: &DecompositionRequest,
+    ) -> Result<EngineOutcome, FdError> {
+        let bound = request
+            .alpha
+            .unwrap_or_else(|| forest_graph::orientation::pseudoarboricity(g))
+            .max(1);
+        let mut ledger = RoundLedger::new();
+        let baseline =
+            barenboim_elkin_forest_decomposition(g, request.epsilon, bound, &mut ledger)?;
+        Ok(decomposition_outcome(
+            g,
+            baseline.decomposition,
+            bound,
+            0,
+            ledger,
+        ))
+    }
+}
+
+impl DecompositionEngine for BarenboimElkinEngine {
+    fn engine(&self) -> Engine {
+        Engine::BarenboimElkin
+    }
+
+    fn supports(&self, problem: ProblemKind) -> bool {
+        matches!(problem, ProblemKind::Forest | ProblemKind::Orientation)
+    }
+
+    fn execute(
+        &self,
+        g: &MultiGraph,
+        request: &DecompositionRequest,
+        _lists: Option<&ListAssignment>,
+        _rng: &mut SmallRng,
+    ) -> Result<EngineOutcome, FdError> {
+        match request.problem {
+            ProblemKind::Forest => self.forest(g, request),
+            ProblemKind::Orientation => {
+                let forest = self.forest(g, request)?;
+                Ok(orient_outcome(g, forest))
+            }
+            other => Err(unsupported(other, self.engine())),
+        }
+    }
+}
+
+/// The folklore `α_star ≤ 2α` construction: exact decomposition plus
+/// depth-parity two-coloring.
+pub struct Folklore2AlphaEngine;
+
+impl DecompositionEngine for Folklore2AlphaEngine {
+    fn engine(&self) -> Engine {
+        Engine::Folklore2Alpha
+    }
+
+    fn supports(&self, problem: ProblemKind) -> bool {
+        matches!(problem, ProblemKind::StarForest)
+    }
+
+    fn execute(
+        &self,
+        g: &MultiGraph,
+        request: &DecompositionRequest,
+        _lists: Option<&ListAssignment>,
+        _rng: &mut SmallRng,
+    ) -> Result<EngineOutcome, FdError> {
+        if request.problem != ProblemKind::StarForest {
+            return Err(unsupported(request.problem, self.engine()));
+        }
+        let exact = forest_graph::matroid::exact_forest_decomposition(g);
+        let stars = two_color_star_forests(g, &exact.decomposition);
+        let mut ledger = RoundLedger::new();
+        ledger.charge(
+            "centralized exact decomposition + two-coloring (non-LOCAL)",
+            0,
+        );
+        Ok(decomposition_outcome(g, stars, exact.arboricity, 0, ledger))
+    }
+}
+
+/// The centralized Gabow–Westermann matroid partition (exact `α`).
+pub struct ExactMatroidEngine;
+
+impl ExactMatroidEngine {
+    fn forest(&self, g: &MultiGraph) -> EngineOutcome {
+        let exact = forest_graph::matroid::exact_forest_decomposition(g);
+        let mut ledger = RoundLedger::new();
+        ledger.charge("centralized matroid partition (non-LOCAL)", 0);
+        decomposition_outcome(g, exact.decomposition, exact.arboricity, 0, ledger)
+    }
+}
+
+impl DecompositionEngine for ExactMatroidEngine {
+    fn engine(&self) -> Engine {
+        Engine::ExactMatroid
+    }
+
+    fn supports(&self, problem: ProblemKind) -> bool {
+        matches!(problem, ProblemKind::Forest | ProblemKind::Orientation)
+    }
+
+    fn execute(
+        &self,
+        g: &MultiGraph,
+        request: &DecompositionRequest,
+        _lists: Option<&ListAssignment>,
+        _rng: &mut SmallRng,
+    ) -> Result<EngineOutcome, FdError> {
+        match request.problem {
+            ProblemKind::Forest => Ok(self.forest(g)),
+            ProblemKind::Orientation => Ok(orient_outcome(g, self.forest(g))),
+            other => Err(unsupported(other, self.engine())),
+        }
+    }
+}

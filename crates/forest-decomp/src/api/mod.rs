@@ -1,0 +1,327 @@
+//! The unified `Decomposer` facade: one request/report API over every
+//! decomposition pipeline in this crate.
+//!
+//! The Harris–Su–Vu paper is one family of algorithms, and this module makes
+//! it look like one: a [`DecompositionRequest`] says *what* to solve (a
+//! [`ProblemKind`]), *how* (an [`Engine`] plus shared knobs) and *under which
+//! seed*; a [`Decomposer`] executes it on any [`MultiGraph`] and returns one
+//! [`DecompositionReport`] shape regardless of pipeline. Every `(problem,
+//! engine)` pair either runs or fails with the typed
+//! [`FdError::UnsupportedCombination`] — never a panic.
+//!
+//! Reproducibility is first-class: a run derives an owned
+//! [`SmallRng`](rand::rngs::SmallRng) from the request seed, so the same
+//! request on the same graph produces a byte-identical report
+//! ([`DecompositionReport::canonical_bytes`]). Batch throughput is
+//! first-class too: [`Decomposer::run_batch`] fans one request across many
+//! graphs on all cores with per-graph derived seeds ([`derive_seed`]).
+//!
+//! ```
+//! use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, ProblemKind};
+//! use forest_decomp::api::Validate;
+//! use forest_graph::generators;
+//!
+//! let g = generators::fat_path(64, 3);
+//! let request = DecompositionRequest::new(ProblemKind::Forest)
+//!     .with_engine(Engine::HarrisSuVu)
+//!     .with_epsilon(0.5)
+//!     .with_alpha(3)
+//!     .with_seed(42);
+//! let report = Decomposer::new(request).run(&g)?;
+//! assert!(report.num_colors >= 3);
+//! report.validate(&g)?;
+//! # Ok::<(), forest_decomp::FdError>(())
+//! ```
+
+mod engines;
+mod report;
+mod request;
+
+pub use engines::{DecompositionEngine, EngineOutcome};
+pub use report::{Artifact, DecompositionReport, Validate, ValidationStatus};
+pub use request::{DecompositionRequest, Engine, PaletteSpec, ProblemKind};
+
+use crate::error::FdError;
+use forest_graph::{ListAssignment, MultiGraph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// Derives the seed used for graph `index` of a batch run with base seed
+/// `base`.
+///
+/// Index 0 maps to `base` itself, so `run_batch(&[g])` is exactly
+/// equivalent to `run(&g)`; later indices are mixed through a SplitMix64
+/// finalizer so the per-graph streams are independent.
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    if index == 0 {
+        return base;
+    }
+    let mut z = base
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x243F_6A88_85A3_08D3);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Executes [`DecompositionRequest`]s: the single entrypoint over every
+/// pipeline in this crate.
+#[derive(Clone, Debug)]
+pub struct Decomposer {
+    request: DecompositionRequest,
+}
+
+impl Decomposer {
+    /// A decomposer executing `request`.
+    pub fn new(request: DecompositionRequest) -> Self {
+        Decomposer { request }
+    }
+
+    /// The request this decomposer executes.
+    pub fn request(&self) -> &DecompositionRequest {
+        &self.request
+    }
+
+    /// Runs the request on one graph with the request's own seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FdError::UnsupportedCombination`] for an engine that cannot
+    /// solve the requested problem, and propagates every pipeline error;
+    /// the facade never panics on any `(problem, engine)` pair.
+    pub fn run(&self, g: &MultiGraph) -> Result<DecompositionReport, FdError> {
+        self.run_seeded(g, self.request.seed)
+    }
+
+    /// Runs the request across many graphs in parallel (one rayon task per
+    /// graph), graph `i` using [`derive_seed`]`(request.seed, i)`. Results
+    /// come back in input order; per-graph failures do not abort the batch.
+    pub fn run_batch(&self, graphs: &[MultiGraph]) -> Vec<Result<DecompositionReport, FdError>> {
+        let indexed: Vec<(u64, &MultiGraph)> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (i as u64, g))
+            .collect();
+        indexed
+            .par_iter()
+            .map(|(i, g)| self.run_seeded(g, derive_seed(self.request.seed, *i)))
+            .collect()
+    }
+
+    fn run_seeded(&self, g: &MultiGraph, seed: u64) -> Result<DecompositionReport, FdError> {
+        let start = Instant::now();
+        let request = &self.request;
+        let engine = engines::engine_for(request.engine);
+        if !engine.supports(request.problem) {
+            return Err(FdError::UnsupportedCombination {
+                problem: request.problem,
+                engine: request.engine,
+            });
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (lists, resolved_alpha) = self.resolve_lists(g, &mut rng)?;
+        // If palette resolution already paid for the exact arboricity, hand
+        // the value to the engine instead of letting it recompute it.
+        let effective;
+        let request = match resolved_alpha {
+            Some(alpha) if request.alpha.is_none() => {
+                effective = request.clone().with_alpha(alpha);
+                &effective
+            }
+            _ => request,
+        };
+        let outcome = engine.execute(g, request, lists.as_ref(), &mut rng)?;
+        let mut report = DecompositionReport {
+            problem: request.problem,
+            engine: request.engine,
+            seed,
+            num_edges: g.num_edges(),
+            artifact: outcome.artifact,
+            lists,
+            arboricity: outcome.arboricity,
+            num_colors: outcome.num_colors,
+            max_diameter: outcome.max_diameter,
+            leftover_edges: outcome.leftover_edges,
+            ledger: outcome.ledger,
+            wall_clock: start.elapsed(),
+            validation: ValidationStatus::Skipped,
+        };
+        if request.validate {
+            report.validate(g)?;
+            report.validation = ValidationStatus::Validated;
+        }
+        Ok(report)
+    }
+
+    /// Materializes the palettes for list problems (`None` otherwise). Also
+    /// returns the exact arboricity when sizing the auto palettes had to
+    /// compute it, so the run can reuse it instead of computing it twice.
+    #[allow(clippy::type_complexity)]
+    fn resolve_lists(
+        &self,
+        g: &MultiGraph,
+        rng: &mut SmallRng,
+    ) -> Result<(Option<ListAssignment>, Option<usize>), FdError> {
+        let request = &self.request;
+        if !request.problem.is_list() {
+            return Ok((None, None));
+        }
+        let m = g.num_edges();
+        let mut computed_alpha = None;
+        let lists = match &request.palettes {
+            PaletteSpec::Auto => {
+                let alpha = request.alpha.unwrap_or_else(|| {
+                    let exact = forest_graph::matroid::arboricity(g);
+                    computed_alpha = Some(exact.max(1));
+                    exact
+                });
+                let alpha = alpha.max(1);
+                match request.problem {
+                    ProblemKind::ListForest => ListAssignment::uniform(m, 2 * (alpha + 1)),
+                    _ => {
+                        let palette = 3 * alpha + 6;
+                        ListAssignment::random(m, 2 * palette, palette, rng)
+                    }
+                }
+            }
+            PaletteSpec::Uniform { colors } => ListAssignment::uniform(m, *colors),
+            PaletteSpec::Random { space, size } => ListAssignment::random(m, *space, *size, rng),
+            PaletteSpec::Explicit(lists) => {
+                if lists.num_edges() != m {
+                    return Err(FdError::GraphMismatch {
+                        expected_edges: lists.num_edges(),
+                        actual_edges: m,
+                    });
+                }
+                lists.clone()
+            }
+        };
+        Ok((Some(lists), computed_alpha))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forest_graph::generators;
+
+    #[test]
+    fn derive_seed_is_stable_and_spread() {
+        assert_eq!(derive_seed(7, 0), 7);
+        assert_ne!(derive_seed(7, 1), derive_seed(7, 2));
+        assert_ne!(derive_seed(7, 1), derive_seed(8, 1));
+        // Stable across calls.
+        assert_eq!(derive_seed(123, 45), derive_seed(123, 45));
+    }
+
+    #[test]
+    fn same_seed_same_canonical_bytes() {
+        let g = generators::fat_path(40, 3);
+        let request = DecompositionRequest::new(ProblemKind::Forest)
+            .with_alpha(3)
+            .with_seed(99);
+        let decomposer = Decomposer::new(request);
+        let a = decomposer.run(&g).unwrap();
+        let b = decomposer.run(&g).unwrap();
+        assert_eq!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn batch_index_zero_matches_single_run() {
+        let g = generators::grid(6, 6);
+        let decomposer = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_engine(Engine::ExactMatroid)
+                .with_seed(5),
+        );
+        let single = decomposer.run(&g).unwrap();
+        let batch = decomposer.run_batch(std::slice::from_ref(&g));
+        let first = batch[0].as_ref().unwrap();
+        assert_eq!(single.canonical_bytes(), first.canonical_bytes());
+    }
+
+    #[test]
+    fn unsupported_combination_is_typed() {
+        let g = generators::path(8);
+        let decomposer = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::ListForest).with_engine(Engine::Folklore2Alpha),
+        );
+        match decomposer.run(&g) {
+            Err(FdError::UnsupportedCombination { problem, engine }) => {
+                assert_eq!(problem, ProblemKind::ListForest);
+                assert_eq!(engine, Engine::Folklore2Alpha);
+            }
+            other => panic!("expected UnsupportedCombination, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_palette_length_is_checked() {
+        let g = generators::path(8);
+        let lists = ListAssignment::uniform(3, 4);
+        let decomposer = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::ListForest)
+                .with_palettes(PaletteSpec::Explicit(lists)),
+        );
+        assert!(matches!(
+            decomposer.run(&g),
+            Err(FdError::GraphMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn direct_engine_use_without_lists_fails_typed() {
+        // The DecompositionEngine trait is the seam future layers plug into;
+        // driving it directly without resolved palettes must not panic.
+        let g = generators::path(6);
+        let request = DecompositionRequest::new(ProblemKind::ListForest);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let err = engines::engine_for(Engine::HarrisSuVu)
+            .execute(&g, &request, None, &mut rng)
+            .unwrap_err();
+        assert!(matches!(err, FdError::MissingPalettes { .. }));
+    }
+
+    #[test]
+    fn orientation_validation_checks_endpoints() {
+        // Validating an orientation report against a different graph with the
+        // same edge count must fail instead of silently passing.
+        let g = generators::path(8);
+        let report = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Orientation).with_engine(Engine::ExactMatroid),
+        )
+        .run(&g)
+        .unwrap();
+        let mut other = forest_graph::MultiGraph::new(8);
+        for _ in 0..7usize {
+            // Same edge count, different topology (7 parallel (0,1) edges),
+            // so the path's tails are no longer endpoints of their edges.
+            other
+                .add_edge(
+                    forest_graph::VertexId::new(0),
+                    forest_graph::VertexId::new(1),
+                )
+                .unwrap();
+        }
+        assert!(matches!(
+            report.validate(&other),
+            Err(FdError::InvalidOrientation { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_can_be_skipped() {
+        let g = generators::path(12);
+        let report = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_engine(Engine::ExactMatroid)
+                .without_validation(),
+        )
+        .run(&g)
+        .unwrap();
+        assert_eq!(report.validation, ValidationStatus::Skipped);
+        assert_eq!(report.num_colors, 1);
+    }
+}

@@ -72,7 +72,7 @@ impl<'a> AugmentationContext<'a> {
     }
 
     fn edge_allowed(&self, e: EdgeId) -> bool {
-        self.allowed.map_or(true, |set| set.contains(&e))
+        self.allowed.is_none_or(|set| set.contains(&e))
     }
 
     /// `C(e, c)`: the unique path between the endpoints of `e` in the
@@ -386,7 +386,10 @@ mod tests {
         // Path 0-1-2-3 all color 0, plus an uncolored chord 0-3.
         let mut g = generators::path(4);
         let chord = g
-            .add_edge(forest_graph::VertexId::new(0), forest_graph::VertexId::new(3))
+            .add_edge(
+                forest_graph::VertexId::new(0),
+                forest_graph::VertexId::new(3),
+            )
             .unwrap();
         let lists = ListAssignment::uniform(g.num_edges(), 2);
         let mut coloring = PartialEdgeColoring::new_uncolored(g.num_edges());

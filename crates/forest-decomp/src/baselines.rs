@@ -34,6 +34,10 @@ pub struct BaselineFd {
 /// # Errors
 ///
 /// Propagates the H-partition parameter errors.
+#[deprecated(
+    since = "0.2.0",
+    note = "use api::Decomposer with ProblemKind::Forest + Engine::BarenboimElkin"
+)]
 pub fn barenboim_elkin_forest_decomposition(
     g: &MultiGraph,
     epsilon: f64,
@@ -57,6 +61,10 @@ pub fn barenboim_elkin_forest_decomposition(
 /// color class and split its edges by the depth parity of the parent
 /// endpoint. Color `2c + p` holds the class-`c` edges whose parent sits at
 /// even (`p = 0`) or odd (`p = 1`) depth.
+#[deprecated(
+    since = "0.2.0",
+    note = "use api::Decomposer with ProblemKind::StarForest + Engine::Folklore2Alpha"
+)]
 pub fn two_color_star_forests(
     g: &MultiGraph,
     decomposition: &ForestDecomposition,
@@ -79,12 +87,17 @@ pub fn two_color_star_forests(
 
 /// The exact centralized `α`-forest decomposition (matroid partition); a thin
 /// convenience re-export so benchmark code only needs this crate.
+#[deprecated(
+    since = "0.2.0",
+    note = "use api::Decomposer with ProblemKind::Forest + Engine::ExactMatroid"
+)]
 pub fn exact_centralized_decomposition(g: &MultiGraph) -> (ForestDecomposition, usize) {
     let exact = forest_graph::matroid::exact_forest_decomposition(g);
     (exact.decomposition, exact.arboricity)
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests exercise the historical entrypoints directly
 mod tests {
     use super::*;
     use forest_graph::decomposition::{

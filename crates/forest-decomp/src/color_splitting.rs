@@ -162,7 +162,10 @@ pub fn split_colors_independent<R: Rng + ?Sized>(
             break;
         }
         if rounds >= max_rounds {
-            ledger.charge("vertex-color splitting (LLL repair)", costs::lll(g.num_vertices(), 1));
+            ledger.charge(
+                "vertex-color splitting (LLL repair)",
+                costs::lll(g.num_vertices(), 1),
+            );
             return Err(FdError::NotConverged {
                 phase: format!(
                     "vertex-color splitting: {} edges below targets ({k0_target}, {k1_target})",
@@ -254,8 +257,7 @@ mod tests {
         let g = generators::path(10);
         let lists = ListAssignment::uniform(g.num_edges(), 4);
         let mut ledger = RoundLedger::new();
-        let result =
-            split_colors_independent(&g, &lists, 0.5, 4, 4, 20, &mut rng, &mut ledger);
+        let result = split_colors_independent(&g, &lists, 0.5, 4, 4, 20, &mut rng, &mut ledger);
         assert!(matches!(result, Err(FdError::NotConverged { .. })));
     }
 
@@ -276,8 +278,7 @@ mod tests {
         // Proposition 4.8 in action: color side-0 and side-1 edges separately
         // by augmentation, then merge and validate.
         use forest_graph::decomposition::{
-            merge_disjoint_colorings, validate_partial_forest_decomposition,
-            PartialEdgeColoring,
+            merge_disjoint_colorings, validate_partial_forest_decomposition, PartialEdgeColoring,
         };
         let mut rng = StdRng::seed_from_u64(6);
         let g = generators::planted_forest_union(24, 2, &mut rng);

@@ -14,7 +14,9 @@
 //! direct augmentation on the leftover subgraph); Proposition 4.8 guarantees
 //! the merge of the two sides is still a list-forest decomposition.
 
-use crate::algorithm2::{algorithm2, Algorithm2Config, CutStrategyKind};
+#[allow(deprecated)]
+use crate::algorithm2::algorithm2;
+use crate::algorithm2::{Algorithm2Config, CutStrategyKind};
 use crate::augmenting::complete_by_augmentation;
 use crate::color_splitting::split_colors_clustered;
 use crate::diameter_reduction::{reduce_diameter, DiameterTarget};
@@ -105,6 +107,12 @@ pub struct FdResult {
 /// # Errors
 ///
 /// Returns an error for invalid parameters or if an internal phase fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "use api::Decomposer with ProblemKind::Forest + Engine::HarrisSuVu \
+            (FdOptions knobs become DecompositionRequest::with_* builders, the \
+            rng argument becomes with_seed)"
+)]
 pub fn forest_decomposition<R: Rng + ?Sized>(
     g: &MultiGraph,
     options: &FdOptions,
@@ -132,6 +140,7 @@ pub fn forest_decomposition<R: Rng + ?Sized>(
     if let Some((r, rp)) = options.radii {
         config = config.with_radii(r, rp);
     }
+    #[allow(deprecated)]
     let out = algorithm2(g, &lists, &config, rng)?;
     let mut ledger = out.ledger.clone();
     let mut coloring = out.coloring.clone();
@@ -197,6 +206,11 @@ pub struct LfdResult {
 ///
 /// Returns an error if the palettes are too small, the splitting repeatedly
 /// fails to leave a large enough main side, or an internal phase fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "use api::Decomposer with ProblemKind::ListForest + Engine::HarrisSuVu \
+            (pass palettes via DecompositionRequest::with_palettes)"
+)]
 pub fn list_forest_decomposition<R: Rng + ?Sized>(
     g: &MultiGraph,
     lists: &ListAssignment,
@@ -261,6 +275,7 @@ pub fn list_forest_decomposition<R: Rng + ?Sized>(
     if let Some((r, rp)) = options.radii {
         config = config.with_radii(r, rp);
     }
+    #[allow(deprecated)]
     let out = algorithm2(g, &q0, &config, rng)?;
     ledger.absorb("algorithm2", out.ledger.clone());
     let phi0 = out.coloring.clone();
@@ -340,6 +355,7 @@ pub fn list_forest_decomposition<R: Rng + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests exercise the historical entrypoints directly
 mod tests {
     use super::*;
     use forest_graph::decomposition::validate_forest_decomposition;

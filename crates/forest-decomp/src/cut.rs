@@ -196,6 +196,7 @@ fn find_escaping_path(
 /// inside the core are eligible for removal. Removed edges are *not* cleared
 /// from `coloring` here — the caller does that so it can also track the
 /// leftover set.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's CUT(C', R) signature
 pub fn execute_cut<R: Rng + ?Sized>(
     g: &MultiGraph,
     coloring: &PartialEdgeColoring,
@@ -430,7 +431,11 @@ mod tests {
                 &mut rng,
             );
         }
-        assert!(state.max_load() <= 2, "load cap violated: {}", state.max_load());
+        assert!(
+            state.max_load() <= 2,
+            "load cap violated: {}",
+            state.max_load()
+        );
     }
 
     #[test]

@@ -145,9 +145,7 @@ pub fn reduce_diameter<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use forest_graph::decomposition::{
-        validate_partial_forest_decomposition, ForestDecomposition,
-    };
+    use forest_graph::decomposition::{validate_partial_forest_decomposition, ForestDecomposition};
     use forest_graph::generators;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -180,7 +178,11 @@ mod tests {
         assert!(out.coloring.is_complete());
         // z = ceil(2/0.25) = 8; surviving runs have at most z-1 edges, and the
         // recolored edges form stars (diameter <= 2).
-        assert!(out.max_diameter <= 2 * out.layer_spacing, "diameter {}", out.max_diameter);
+        assert!(
+            out.max_diameter <= 2 * out.layer_spacing,
+            "diameter {}",
+            out.max_diameter
+        );
         assert!(out.max_diameter < 299, "diameter did not shrink");
         assert!(out.removed_edges > 0);
         assert!(out.num_new_colors >= 1);

@@ -1,5 +1,6 @@
 //! Error type for the decomposition algorithms.
 
+use crate::api::{Engine, ProblemKind};
 use forest_graph::{EdgeId, ValidationError};
 use std::error::Error;
 use std::fmt;
@@ -45,6 +46,35 @@ pub enum FdError {
     /// A produced decomposition failed validation (internal invariant
     /// violation; should not happen).
     InvalidDecomposition(ValidationError),
+    /// The requested engine cannot solve the requested problem kind (the
+    /// `Decomposer` facade returns this instead of panicking on any
+    /// `(problem, engine)` pair).
+    UnsupportedCombination {
+        /// The requested problem.
+        problem: ProblemKind,
+        /// The engine that does not support it.
+        engine: Engine,
+    },
+    /// A request artifact (explicit palettes, a report being re-validated)
+    /// does not match the graph it was paired with.
+    GraphMismatch {
+        /// Edge count the artifact was built for.
+        expected_edges: usize,
+        /// Edge count of the graph actually supplied.
+        actual_edges: usize,
+    },
+    /// An orientation artifact assigns an edge a tail that is not one of its
+    /// endpoints in the graph it is validated against.
+    InvalidOrientation {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// A list problem reached an engine without resolved palettes (engines
+    /// driven directly must supply them; the `Decomposer` always does).
+    MissingPalettes {
+        /// The list problem that was requested.
+        problem: ProblemKind,
+    },
 }
 
 impl fmt::Display for FdError {
@@ -75,6 +105,25 @@ impl fmt::Display for FdError {
             FdError::InvalidDecomposition(err) => {
                 write!(f, "produced decomposition failed validation: {err}")
             }
+            FdError::UnsupportedCombination { problem, engine } => {
+                write!(f, "engine {engine} does not support the {problem} problem")
+            }
+            FdError::GraphMismatch {
+                expected_edges,
+                actual_edges,
+            } => write!(
+                f,
+                "artifact was built for {expected_edges} edges but the graph has {actual_edges}"
+            ),
+            FdError::InvalidOrientation { edge } => write!(
+                f,
+                "orientation tail of edge {edge} is not one of its endpoints"
+            ),
+            FdError::MissingPalettes { problem } => write!(
+                f,
+                "the {problem} problem requires palettes; run it through the Decomposer \
+                 or pass lists to the engine"
+            ),
         }
     }
 }

@@ -228,11 +228,7 @@ pub fn list_forest_decomposition(
         let out_edges = orientation.out_edges(g, v);
         let mut used: Vec<Color> = Vec::with_capacity(out_edges.len());
         for e in out_edges {
-            let choice = lists
-                .palette(e)
-                .iter()
-                .copied()
-                .find(|c| !used.contains(c));
+            let choice = lists.palette(e).iter().copied().find(|c| !used.contains(c));
             match choice {
                 Some(c) => {
                     coloring.set(e, c);
@@ -407,9 +403,7 @@ mod tests {
         let hp = h_partition(&g, 0.25, ps, &mut ledger).unwrap();
         let orientation = acyclic_orientation(&g, &hp);
         let labels = out_edge_labels(&g, &orientation);
-        let fd = ForestDecomposition::from_colors(
-            labels.iter().map(|&l| Color::new(l)).collect(),
-        );
+        let fd = ForestDecomposition::from_colors(labels.iter().map(|&l| Color::new(l)).collect());
         validate_forest_decomposition(&g, &fd, Some(hp.degree_threshold)).expect("t-FD");
     }
 }

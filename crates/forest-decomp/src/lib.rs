@@ -1,9 +1,49 @@
-//! Distributed `(1+ε)α` forest, list-forest and star-forest decompositions.
+//! Distributed `(1+ε)α` forest, list-forest and star-forest decompositions
+//! behind one facade.
 //!
 //! This crate implements the algorithms of Harris, Su and Vu, *"On the
 //! Locality of Nash-Williams Forest Decomposition and Star-Forest
 //! Decomposition"* (PODC 2021), on top of the [`forest_graph`] substrate and
-//! the [`local_model`] LOCAL-model simulator:
+//! the [`local_model`] LOCAL-model simulator.
+//!
+//! # The `Decomposer` facade
+//!
+//! Every pipeline is reachable through the [`api`] module: build a
+//! [`api::DecompositionRequest`] naming a problem kind (`Forest`,
+//! `ListForest`, `StarForest`, `ListStarForest`, `Orientation`) and an engine
+//! (`HarrisSuVu`, `BarenboimElkin`, `Folklore2Alpha`, `ExactMatroid`), then
+//! run it with a [`api::Decomposer`]:
+//!
+//! ```
+//! use forest_decomp::api::{Decomposer, DecompositionRequest, ProblemKind, Validate};
+//! use forest_graph::generators;
+//!
+//! let mut rng = rand::thread_rng();
+//! let g = generators::planted_forest_union(64, 3, &mut rng);
+//! let request = DecompositionRequest::new(ProblemKind::Forest)
+//!     .with_epsilon(0.5)
+//!     .with_seed(42);
+//! let report = Decomposer::new(request).run(&g)?;
+//! report.validate(&g)?;
+//! println!(
+//!     "alpha = {}, colors used = {}, LOCAL rounds = {}",
+//!     report.arboricity,
+//!     report.num_colors,
+//!     report.ledger.total_rounds()
+//! );
+//! # Ok::<(), forest_decomp::FdError>(())
+//! ```
+//!
+//! Runs are reproducible (the request seed derives an owned RNG; same seed →
+//! byte-identical [`api::DecompositionReport::canonical_bytes`]), batchable
+//! ([`api::Decomposer::run_batch`] fans one request across many graphs on all
+//! cores) and uniformly validated (the [`api::Validate`] trait wires every
+//! artifact to the `forest_graph::decomposition` validators).
+//!
+//! # Algorithm modules
+//!
+//! The paper's machinery lives in per-section modules, all reachable through
+//! the facade:
 //!
 //! * [`hpartition`] — the H-partition toolbox of Theorem 2.1: the vertex
 //!   peeling itself, acyclic `t`-orientations, `3t`-star-forest and
@@ -25,30 +65,31 @@
 //! * [`baselines`] — Barenboim–Elkin `(2+ε)α`-FD, the folklore `2α`-SFD and
 //!   the exact centralized decomposition.
 //!
-//! # Quick example
+//! # Migrating from the pre-facade entrypoints
 //!
-//! ```
-//! use forest_decomp::combine::{forest_decomposition, FdOptions};
-//! use forest_graph::generators;
-//! use forest_graph::decomposition::validate_forest_decomposition;
+//! The six historical free-function entrypoints still work but are
+//! deprecated; each maps onto one `(problem, engine)` request:
 //!
-//! let mut rng = rand::thread_rng();
-//! let g = generators::planted_forest_union(64, 3, &mut rng);
-//! let result = forest_decomposition(&g, &FdOptions::new(0.5), &mut rng)?;
-//! validate_forest_decomposition(&g, &result.decomposition, Some(result.num_colors))?;
-//! println!(
-//!     "alpha = {}, colors used = {}, LOCAL rounds = {}",
-//!     result.arboricity,
-//!     result.num_colors,
-//!     result.ledger.total_rounds()
-//! );
-//! # Ok::<(), Box<dyn std::error::Error>>(())
-//! ```
+//! | old entrypoint | request |
+//! |---|---|
+//! | `combine::forest_decomposition` | `ProblemKind::Forest` + `Engine::HarrisSuVu` |
+//! | `combine::list_forest_decomposition` | `ProblemKind::ListForest` + `Engine::HarrisSuVu` |
+//! | `star_forest::star_forest_decomposition_simple` | `ProblemKind::StarForest` + `Engine::HarrisSuVu` |
+//! | `star_forest::list_star_forest_decomposition_simple` | `ProblemKind::ListStarForest` + `Engine::HarrisSuVu` |
+//! | `orientation::low_outdegree_orientation` | `ProblemKind::Orientation` + `Engine::HarrisSuVu` |
+//! | `baselines::barenboim_elkin_forest_decomposition` | `ProblemKind::Forest` + `Engine::BarenboimElkin` |
+//! | `baselines::two_color_star_forests` | `ProblemKind::StarForest` + `Engine::Folklore2Alpha` |
+//! | `baselines::exact_centralized_decomposition` | `ProblemKind::Forest` + `Engine::ExactMatroid` |
+//!
+//! `FdOptions`/`SfdConfig` knobs (`epsilon`, `alpha`, cut strategy, diameter
+//! target, radii) have eponymous `with_*` builders on the request, and the
+//! `&mut R` RNG argument is replaced by `with_seed`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod algorithm2;
+pub mod api;
 pub mod augmenting;
 pub mod baselines;
 pub mod color_splitting;
@@ -62,14 +103,24 @@ pub mod matching;
 pub mod orientation;
 pub mod star_forest;
 
-pub use algorithm2::{algorithm2, Algorithm2Config, Algorithm2Output, CutStrategyKind};
+pub use api::{
+    Decomposer, DecompositionReport, DecompositionRequest, Engine, ProblemKind, Validate,
+};
+
+pub use algorithm2::{Algorithm2Config, Algorithm2Output, CutStrategyKind};
 pub use augmenting::{AugmentationContext, AugmentingSequence};
-pub use combine::{forest_decomposition, list_forest_decomposition, FdOptions, FdResult, LfdResult};
+pub use combine::{FdOptions, FdResult, LfdResult};
 pub use diameter_reduction::{reduce_diameter, DiameterTarget};
 pub use error::FdError;
 pub use hpartition::HPartition;
-pub use orientation::{low_outdegree_orientation, OrientationResult};
-pub use star_forest::{
-    list_star_forest_decomposition_simple, star_forest_decomposition_simple, SfdConfig,
-    StarForestResult,
-};
+pub use orientation::OrientationResult;
+pub use star_forest::{SfdConfig, StarForestResult};
+
+#[allow(deprecated)]
+pub use algorithm2::algorithm2;
+#[allow(deprecated)]
+pub use combine::{forest_decomposition, list_forest_decomposition};
+#[allow(deprecated)]
+pub use orientation::low_outdegree_orientation;
+#[allow(deprecated)]
+pub use star_forest::{list_star_forest_decomposition_simple, star_forest_decomposition_simple};

@@ -50,11 +50,10 @@ pub fn greedy_lsfd_from_orientation(
     for &u in order.iter().rev() {
         for e in orientation.out_edges(g, u) {
             let v = orientation.head(g, e);
-            let choice = lists
-                .palette(e)
-                .iter()
-                .copied()
-                .find(|c| !out_colors[u.index()].contains(c) && !out_colors[v.index()].contains(c));
+            let choice =
+                lists.palette(e).iter().copied().find(|c| {
+                    !out_colors[u.index()].contains(c) && !out_colors[v.index()].contains(c)
+                });
             match choice {
                 Some(c) => {
                     coloring.set(e, c);
@@ -146,9 +145,7 @@ pub fn list_star_forest_decomposition_degeneracy(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use forest_graph::decomposition::{
-        validate_list_coloring, validate_star_forest_decomposition,
-    };
+    use forest_graph::decomposition::{validate_list_coloring, validate_star_forest_decomposition};
     use forest_graph::orientation::pseudoarboricity;
     use forest_graph::{generators, matroid};
     use rand::rngs::StdRng;

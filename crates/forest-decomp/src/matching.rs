@@ -168,10 +168,10 @@ mod tests {
         let m = maximum_bipartite_matching(6, 6, &adj);
         assert_eq!(m.size, 6);
         // Matching is consistent.
-        for l in 0..6 {
+        for (l, adj_l) in adj.iter().enumerate() {
             let r = m.pair_left[l].unwrap();
             assert_eq!(m.pair_right[r], Some(l));
-            assert!(adj[l].contains(&r));
+            assert!(adj_l.contains(&r));
         }
     }
 

@@ -6,7 +6,9 @@
 //! color. This gives the first `(1+ε)α`-orientation algorithms with a linear
 //! dependence on `1/ε`.
 
-use crate::combine::{forest_decomposition, FdOptions};
+#[allow(deprecated)]
+use crate::combine::forest_decomposition;
+use crate::combine::FdOptions;
 use crate::error::FdError;
 use forest_graph::decomposition::max_forest_diameter;
 use forest_graph::traversal::root_forest;
@@ -66,11 +68,16 @@ pub struct OrientationResult {
 /// # Errors
 ///
 /// Propagates errors from the decomposition pipeline.
+#[deprecated(
+    since = "0.2.0",
+    note = "use api::Decomposer with ProblemKind::Orientation + Engine::HarrisSuVu"
+)]
 pub fn low_outdegree_orientation<R: Rng + ?Sized>(
     g: &MultiGraph,
     options: &FdOptions,
     rng: &mut R,
 ) -> Result<OrientationResult, FdError> {
+    #[allow(deprecated)]
     let result = forest_decomposition(g, options, rng)?;
     let mut ledger = result.ledger.clone();
     let diameter = max_forest_diameter(g, &result.decomposition.to_partial());
@@ -86,6 +93,7 @@ pub fn low_outdegree_orientation<R: Rng + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests exercise the historical entrypoints directly
 mod tests {
     use super::*;
     use forest_graph::{generators, matroid};
@@ -101,7 +109,10 @@ mod tests {
         assert!(orientation.max_out_degree(&g) <= exact.arboricity);
         // Every edge got a tail that is one of its endpoints (checked by
         // construction in Orientation::from_tails).
-        assert_eq!(orientation.out_degrees(&g).iter().sum::<usize>(), g.num_edges());
+        assert_eq!(
+            orientation.out_degrees(&g).iter().sum::<usize>(),
+            g.num_edges()
+        );
     }
 
     #[test]

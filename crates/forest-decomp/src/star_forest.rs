@@ -98,7 +98,7 @@ fn matching_for_vertex(
                 .filter(|(_, &c)| {
                     color_sets[v.index()].contains(&c)
                         && !color_sets[u.index()].contains(&c)
-                        && lists.map_or(true, |l| l.contains(e, c))
+                        && lists.is_none_or(|l| l.contains(e, c))
                 })
                 .map(|(i, _)| i)
                 .collect()
@@ -125,10 +125,8 @@ fn star_forest_by_matching<R: Rng + ?Sized>(
     ledger: &mut RoundLedger,
 ) -> (PartialEdgeColoring, usize, usize) {
     let n = g.num_vertices();
-    let mut color_sets: Vec<HashSet<Color>> = g
-        .vertices()
-        .map(|v| sample_color_set(rng, v))
-        .collect();
+    let mut color_sets: Vec<HashSet<Color>> =
+        g.vertices().map(|v| sample_color_set(rng, v)).collect();
     // LLL loop: a vertex is "bad" if its matching misses more than
     // `allowed_deficiency` of its out-edges.
     let mut lll_rounds = 0usize;
@@ -178,6 +176,11 @@ fn star_forest_by_matching<R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns an error for invalid `ε` or if the leftover recoloring fails.
+#[deprecated(
+    since = "0.2.0",
+    note = "use api::Decomposer with ProblemKind::StarForest + Engine::HarrisSuVu \
+            (the facade converts multigraph inputs and reports FdError::NotSimple)"
+)]
 pub fn star_forest_decomposition_simple<R: Rng + ?Sized>(
     g: &SimpleGraph,
     config: &SfdConfig,
@@ -204,12 +207,11 @@ pub fn star_forest_decomposition_simple<R: Rng + ?Sized>(
     // The t-orientation: the paper uses the Su–Vu CONGEST algorithm
     // (O~(log^2 n / eps^2) rounds); we take the exact flow orientation and
     // charge the same round budget.
-    let orientation = bounded_outdegree_orientation(graph, t).ok_or(
-        FdError::ArboricityBoundTooSmall {
+    let orientation =
+        bounded_outdegree_orientation(graph, t).ok_or(FdError::ArboricityBoundTooSmall {
             bound: alpha,
             required: forest_graph::orientation::pseudoarboricity(graph),
-        },
-    )?;
+        })?;
     let n = graph.num_vertices();
     let log_n = costs::log2_ceil(n).max(1);
     ledger.charge(
@@ -218,7 +220,7 @@ pub fn star_forest_decomposition_simple<R: Rng + ?Sized>(
     );
     let colorspace: Vec<Color> = (0..t).map(Color::new).collect();
     let subset_size = alpha.min(t);
-    let allowed_deficiency = ((2.0 * config.epsilon * alpha as f64).ceil() as usize).max(0);
+    let allowed_deficiency = (2.0 * config.epsilon * alpha as f64).ceil() as usize;
     let mut sample = |rng: &mut R, _v: VertexId| -> HashSet<Color> {
         colorspace
             .choose_multiple(rng, subset_size)
@@ -272,6 +274,10 @@ pub fn star_forest_decomposition_simple<R: Rng + ?Sized>(
 /// Returns an error for invalid `ε`, or [`FdError::NotConverged`] if some
 /// vertex never obtains a perfect matching and its unmatched edges cannot be
 /// finished greedily from their palettes.
+#[deprecated(
+    since = "0.2.0",
+    note = "use api::Decomposer with ProblemKind::ListStarForest + Engine::HarrisSuVu"
+)]
 pub fn list_star_forest_decomposition_simple<R: Rng + ?Sized>(
     g: &SimpleGraph,
     lists: &ListAssignment,
@@ -296,12 +302,11 @@ pub fn list_star_forest_decomposition_simple<R: Rng + ?Sized>(
         .unwrap_or_else(|| forest_graph::matroid::arboricity(graph))
         .max(1);
     let t = ((1.0 + config.epsilon) * alpha as f64).ceil() as usize;
-    let orientation = bounded_outdegree_orientation(graph, t).ok_or(
-        FdError::ArboricityBoundTooSmall {
+    let orientation =
+        bounded_outdegree_orientation(graph, t).ok_or(FdError::ArboricityBoundTooSmall {
             bound: alpha,
             required: forest_graph::orientation::pseudoarboricity(graph),
-        },
-    )?;
+        })?;
     let n = graph.num_vertices();
     let log_n = costs::log2_ceil(n).max(1);
     ledger.charge(
@@ -380,11 +385,10 @@ pub fn list_star_forest_decomposition_simple<R: Rng + ?Sized>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // unit tests exercise the historical entrypoints directly
 mod tests {
     use super::*;
-    use forest_graph::decomposition::{
-        validate_list_coloring, validate_star_forest_decomposition,
-    };
+    use forest_graph::decomposition::{validate_list_coloring, validate_star_forest_decomposition};
     use forest_graph::generators;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -452,19 +456,18 @@ mod tests {
         // test instance we simply hand out a comfortable palette from a larger
         // color space.
         let palette_size = 3 * alpha + 6;
-        let lists =
-            ListAssignment::random(g.graph().num_edges(), 2 * palette_size, palette_size, &mut rng);
+        let lists = ListAssignment::random(
+            g.graph().num_edges(),
+            2 * palette_size,
+            palette_size,
+            &mut rng,
+        );
         let config = SfdConfig::new(0.2).with_alpha(alpha);
-        let result =
-            list_star_forest_decomposition_simple(&g, &lists, &config, &mut rng).unwrap();
+        let result = list_star_forest_decomposition_simple(&g, &lists, &config, &mut rng).unwrap();
         validate_star_forest_decomposition(g.graph(), &result.decomposition, None)
             .expect("star forests");
-        validate_list_coloring(
-            g.graph(),
-            &result.decomposition.to_partial(),
-            &lists,
-        )
-        .expect("palettes respected");
+        validate_list_coloring(g.graph(), &result.decomposition.to_partial(), &lists)
+            .expect("palettes respected");
     }
 
     #[test]

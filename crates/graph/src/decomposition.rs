@@ -419,7 +419,11 @@ pub fn merge_disjoint_colorings(
     second: &PartialEdgeColoring,
     color_offset: usize,
 ) -> PartialEdgeColoring {
-    assert_eq!(first.len(), second.len(), "colorings must cover the same edges");
+    assert_eq!(
+        first.len(),
+        second.len(),
+        "colorings must cover the same edges"
+    );
     let mut merged = PartialEdgeColoring::new_uncolored(first.len());
     for i in 0..first.len() {
         let e = EdgeId::new(i);

@@ -53,7 +53,10 @@ impl fmt::Display for GraphError {
                 write!(f, "self-loop at {vertex} rejected")
             }
             GraphError::ParallelEdge { u, v } => {
-                write!(f, "parallel edge between {u} and {v} rejected by simple graph")
+                write!(
+                    f,
+                    "parallel edge between {u} and {v} rejected by simple graph"
+                )
             }
         }
     }
@@ -130,7 +133,10 @@ impl fmt::Display for ValidationError {
                 "color class {color} contains a 3-edge path through vertex {witness}"
             ),
             ValidationError::ColorNotInPalette { edge, color } => {
-                write!(f, "edge {edge} was assigned color {color} outside its palette")
+                write!(
+                    f,
+                    "edge {edge} was assigned color {color} outside its palette"
+                )
             }
             ValidationError::DiameterExceeded {
                 color,
@@ -141,7 +147,10 @@ impl fmt::Display for ValidationError {
                 "color class {color} has tree diameter {measured}, exceeding bound {bound}"
             ),
             ValidationError::TooManyColors { used, bound } => {
-                write!(f, "decomposition uses {used} colors, exceeding bound {bound}")
+                write!(
+                    f,
+                    "decomposition uses {used} colors, exceeding bound {bound}"
+                )
             }
             ValidationError::LengthMismatch {
                 coloring_len,

@@ -59,7 +59,10 @@ impl FlowNetwork {
     ///
     /// Panics if either endpoint is out of range or the capacity is negative.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64) -> (usize, usize) {
-        assert!(from < self.adj.len() && to < self.adj.len(), "node out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "node out of range"
+        );
         assert!(cap >= 0, "capacity must be non-negative");
         let from_idx = self.adj[from].len();
         let to_idx = self.adj[to].len() + usize::from(from == to);
@@ -131,7 +134,10 @@ impl FlowNetwork {
     /// Panics if `s == t` or either node is out of range.
     pub fn max_flow(&mut self, s: usize, t: usize) -> i64 {
         assert_ne!(s, t, "source and sink must differ");
-        assert!(s < self.adj.len() && t < self.adj.len(), "node out of range");
+        assert!(
+            s < self.adj.len() && t < self.adj.len(),
+            "node out of range"
+        );
         let mut flow = 0;
         while self.bfs(s, t) {
             self.iter.fill(0);

@@ -189,7 +189,10 @@ pub fn planted_simple_arboricity<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut 
 /// Panics if `m` exceeds the number of possible edges.
 pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> SimpleGraph {
     let max_edges = n * n.saturating_sub(1) / 2;
-    assert!(m <= max_edges, "too many edges requested for a simple graph");
+    assert!(
+        m <= max_edges,
+        "too many edges requested for a simple graph"
+    );
     let mut g = SimpleGraph::new(n);
     let mut added = 0;
     while added < m {
@@ -208,7 +211,10 @@ pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> SimpleGraph {
 /// A random multigraph with exactly `m` edges chosen uniformly (parallel
 /// edges allowed, self-loops skipped).
 pub fn random_multigraph<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> MultiGraph {
-    assert!(n >= 2 || m == 0, "need at least two vertices to place edges");
+    assert!(
+        n >= 2 || m == 0,
+        "need at least two vertices to place edges"
+    );
     let mut g = MultiGraph::new(n);
     let mut added = 0;
     while added < m {

@@ -24,12 +24,7 @@ use std::collections::VecDeque;
 /// valid partial forest partition) and `false` if no augmenting sequence
 /// exists, which certifies that the already-colored edges plus `edge` cannot
 /// be partitioned into `k` forests.
-fn try_augment(
-    g: &MultiGraph,
-    coloring: &mut PartialEdgeColoring,
-    edge: EdgeId,
-    k: usize,
-) -> bool {
+fn try_augment(g: &MultiGraph, coloring: &mut PartialEdgeColoring, edge: EdgeId, k: usize) -> bool {
     // BFS over edges of the exchange graph. `prev[e]` records the edge from
     // which `e` was reached.
     let m = g.num_edges();

@@ -138,10 +138,8 @@ impl Orientation {
         for e in g.edge_ids() {
             indeg[self.head(g, e).index()] += 1;
         }
-        let mut queue: std::collections::VecDeque<VertexId> = g
-            .vertices()
-            .filter(|v| indeg[v.index()] == 0)
-            .collect();
+        let mut queue: std::collections::VecDeque<VertexId> =
+            g.vertices().filter(|v| indeg[v.index()] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(u) = queue.pop_front() {
             order.push(u);

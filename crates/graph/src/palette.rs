@@ -56,10 +56,7 @@ impl ListAssignment {
         let all: Vec<Color> = (0..colorspace).map(Color::new).collect();
         let palettes = (0..num_edges)
             .map(|_| {
-                let mut p: Vec<Color> = all
-                    .choose_multiple(rng, palette_size)
-                    .copied()
-                    .collect();
+                let mut p: Vec<Color> = all.choose_multiple(rng, palette_size).copied().collect();
                 p.sort_unstable();
                 p
             })
@@ -91,7 +88,11 @@ impl ListAssignment {
 
     /// Size of the smallest palette (`usize::MAX` when there are no edges).
     pub fn min_palette_size(&self) -> usize {
-        self.palettes.iter().map(Vec::len).min().unwrap_or(usize::MAX)
+        self.palettes
+            .iter()
+            .map(Vec::len)
+            .min()
+            .unwrap_or(usize::MAX)
     }
 
     /// Size of the largest palette (0 when there are no edges).

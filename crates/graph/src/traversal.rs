@@ -200,8 +200,8 @@ where
             comp_repr[comp[v.index()]] = Some(v);
         }
     }
-    for c in 0..num_comp {
-        let repr = comp_repr[c].expect("every component has a representative");
+    for (c, slot) in comp_repr.iter().enumerate() {
+        let repr = slot.expect("every component has a representative");
         // First sweep: find one endpoint `a` of a diameter of this tree.
         let d0 = bfs_distances(g, repr, filter);
         let a = g
@@ -301,8 +301,8 @@ where
     let mut root = vec![VertexId::new(0); n];
     let mut visited = vec![false; n];
     let mut queue = VecDeque::new();
-    for c in 0..num_comp {
-        let (_, r) = best[c].expect("component representative");
+    for slot in &best {
+        let (_, r) = slot.expect("component representative");
         visited[r.index()] = true;
         root[r.index()] = r;
         queue.push_back(r);

@@ -143,8 +143,8 @@ pub fn cole_vishkin_three_coloring(
         // colors and a free one exists.
         let snapshot = colors.clone();
         let mut child_color: Vec<Option<u8>> = vec![None; n];
-        for v in 0..n {
-            if let Some(p) = forest.parent[v] {
+        for (v, parent) in forest.parent.iter().enumerate() {
+            if let Some(p) = parent {
                 child_color[p.index()] = Some(snapshot[v]);
             }
         }
@@ -161,7 +161,10 @@ pub fn cole_vishkin_three_coloring(
         rounds += 1;
     }
     ledger.charge("Cole-Vishkin 3-coloring", rounds);
-    TreeColoring { color: colors, rounds }
+    TreeColoring {
+        color: colors,
+        rounds,
+    }
 }
 
 /// Checks that a coloring is proper on the rooted forest (every non-root
@@ -171,7 +174,7 @@ pub fn is_proper_coloring(forest: &RootedForestView, color: &[u8]) -> bool {
         .parent
         .iter()
         .enumerate()
-        .all(|(v, p)| p.map_or(true, |p| color[v] != color[p.index()]))
+        .all(|(v, p)| p.is_none_or(|p| color[v] != color[p.index()]))
 }
 
 #[cfg(test)]
@@ -184,7 +187,13 @@ mod tests {
         // 0 <- 1 <- 2 <- ... (vertex i's parent is i-1).
         RootedForestView {
             parent: (0..n)
-                .map(|i| if i == 0 { None } else { Some(VertexId::new(i - 1)) })
+                .map(|i| {
+                    if i == 0 {
+                        None
+                    } else {
+                        Some(VertexId::new(i - 1))
+                    }
+                })
                 .collect(),
         }
     }

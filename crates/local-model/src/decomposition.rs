@@ -348,7 +348,10 @@ mod tests {
             "cut fraction should grow with beta (got {small} vs {large})"
         );
         // The theory bound is O(beta); allow generous slack for small graphs.
-        assert!(small <= 0.35, "cut fraction {small} too large for beta=0.05");
+        assert!(
+            small <= 0.35,
+            "cut fraction {small} too large for beta=0.05"
+        );
     }
 
     #[test]

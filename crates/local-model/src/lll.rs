@@ -17,12 +17,19 @@
 use crate::rounds::RoundLedger;
 use rand::Rng;
 
+/// Predicate deciding whether a bad event currently holds on the variable
+/// assignment.
+pub type EventPredicate = Box<dyn Fn(&[u64]) -> bool>;
+
+/// Resampling distribution: draws a fresh value for variable `i`.
+pub type VariableSampler<'a, R> = Box<dyn FnMut(&mut R, usize) -> u64 + 'a>;
+
 /// One bad event of an LLL instance over variables indexed by `usize`.
 pub struct BadEvent {
     /// Indices of the variables this event reads.
     pub variables: Vec<usize>,
     /// Returns `true` if the event currently *holds* (i.e. is bad).
-    pub holds: Box<dyn Fn(&[u64]) -> bool>,
+    pub holds: EventPredicate,
 }
 
 impl std::fmt::Debug for BadEvent {
@@ -38,7 +45,7 @@ pub struct LllInstance<'a, R: Rng> {
     /// Number of variables.
     pub num_variables: usize,
     /// Samples a fresh value for variable `i`.
-    pub sample: Box<dyn FnMut(&mut R, usize) -> u64 + 'a>,
+    pub sample: VariableSampler<'a, R>,
     /// The bad events to avoid.
     pub events: Vec<BadEvent>,
 }
@@ -205,8 +212,7 @@ mod tests {
             .map(|members| BadEvent {
                 variables: members.clone(),
                 holds: Box::new(move |vals: &[u64]| {
-                    members.iter().all(|&i| vals[i] == 0)
-                        || members.iter().all(|&i| vals[i] == 1)
+                    members.iter().all(|&i| vals[i] == 0) || members.iter().all(|&i| vals[i] == 1)
                 }),
             })
             .collect();

@@ -124,12 +124,7 @@ mod tests {
     fn view_with_multiple_centers() {
         let g = generators::path(10);
         let mut ledger = RoundLedger::new();
-        let view = collect_view(
-            &g,
-            &[VertexId::new(0), VertexId::new(9)],
-            1,
-            &mut ledger,
-        );
+        let view = collect_view(&g, &[VertexId::new(0), VertexId::new(9)], 1, &mut ledger);
         let mut ids: Vec<usize> = view.vertices.iter().map(|v| v.index()).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![0, 1, 8, 9]);

@@ -1,4 +1,5 @@
-//! Star-forest decomposition as a broadcast schedule (Theorem 5.4).
+//! Star-forest decomposition as a broadcast schedule (Theorem 5.4), comparing
+//! two engines through the same `Decomposer` request.
 //!
 //! Scenario: in each time slot every node may talk to at most one "hub"
 //! neighbor, and hubs can serve any number of leaves simultaneously (a star).
@@ -7,9 +8,7 @@
 //!
 //! Run with: `cargo run --example broadcast_schedule_star_forests`
 
-use forest_decomp::baselines::two_color_star_forests;
-use forest_decomp::star_forest::{star_forest_decomposition_simple, SfdConfig};
-use forest_graph::decomposition::validate_star_forest_decomposition;
+use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, ProblemKind};
 use forest_graph::{generators, matroid};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,21 +25,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.max_degree()
     );
 
-    // Folklore schedule: 2 * alpha slots.
-    let exact = matroid::exact_forest_decomposition(g);
-    let naive = two_color_star_forests(g, &exact.decomposition);
-    println!("folklore schedule length (<= 2 alpha): {}", naive.num_colors_used());
+    let request = DecompositionRequest::new(ProblemKind::StarForest)
+        .with_epsilon(0.25)
+        .with_alpha(alpha)
+        .with_seed(99);
+
+    // Folklore schedule: 2 * alpha slots (exact decomposition + two-coloring).
+    let naive = Decomposer::new(request.clone().with_engine(Engine::Folklore2Alpha)).run(g)?;
+    println!(
+        "folklore schedule length (<= 2 alpha): {}",
+        naive.num_colors
+    );
 
     // Paper's schedule: alpha + O(sqrt(log Delta) + log alpha) slots.
-    let result = star_forest_decomposition_simple(&graph, &SfdConfig::new(0.25).with_alpha(alpha), &mut rng)?;
-    validate_star_forest_decomposition(g, &result.decomposition, None)?;
-    println!("Theorem 5.4 schedule length          : {}", result.num_colors);
-    println!("unmatched links recolored            : {}", result.leftover_edges);
-    println!("LOCAL rounds                          : {}", result.ledger.total_rounds());
+    let report = Decomposer::new(request.with_engine(Engine::HarrisSuVu)).run(g)?;
+    println!(
+        "Theorem 5.4 schedule length          : {}",
+        report.num_colors
+    );
+    println!(
+        "unmatched links recolored            : {}",
+        report.leftover_edges
+    );
+    println!(
+        "LOCAL rounds                          : {}",
+        report.ledger.total_rounds()
+    );
 
     // Print the first few slots of the schedule.
-    for slot in result.decomposition.colors_used().into_iter().take(3) {
-        let links = result.decomposition.edges_with_color(slot);
+    let schedule = report.artifact.decomposition().expect("star forests");
+    for slot in schedule.colors_used().into_iter().take(3) {
+        let links = schedule.edges_with_color(slot);
         println!("slot {slot}: {} links served", links.len());
     }
     Ok(())

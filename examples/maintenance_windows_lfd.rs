@@ -1,4 +1,5 @@
-//! List-forest decomposition with per-edge constraints (Theorem 4.10).
+//! List-forest decomposition with per-edge constraints (Theorem 4.10) through
+//! the `Decomposer` facade.
 //!
 //! Scenario: every link of a backbone network must be assigned to one of k
 //! maintenance windows so that the links of any single window never contain a
@@ -8,9 +9,8 @@
 //!
 //! Run with: `cargo run --example maintenance_windows_lfd`
 
-use forest_decomp::combine::{list_forest_decomposition, FdOptions};
-use forest_graph::decomposition::{validate_list_coloring, validate_partial_forest_decomposition};
-use forest_graph::{generators, matroid, ListAssignment};
+use forest_decomp::api::{Decomposer, DecompositionRequest, PaletteSpec, ProblemKind};
+use forest_graph::{generators, matroid};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,24 +20,33 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = generators::planted_forest_union(300, 3, &mut rng);
     let alpha = matroid::arboricity(&graph);
     // 10 maintenance windows in total; every link may only use a random
-    // subset of 2*(alpha+1) of them.
+    // subset of 2*(alpha+1) of them. The palettes are drawn inside the run
+    // from the request seed, so the whole scenario is reproducible.
     let windows_total = 10.max(2 * (alpha + 1));
     let palette_size = 2 * (alpha + 1);
-    let palettes = ListAssignment::random(graph.num_edges(), windows_total, palette_size, &mut rng);
     println!(
         "backbone: n = {}, m = {}, arboricity = {alpha}, windows = {windows_total}, palette = {palette_size}",
         graph.num_vertices(),
         graph.num_edges()
     );
 
-    let options = FdOptions::new(0.5).with_alpha(alpha);
-    let result = list_forest_decomposition(&graph, &palettes, &options, &mut rng)?;
-    validate_partial_forest_decomposition(&graph, &result.coloring)?;
-    validate_list_coloring(&graph, &result.coloring, &palettes)?;
+    let request = DecompositionRequest::new(ProblemKind::ListForest)
+        .with_epsilon(0.5)
+        .with_alpha(alpha)
+        .with_palettes(PaletteSpec::Random {
+            space: windows_total,
+            size: palette_size,
+        })
+        .with_seed(2024);
+    // Runs validate their artifact by default (report.validation records it).
+    let report = Decomposer::new(request).run(&graph)?;
 
-    println!("windows actually used : {}", result.num_colors);
-    println!("max tree diameter     : {}", result.max_diameter);
-    println!("leftover links re-homed from back-up windows: {}", result.leftover_edges);
-    println!("LOCAL rounds          : {}", result.ledger.total_rounds());
+    println!("windows actually used : {}", report.num_colors);
+    println!("max tree diameter     : {}", report.max_diameter);
+    println!(
+        "leftover links re-homed from back-up windows: {}",
+        report.leftover_edges
+    );
+    println!("LOCAL rounds          : {}", report.ledger.total_rounds());
     Ok(())
 }

@@ -1,10 +1,9 @@
-//! Quickstart: decompose a multigraph into (1+eps)*alpha forests in the LOCAL
-//! model and inspect the result.
+//! Quickstart: decompose a multigraph into (1+eps)*alpha forests through the
+//! unified `Decomposer` facade and inspect the report.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use forest_decomp::combine::{forest_decomposition, FdOptions};
-use forest_graph::decomposition::validate_forest_decomposition;
+use forest_decomp::api::{Decomposer, DecompositionRequest, ProblemKind};
 use forest_graph::{generators, matroid};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,16 +21,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // (1 + 0.5) * alpha forest decomposition via the Theorem 4.6 pipeline.
-    let options = FdOptions::new(0.5).with_alpha(alpha);
-    let result = forest_decomposition(&graph, &options, &mut rng)?;
-    validate_forest_decomposition(&graph, &result.decomposition, Some(result.num_colors))?;
+    // The request is plain data: rerunning it (same seed) reproduces the
+    // report bit for bit.
+    let request = DecompositionRequest::new(ProblemKind::Forest)
+        .with_epsilon(0.5)
+        .with_alpha(alpha)
+        .with_seed(42);
+    // Runs validate their artifact by default (report.validation records it).
+    let report = Decomposer::new(request).run(&graph)?;
 
-    println!("forests used      : {}", result.num_colors);
-    println!("excess over alpha : {}", result.num_colors - alpha);
-    println!("max tree diameter : {}", result.max_diameter);
-    println!("LOCAL rounds      : {}", result.ledger.total_rounds());
+    println!("forests used      : {}", report.num_colors);
+    println!("excess over alpha : {}", report.num_colors - alpha);
+    println!("max tree diameter : {}", report.max_diameter);
+    println!("LOCAL rounds      : {}", report.ledger.total_rounds());
+    println!("wall clock        : {:?}", report.wall_clock);
     println!();
     println!("round breakdown:");
-    print!("{}", result.ledger);
+    print!("{}", report.ledger);
     Ok(())
 }

@@ -1,4 +1,5 @@
-//! Low out-degree orientation of a social-network-like graph (Corollary 1.1).
+//! Low out-degree orientation of a social-network-like graph (Corollary 1.1)
+//! through the `Decomposer` facade.
 //!
 //! Sparse social graphs have small arboricity even though some vertices have
 //! huge degree. Orienting every edge so that each vertex "owns" only
@@ -7,8 +8,7 @@
 //!
 //! Run with: `cargo run --example social_network_orientation`
 
-use forest_decomp::combine::FdOptions;
-use forest_decomp::orientation::low_outdegree_orientation;
+use forest_decomp::api::{Artifact, Decomposer, DecompositionRequest, ProblemKind};
 use forest_graph::{generators, matroid};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,14 +26,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.max_degree()
     );
 
-    let result = low_outdegree_orientation(g, &FdOptions::new(0.5).with_alpha(alpha), &mut rng)?;
-    println!("max out-degree     : {}", result.max_out_degree);
-    println!("forests used       : {}", result.num_forests);
-    println!("LOCAL rounds       : {}", result.ledger.total_rounds());
+    let request = DecompositionRequest::new(ProblemKind::Orientation)
+        .with_epsilon(0.5)
+        .with_alpha(alpha)
+        .with_seed(7);
+    let report = Decomposer::new(request).run(g)?;
+    let Artifact::Orientation {
+        orientation,
+        max_out_degree,
+    } = &report.artifact
+    else {
+        unreachable!("orientation requests produce orientation artifacts");
+    };
+    println!("max out-degree     : {max_out_degree}");
+    println!("forests used       : {}", report.num_colors);
+    println!("LOCAL rounds       : {}", report.ledger.total_rounds());
 
     // Use the orientation: count triangles by only pairing each vertex's
     // out-neighbors (O(m * out-degree^2) with a tiny out-degree).
-    let orientation = &result.orientation;
     let mut triangles = 0usize;
     for v in g.vertices() {
         let outs = orientation.out_neighbors(g, v);

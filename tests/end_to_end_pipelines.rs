@@ -1,15 +1,12 @@
 //! End-to-end pipeline tests across epsilon values, list palettes, diameter
 //! targets, CUT strategies and the star-forest algorithms — the configurations
-//! reported in Table 1 and Theorem 5.4.
+//! reported in Table 1 and Theorem 5.4 — all driven through the `Decomposer`
+//! facade.
 
-use forest_decomp::combine::{forest_decomposition, list_forest_decomposition, FdOptions};
-use forest_decomp::star_forest::{
-    list_star_forest_decomposition_simple, star_forest_decomposition_simple, SfdConfig,
-};
-use forest_decomp::DiameterTarget;
+use forest_decomp::api::{Decomposer, DecompositionRequest, PaletteSpec, ProblemKind, Validate};
+use forest_decomp::{CutStrategyKind, DiameterTarget, FdError};
 use forest_graph::decomposition::{
-    validate_forest_decomposition, validate_list_coloring, validate_partial_forest_decomposition,
-    validate_star_forest_decomposition,
+    validate_forest_decomposition, validate_list_coloring, validate_star_forest_decomposition,
 };
 use forest_graph::{generators, matroid, ListAssignment};
 use rand::rngs::StdRng;
@@ -20,16 +17,21 @@ fn forest_decomposition_across_epsilons() {
     let mut rng = StdRng::seed_from_u64(1);
     let g = generators::planted_forest_union(100, 5, &mut rng);
     let alpha = matroid::arboricity(&g);
-    for epsilon in [0.6, 0.4, 0.2] {
-        let result =
-            forest_decomposition(&g, &FdOptions::new(epsilon).with_alpha(alpha), &mut rng)
-                .unwrap();
-        validate_forest_decomposition(&g, &result.decomposition, Some(result.num_colors)).unwrap();
+    for (i, epsilon) in [0.6, 0.4, 0.2].into_iter().enumerate() {
+        let report = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_epsilon(epsilon)
+                .with_alpha(alpha)
+                .with_seed(i as u64),
+        )
+        .run(&g)
+        .unwrap();
+        report.validate(&g).unwrap();
         let budget = ((1.0 + epsilon) * alpha as f64).ceil() as usize;
         assert!(
-            result.num_colors <= budget + ((epsilon * alpha as f64).ceil() as usize).max(2) + 3,
+            report.num_colors <= budget + ((epsilon * alpha as f64).ceil() as usize).max(2) + 3,
             "eps {epsilon}: {} colors vs budget {budget}",
-            result.num_colors
+            report.num_colors
         );
     }
 }
@@ -37,25 +39,30 @@ fn forest_decomposition_across_epsilons() {
 #[test]
 fn diameter_targets_are_respected() {
     let g = generators::fat_path(150, 4);
-    let mut rng = StdRng::seed_from_u64(2);
     for (target, bound_fn) in [
-        (DiameterTarget::OneOverEpsilon, (|eps: f64| (2.0 * (2.0 / eps).ceil()) as usize)
-            as fn(f64) -> usize),
+        (
+            DiameterTarget::OneOverEpsilon,
+            (|eps: f64| (2.0 * (2.0 / eps).ceil()) as usize) as fn(f64) -> usize,
+        ),
         (DiameterTarget::LogOverEpsilon, |eps: f64| {
             (2.0 * ((150f64).ln().ceil() / eps).ceil()) as usize + 2
         }),
     ] {
         for epsilon in [0.5, 0.25] {
-            let options = FdOptions::new(epsilon)
-                .with_alpha(4)
-                .with_diameter_target(target);
-            let result = forest_decomposition(&g, &options, &mut rng).unwrap();
-            validate_forest_decomposition(&g, &result.decomposition, Some(result.num_colors))
-                .unwrap();
+            let report = Decomposer::new(
+                DecompositionRequest::new(ProblemKind::Forest)
+                    .with_epsilon(epsilon)
+                    .with_alpha(4)
+                    .with_diameter_target(target)
+                    .with_seed(2),
+            )
+            .run(&g)
+            .unwrap();
+            report.validate(&g).unwrap();
             assert!(
-                result.max_diameter <= bound_fn(epsilon),
+                report.max_diameter <= bound_fn(epsilon),
                 "target {target:?}, eps {epsilon}: diameter {} above bound {}",
-                result.max_diameter,
+                report.max_diameter,
                 bound_fn(epsilon)
             );
         }
@@ -65,13 +72,17 @@ fn diameter_targets_are_respected() {
 #[test]
 fn conditioned_sampling_cut_pipeline() {
     let g = generators::fat_path(80, 3);
-    let mut rng = StdRng::seed_from_u64(3);
-    let options = FdOptions::new(0.5)
-        .with_alpha(3)
-        .with_conditioned_sampling()
-        .with_radii(10, 5);
-    let result = forest_decomposition(&g, &options, &mut rng).unwrap();
-    validate_forest_decomposition(&g, &result.decomposition, Some(result.num_colors)).unwrap();
+    let report = Decomposer::new(
+        DecompositionRequest::new(ProblemKind::Forest)
+            .with_epsilon(0.5)
+            .with_alpha(3)
+            .with_cut(CutStrategyKind::ConditionedSampling)
+            .with_radii(10, 5)
+            .with_seed(3),
+    )
+    .run(&g)
+    .unwrap();
+    report.validate(&g).unwrap();
 }
 
 #[test]
@@ -80,13 +91,25 @@ fn list_forest_decomposition_with_tight_and_loose_palettes() {
     let g = generators::planted_forest_union(70, 3, &mut rng);
     let alpha = matroid::arboricity(&g);
     for palette in [2 * (alpha + 1), 3 * (alpha + 1)] {
-        let lists = ListAssignment::random(g.num_edges(), 2 * palette, palette, &mut rng);
-        let result =
-            list_forest_decomposition(&g, &lists, &FdOptions::new(0.5).with_alpha(alpha), &mut rng)
-                .unwrap();
-        assert!(result.coloring.is_complete());
-        validate_partial_forest_decomposition(&g, &result.coloring).unwrap();
-        validate_list_coloring(&g, &result.coloring, &lists).unwrap();
+        let report = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::ListForest)
+                .with_epsilon(0.5)
+                .with_alpha(alpha)
+                .with_palettes(PaletteSpec::Random {
+                    space: 2 * palette,
+                    size: palette,
+                })
+                .with_seed(palette as u64),
+        )
+        .run(&g)
+        .unwrap();
+        let fd = report.artifact.decomposition().unwrap();
+        validate_forest_decomposition(&g, fd, Some(report.num_colors)).unwrap();
+        let lists = report
+            .lists
+            .as_ref()
+            .expect("list runs keep their palettes");
+        validate_list_coloring(&g, &fd.to_partial(), lists).unwrap();
     }
 }
 
@@ -95,21 +118,43 @@ fn star_forest_pipelines_on_simple_graphs() {
     let mut rng = StdRng::seed_from_u64(5);
     let g = generators::planted_simple_arboricity(120, 6, &mut rng);
     let alpha = matroid::arboricity(g.graph());
-    let config = SfdConfig::new(0.3).with_alpha(alpha);
-    let sfd = star_forest_decomposition_simple(&g, &config, &mut rng).unwrap();
-    validate_star_forest_decomposition(g.graph(), &sfd.decomposition, None).unwrap();
+    let sfd = Decomposer::new(
+        DecompositionRequest::new(ProblemKind::StarForest)
+            .with_epsilon(0.3)
+            .with_alpha(alpha)
+            .with_seed(5),
+    )
+    .run(g.graph())
+    .unwrap();
+    sfd.validate(g.graph()).unwrap();
     // alpha + O(sqrt(log Delta) + log alpha) primary colors plus the O(eps alpha)
     // leftover recoloring: allow a generous constant-factor envelope here (the
     // precise comparison against Corollary 1.2 is produced by the benchmark
     // binaries).
-    assert!(sfd.num_colors <= 3 * alpha + 4, "colors = {}", sfd.num_colors);
+    assert!(
+        sfd.num_colors <= 3 * alpha + 4,
+        "colors = {}",
+        sfd.num_colors
+    );
 
     let delta = g.graph().max_degree() as f64;
     let palette = alpha + 2 * (delta.log2().ceil() as usize) + 4;
-    let lists = ListAssignment::random(g.graph().num_edges(), 2 * palette, palette, &mut rng);
-    let lsfd = list_star_forest_decomposition_simple(&g, &lists, &config, &mut rng).unwrap();
-    validate_star_forest_decomposition(g.graph(), &lsfd.decomposition, None).unwrap();
-    validate_list_coloring(g.graph(), &lsfd.decomposition.to_partial(), &lists).unwrap();
+    let lsfd = Decomposer::new(
+        DecompositionRequest::new(ProblemKind::ListStarForest)
+            .with_epsilon(0.3)
+            .with_alpha(alpha)
+            .with_palettes(PaletteSpec::Random {
+                space: 2 * palette,
+                size: palette,
+            })
+            .with_seed(6),
+    )
+    .run(g.graph())
+    .unwrap();
+    let stars = lsfd.artifact.decomposition().unwrap();
+    validate_star_forest_decomposition(g.graph(), stars, None).unwrap();
+    let lists = lsfd.lists.as_ref().expect("list runs keep their palettes");
+    validate_list_coloring(g.graph(), &stars.to_partial(), lists).unwrap();
 }
 
 #[test]
@@ -128,22 +173,37 @@ fn disconnected_graphs_are_handled() {
         .unwrap();
     }
     let alpha = matroid::arboricity(&g);
-    let mut rng = StdRng::seed_from_u64(6);
-    let result =
-        forest_decomposition(&g, &FdOptions::new(0.5).with_alpha(alpha), &mut rng).unwrap();
-    validate_forest_decomposition(&g, &result.decomposition, Some(result.num_colors)).unwrap();
+    let report = Decomposer::new(
+        DecompositionRequest::new(ProblemKind::Forest)
+            .with_epsilon(0.5)
+            .with_alpha(alpha)
+            .with_seed(6),
+    )
+    .run(&g)
+    .unwrap();
+    report.validate(&g).unwrap();
 }
 
 #[test]
 fn errors_are_reported_not_panicked() {
-    let mut rng = StdRng::seed_from_u64(7);
     let g = generators::fat_path(10, 3);
     // Epsilon out of range.
-    assert!(forest_decomposition(&g, &FdOptions::new(0.0), &mut rng).is_err());
+    assert!(matches!(
+        Decomposer::new(DecompositionRequest::new(ProblemKind::Forest).with_epsilon(0.0)).run(&g),
+        Err(FdError::InvalidEpsilon { .. })
+    ));
     // Palettes below (1+eps) alpha.
-    let lists = ListAssignment::uniform(g.num_edges(), 2);
-    assert!(
-        list_forest_decomposition(&g, &lists, &FdOptions::new(0.5).with_alpha(3), &mut rng)
-            .is_err()
-    );
+    assert!(matches!(
+        Decomposer::new(
+            DecompositionRequest::new(ProblemKind::ListForest)
+                .with_epsilon(0.5)
+                .with_alpha(3)
+                .with_palettes(PaletteSpec::Explicit(ListAssignment::uniform(
+                    g.num_edges(),
+                    2
+                )))
+        )
+        .run(&g),
+        Err(FdError::PaletteTooSmall { .. })
+    ));
 }

@@ -2,9 +2,8 @@
 //! output must validate as the kind of decomposition it claims to be, across
 //! arbitrary edge sets and palette shapes.
 
+use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, ProblemKind};
 use forest_decomp::augmenting::{apply_augmentation, AugmentationContext};
-use forest_decomp::baselines::two_color_star_forests;
-use forest_decomp::combine::{forest_decomposition, FdOptions};
 use forest_decomp::hpartition::{acyclic_orientation, h_partition, star_forest_decomposition};
 use forest_graph::decomposition::{
     validate_forest_decomposition, validate_partial_forest_decomposition,
@@ -13,8 +12,6 @@ use forest_graph::decomposition::{
 use forest_graph::{matroid, orientation, ListAssignment, MultiGraph, VertexId};
 use local_model::RoundLedger;
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Strategy: a random multigraph with up to `max_n` vertices and `max_m`
 /// edges (self-loops excluded by construction).
@@ -37,12 +34,17 @@ proptest! {
 
     #[test]
     fn exact_decomposition_is_always_valid(g in arb_multigraph(20, 60)) {
-        let exact = matroid::exact_forest_decomposition(&g);
-        prop_assert!(validate_forest_decomposition(&g, &exact.decomposition, Some(exact.arboricity)).is_ok());
+        let report = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest).with_engine(Engine::ExactMatroid),
+        )
+        .run(&g)
+        .unwrap();
+        let fd = report.artifact.decomposition().unwrap();
+        prop_assert!(validate_forest_decomposition(&g, fd, Some(report.arboricity)).is_ok());
         // Nash-Williams sandwich: alpha* <= alpha <= 2 alpha*.
         let ps = orientation::pseudoarboricity(&g);
-        prop_assert!(ps <= exact.arboricity);
-        prop_assert!(exact.arboricity <= (2 * ps).max(1));
+        prop_assert!(ps <= report.arboricity);
+        prop_assert!(report.arboricity <= (2 * ps).max(1));
     }
 
     #[test]
@@ -81,19 +83,33 @@ proptest! {
     #[test]
     fn pipeline_output_is_always_a_forest_decomposition(g in arb_multigraph(16, 40)) {
         let alpha = matroid::arboricity(&g).max(1);
-        let mut rng = StdRng::seed_from_u64(11);
-        let result = forest_decomposition(&g, &FdOptions::new(0.5).with_alpha(alpha), &mut rng);
+        let result = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_epsilon(0.5)
+                .with_alpha(alpha)
+                .with_seed(11),
+        )
+        .run(&g);
         prop_assert!(result.is_ok());
-        let result = result.unwrap();
-        prop_assert!(validate_forest_decomposition(&g, &result.decomposition, Some(result.num_colors)).is_ok());
-        prop_assert!(result.num_colors >= matroid::arboricity(&g));
+        let report = result.unwrap();
+        let fd = report.artifact.decomposition().unwrap();
+        prop_assert!(validate_forest_decomposition(&g, fd, Some(report.num_colors)).is_ok());
+        prop_assert!(report.num_colors >= matroid::arboricity(&g));
     }
 
     #[test]
     fn two_coloring_always_yields_star_forests(g in arb_multigraph(16, 40)) {
-        let exact = matroid::exact_forest_decomposition(&g);
-        let stars = two_color_star_forests(&g, &exact.decomposition);
-        prop_assert!(validate_star_forest_decomposition(&g, &stars, Some((2 * exact.arboricity).max(1))).is_ok());
+        let report = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::StarForest)
+                .with_engine(Engine::Folklore2Alpha),
+        )
+        .run(&g)
+        .unwrap();
+        let stars = report.artifact.decomposition().unwrap();
+        prop_assert!(
+            validate_star_forest_decomposition(&g, stars, Some((2 * report.arboricity).max(1)))
+                .is_ok()
+        );
     }
 
     #[test]

@@ -1,0 +1,330 @@
+//! Offline, deterministic stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! small subset of the `rand 0.8` API surface the algorithms actually use:
+//!
+//! * [`RngCore`] / [`Rng`] with `gen_range` (half-open integer and float
+//!   ranges) and `gen_bool`,
+//! * [`SeedableRng::seed_from_u64`] and the [`rngs::StdRng`] /
+//!   [`rngs::SmallRng`] generators (both xoshiro256++ seeded via SplitMix64),
+//! * [`seq::SliceRandom`] with `choose`, `choose_multiple` and `shuffle`,
+//! * [`thread_rng`] (deterministic per call site — there is no OS entropy in
+//!   the sandbox, and reproducibility is a feature of this workspace).
+//!
+//! Streams are *not* value-compatible with the upstream crate, but they are
+//! stable across platforms and releases, which is what the seeded tests and
+//! the `Decomposer` reproducibility guarantee rely on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// SplitMix64 step, used for seeding and seed derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The low-level generator interface: a source of `u64` words.
+pub trait RngCore {
+    /// Returns the next word of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32-bit word (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (expanded with SplitMix64).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A uniform double in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, u16, u8);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+/// The user-facing generator interface.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli sample with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// xoshiro256++ core shared by [`rngs::StdRng`] and [`rngs::SmallRng`].
+#[derive(Clone, Debug)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = splitmix64(&mut sm);
+        }
+        // All-zero state would be a fixed point; SplitMix64 cannot produce
+        // four zero words from any seed, but keep the guard for clarity.
+        if s.iter().all(|&w| w == 0) {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Xoshiro256 { s }
+    }
+
+    fn next(&mut self) -> u64 {
+        let [mut s0, mut s1, mut s2, mut s3] = self.s;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        s2 ^= s0;
+        s3 ^= s1;
+        s1 ^= s2;
+        s0 ^= s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.s = [s0, s1, s2, s3];
+        result
+    }
+}
+
+/// The named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Xoshiro256};
+
+    /// Stand-in for `rand::rngs::StdRng` (deterministic xoshiro256++).
+    #[derive(Clone, Debug)]
+    pub struct StdRng(Xoshiro256);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng(Xoshiro256::from_u64(state))
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+
+    /// Stand-in for `rand::rngs::SmallRng`; the owned, cheap-to-derive
+    /// generator the `Decomposer` facade threads through every run.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng(Xoshiro256);
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            SmallRng(Xoshiro256::from_u64(state))
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+
+    /// Stand-in for `rand::rngs::ThreadRng` (deterministic; see
+    /// [`thread_rng`](super::thread_rng)).
+    #[derive(Clone, Debug)]
+    pub struct ThreadRng(pub(crate) Xoshiro256);
+
+    impl RngCore for ThreadRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next()
+        }
+    }
+}
+
+/// Returns a generator seeded from a process-global counter.
+///
+/// There is no OS entropy in the offline sandbox; successive calls still
+/// produce distinct streams, and whole-process runs are reproducible.
+pub fn thread_rng() -> rngs::ThreadRng {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    rngs::ThreadRng(Xoshiro256::from_u64(
+        0x5EED_CAFE ^ n.wrapping_mul(0xA076_1D64_78BD_642F),
+    ))
+}
+
+/// Sequence helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random selection from slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Returns `amount` distinct elements in random order (all of them if
+        /// the slice is shorter).
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let amount = amount.min(self.len());
+            let mut indices: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..indices.len());
+                indices.swap(i, j);
+            }
+            indices.truncate(amount);
+            indices
+                .into_iter()
+                .map(|i| &self[i])
+                .collect::<Vec<&T>>()
+                .into_iter()
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(
+                a.gen_range(0..1_000_000usize),
+                b.gen_range(0..1_000_000usize)
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        use super::RngCore;
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 8);
+    }
+
+    #[test]
+    fn ranges_hit_bounds_only() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let x = rng.gen_range(5..8usize);
+            assert!((5..8).contains(&x));
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let items: Vec<usize> = (0..10).collect();
+        let mut picked: Vec<usize> = items.choose_multiple(&mut rng, 4).copied().collect();
+        assert_eq!(picked.len(), 4);
+        picked.sort_unstable();
+        picked.dedup();
+        assert_eq!(picked.len(), 4);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut items: Vec<usize> = (0..50).collect();
+        items.shuffle(&mut rng);
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

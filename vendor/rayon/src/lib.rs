@@ -1,0 +1,128 @@
+//! Offline stand-in for `rayon`, built on `std::thread::scope`.
+//!
+//! The sandbox cannot fetch crates.io, so the workspace vendors the tiny
+//! slice-parallelism subset the `Decomposer::run_batch` fan-out and its bench
+//! need: `slice.par_iter().map(f).collect::<Vec<_>>()` plus
+//! [`current_num_threads`]. Work is split into one contiguous chunk per
+//! available core and joined in order, so `collect` preserves input order
+//! exactly like upstream rayon's indexed parallel iterators.
+
+#![forbid(unsafe_code)]
+
+use std::thread;
+
+/// Number of worker threads a parallel iterator will use.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Borrowing parallel iterator over a slice; see [`IntoParallelRefIterator`].
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Applies `f` to every element in parallel.
+    pub fn map<F, R>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]; consumed by [`ParMap::collect`].
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync, F> ParMap<'data, T, F> {
+    /// Runs the mapped computation across all cores and gathers the results
+    /// in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+        C: From<Vec<R>>,
+    {
+        if self.items.is_empty() {
+            return Vec::new().into();
+        }
+        let threads = current_num_threads().min(self.items.len());
+        let chunk_len = self.items.len().div_ceil(threads);
+        let f = &self.f;
+        let gathered: Vec<R> = thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk_len)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        gathered.into()
+    }
+}
+
+/// Types that offer a borrowing parallel iterator (`par_iter`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type yielded by reference.
+    type Item: Sync + 'data;
+
+    /// Returns a parallel iterator over borrowed elements.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The glob-import surface mirrored from upstream.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let input: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let input: Vec<usize> = Vec::new();
+        let out: Vec<usize> = input.par_iter().map(|x| *x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn at_least_one_thread() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
