@@ -1,0 +1,147 @@
+//! Emits a machine-readable performance snapshot (`BENCH_pr2.json` via
+//! `scripts/bench_snapshot.sh`): wall-clock of the `Decomposer` facade across
+//! graph sizes × engines, plus the 64-graph `decomposer_batch` workload that
+//! the acceptance criteria track across PRs.
+//!
+//! The `pre_refactor_baseline` block records the medians measured on the
+//! PR 1 facade (before the CSR graph core landed) with the identical
+//! workload, so the JSON carries its own before/after comparison.
+
+use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, FrozenGraph, ProblemKind};
+use forest_graph::{generators, MultiGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Medians measured on the pre-refactor facade (PR 1, commit `2718eda`) for
+/// the exact `decomposer_batch` workload below, in milliseconds — on the
+/// PR 2 development container. Speedup ratios in the emitted JSON are only
+/// meaningful when the snapshot is regenerated on comparable hardware; the
+/// JSON carries a `baseline_host_note` flagging this.
+const BASELINE_SEQUENTIAL_MS: [(&str, f64); 2] =
+    [("harris-su-vu", 37.312), ("exact-matroid", 32.302)];
+const BASELINE_RAYON_MS: [(&str, f64); 2] = [("harris-su-vu", 38.873), ("exact-matroid", 33.165)];
+
+fn batch_workload() -> Vec<MultiGraph> {
+    // Identical to benches/decomposer_batch.rs.
+    let mut rng = StdRng::seed_from_u64(8);
+    (0..64)
+        .map(|i| generators::planted_forest_union(48 + (i % 7) * 8, 3, &mut rng))
+        .collect()
+}
+
+fn median_ms<F: FnMut()>(samples: usize, mut run: F) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            run();
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn json_f(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+fn main() {
+    let mut out = String::from("{\n");
+    out.push_str("  \"snapshot\": \"BENCH_pr2\",\n");
+    out.push_str("  \"workload\": \"decomposer_batch: 64 planted multigraphs, n in 48..96, alpha 3, forest problem, validation off\",\n");
+    out.push_str("  \"baseline_host_note\": \"pre_refactor_baseline was measured on the PR 2 development container at commit 2718eda; speedup ratios are machine-specific and only comparable when this snapshot is regenerated on similar hardware\",\n");
+
+    // --- the acceptance-criteria batch workload -------------------------
+    let graphs = batch_workload();
+    let frozen: Vec<FrozenGraph> = graphs.iter().cloned().map(FrozenGraph::freeze).collect();
+    out.push_str("  \"decomposer_batch_64\": {\n");
+    let mut engine_blocks = Vec::new();
+    for engine in [Engine::HarrisSuVu, Engine::ExactMatroid] {
+        let decomposer = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_engine(engine)
+                .with_epsilon(0.5)
+                .with_alpha(3)
+                .with_seed(9)
+                .without_validation(),
+        );
+        let warm = decomposer.run_batch(&graphs);
+        assert!(warm.iter().all(Result::is_ok));
+        let sequential = median_ms(9, || {
+            for g in &graphs {
+                decomposer.run(g).unwrap();
+            }
+        });
+        let rayon_batch = median_ms(9, || {
+            decomposer
+                .run_batch(&graphs)
+                .into_iter()
+                .for_each(|r| drop(r.unwrap()));
+        });
+        let frozen_batch = median_ms(9, || {
+            decomposer
+                .run_batch_frozen(&frozen)
+                .into_iter()
+                .for_each(|r| drop(r.unwrap()));
+        });
+        let name = engine.to_string();
+        let before_seq = BASELINE_SEQUENTIAL_MS
+            .iter()
+            .find(|(e, _)| *e == name)
+            .map(|(_, ms)| *ms)
+            .unwrap();
+        let before_rayon = BASELINE_RAYON_MS
+            .iter()
+            .find(|(e, _)| *e == name)
+            .map(|(_, ms)| *ms)
+            .unwrap();
+        engine_blocks.push(format!(
+            "    \"{name}\": {{\n      \"pre_refactor_baseline\": {{\"sequential_ms\": {}, \"rayon_batch_ms\": {}}},\n      \"post_refactor\": {{\"sequential_ms\": {}, \"rayon_batch_ms\": {}, \"frozen_batch_ms\": {}}},\n      \"speedup_sequential\": {},\n      \"speedup_rayon_batch\": {}\n    }}",
+            json_f(before_seq),
+            json_f(before_rayon),
+            json_f(sequential),
+            json_f(rayon_batch),
+            json_f(frozen_batch),
+            json_f(before_seq / sequential),
+            json_f(before_rayon / rayon_batch),
+        ));
+    }
+    out.push_str(&engine_blocks.join(",\n"));
+    out.push_str("\n  },\n");
+
+    // --- size × engine sweep --------------------------------------------
+    out.push_str("  \"size_sweep\": [\n");
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(21);
+    for n in [64usize, 128, 256, 512] {
+        let g = generators::planted_forest_union(n, 3, &mut rng);
+        let frozen = FrozenGraph::freeze(g.clone());
+        for engine in [
+            Engine::HarrisSuVu,
+            Engine::BarenboimElkin,
+            Engine::ExactMatroid,
+        ] {
+            let decomposer = Decomposer::new(
+                DecompositionRequest::new(ProblemKind::Forest)
+                    .with_engine(engine)
+                    .with_epsilon(0.5)
+                    .with_alpha(3)
+                    .with_seed(5)
+                    .without_validation(),
+            );
+            decomposer.run_frozen(&frozen).unwrap();
+            let ms = median_ms(5, || {
+                decomposer.run_frozen(&frozen).unwrap();
+            });
+            rows.push(format!(
+                "    {{\"n\": {n}, \"m\": {}, \"engine\": \"{engine}\", \"problem\": \"forest\", \"median_ms\": {}}}",
+                g.num_edges(),
+                json_f(ms)
+            ));
+        }
+    }
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    print!("{out}");
+}

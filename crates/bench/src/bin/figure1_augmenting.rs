@@ -8,7 +8,7 @@
 
 use forest_decomp::augmenting::{apply_augmentation, AugmentationContext};
 use forest_graph::decomposition::{validate_partial_forest_decomposition, PartialEdgeColoring};
-use forest_graph::{Color, ListAssignment, MultiGraph, VertexId};
+use forest_graph::{Color, CsrGraph, GraphView, ListAssignment, MultiGraph, VertexId};
 
 fn main() {
     // Vertices 0..=6. Color 0 is the path 0-1-2-3-4-5-6. Color 1 is the path
@@ -33,7 +33,9 @@ fn main() {
     let target = g.add_edge(VertexId::new(0), VertexId::new(n - 1)).unwrap();
     let lists = ListAssignment::uniform(g.num_edges(), 2);
 
-    let ctx = AugmentationContext::new(&g, &lists);
+    // Freeze the finished topology once; the search runs over the CSR view.
+    let csr = CsrGraph::from_multigraph(&g);
+    let ctx = AugmentationContext::new(&csr, &lists);
     println!(
         "Figure 1: chord (0,{}) over two interleaved monochromatic paths",
         n - 1
@@ -53,7 +55,7 @@ fn main() {
     assert!(ctx.is_valid_augmenting_sequence(&coloring, &seq));
     println!("  augmenting sequence (length {}):", seq.len());
     for (i, (edge, color)) in seq.steps.iter().enumerate() {
-        let (u, v) = g.endpoints(*edge);
+        let (u, v) = csr.endpoints(*edge);
         let old = coloring
             .color(*edge)
             .map(|c| c.to_string())
@@ -61,11 +63,11 @@ fn main() {
         println!("    step {i}: edge {edge} = ({u},{v})   {old} -> {color}");
     }
     apply_augmentation(&mut coloring, &seq);
-    validate_partial_forest_decomposition(&g, &coloring)
+    validate_partial_forest_decomposition(&csr, &coloring)
         .expect("Lemma 3.1: still a partial forest decomposition");
     println!(
         "  after: {} / {} edges colored, every class verified to be a forest",
         coloring.colored_count(),
-        g.num_edges()
+        csr.num_edges()
     );
 }

@@ -8,14 +8,16 @@ use bench::TextTable;
 use forest_decomp::augmenting::AugmentationContext;
 use forest_graph::decomposition::PartialEdgeColoring;
 use forest_graph::traversal::path_between;
-use forest_graph::{generators, matroid, Color, EdgeId, ListAssignment, MultiGraph};
+use forest_graph::{
+    generators, matroid, Color, CsrGraph, EdgeId, GraphView, ListAssignment, MultiGraph,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Greedy pre-coloring: each edge takes the first palette color that does not
 /// close a cycle; returns the first edge for which every color is blocked.
 fn greedy_until_stuck(
-    g: &MultiGraph,
+    g: &CsrGraph,
     lists: &ListAssignment,
 ) -> (PartialEdgeColoring, Option<EdgeId>) {
     let mut coloring = PartialEdgeColoring::new_uncolored(g.num_edges());
@@ -35,12 +37,14 @@ fn greedy_until_stuck(
 fn trace_for(name: &str, g: &MultiGraph) {
     let alpha = matroid::arboricity(g);
     let lists = ListAssignment::uniform(g.num_edges(), alpha);
-    let (coloring, stuck) = greedy_until_stuck(g, &lists);
+    // The growth trace runs over the frozen CSR topology.
+    let csr = CsrGraph::from_multigraph(g);
+    let (coloring, stuck) = greedy_until_stuck(&csr, &lists);
     let Some(start) = stuck else {
         println!("Figure 2: {name} (alpha = {alpha}) — greedy never got stuck, nothing to trace\n");
         return;
     };
-    let ctx = AugmentationContext::new(g, &lists);
+    let ctx = AugmentationContext::new(&csr, &lists);
     let trace = ctx.growth_trace(&coloring, start, 60);
     let mut table = TextTable::new(&["iteration", "|E_i|", "growth factor"]);
     for (i, size) in trace.iter().enumerate() {

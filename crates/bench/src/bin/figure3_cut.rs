@@ -1,24 +1,39 @@
 //! Regenerates Figure 3: CUT disconnecting the cluster core C' from the
 //! distance-R boundary of its view C'' in every color class, and the
 //! per-vertex load of the removed (leftover) edges.
+//!
+//! The baseline coloring comes from the `Decomposer` facade (exact matroid
+//! engine); the CUT phase itself is exercised directly since the facade
+//! intentionally hides per-phase machinery.
 
 use bench::TextTable;
-use forest_decomp::cut::{execute_cut, is_good, CutState, CutStrategy};
+use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, ProblemKind};
+use forest_decomp::cut::{dense_mask, execute_cut, is_good, CutState, CutStrategy};
 use forest_graph::decomposition::PartialEdgeColoring;
-use forest_graph::{generators, matroid, Color, EdgeId, VertexId};
+use forest_graph::{generators, CsrGraph, GraphView, VertexId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashSet;
 
 fn main() {
     // A fat path colored exactly by the centralized baseline: long
     // monochromatic paths that CUT must sever.
     let g = generators::fat_path(300, 3);
-    let exact = matroid::exact_forest_decomposition(&g);
-    let coloring: PartialEdgeColoring = exact.decomposition.to_partial();
-    let core: HashSet<VertexId> = (0..5).map(VertexId::new).collect();
+    let report = Decomposer::new(
+        DecompositionRequest::new(ProblemKind::Forest)
+            .with_engine(Engine::ExactMatroid)
+            .with_seed(5),
+    )
+    .run(&g)
+    .expect("exact decomposition");
+    let coloring: PartialEdgeColoring = report
+        .artifact
+        .decomposition()
+        .expect("forest run yields a decomposition")
+        .to_partial();
+    let csr = CsrGraph::from_multigraph(&g);
+    let core = dense_mask(csr.num_vertices(), (0..5).map(VertexId::new));
     let radius = 12usize;
-    let view: HashSet<VertexId> = (0..5 + radius).map(VertexId::new).collect();
+    let view = dense_mask(csr.num_vertices(), (0..5 + radius).map(VertexId::new));
     let mut table = TextTable::new(&[
         "strategy",
         "levels/prob",
@@ -28,10 +43,10 @@ fn main() {
         "max load",
     ]);
     for levels in [3usize, 6, 12] {
-        let mut state = CutState::new(g.num_vertices());
+        let mut state = CutState::new(csr.num_vertices());
         let mut rng = StdRng::seed_from_u64(5);
         let outcome = execute_cut(
-            &g,
+            &csr,
             &coloring,
             &core,
             &view,
@@ -40,8 +55,8 @@ fn main() {
             true,
             &mut rng,
         );
-        let removed: HashSet<EdgeId> = outcome.all_removed().into_iter().collect();
-        assert!(is_good(&g, &coloring, &removed, &core, &view));
+        let removed = dense_mask(csr.num_edges(), outcome.all_removed());
+        assert!(is_good(&csr, &coloring, &removed, &core, &view));
         table.row(vec![
             "depth-modulo".into(),
             levels.to_string(),
@@ -52,11 +67,11 @@ fn main() {
         ]);
     }
     for prob in [0.2f64, 0.5, 0.9] {
-        let (orientation, _) = forest_graph::orientation::min_max_outdegree_orientation(&g);
-        let mut state = CutState::with_orientation(g.num_vertices(), orientation);
+        let (orientation, _) = forest_graph::orientation::min_max_outdegree_orientation(&csr);
+        let mut state = CutState::with_orientation(csr.num_vertices(), orientation);
         let mut rng = StdRng::seed_from_u64(6);
         let outcome = execute_cut(
-            &g,
+            &csr,
             &coloring,
             &core,
             &view,
@@ -79,8 +94,7 @@ fn main() {
     }
     println!(
         "Figure 3: CUT(C', R) on a fat path, |C'| = 5, R = {radius}, colors = {}",
-        exact.arboricity
+        report.num_colors
     );
     println!("{}", table.render());
-    let _ = Color::new(0);
 }

@@ -3,9 +3,10 @@
 //! ceil(eps*alpha) extra forests.
 
 use bench::TextTable;
+use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, ProblemKind};
 use forest_decomp::diameter_reduction::{reduce_diameter, DiameterTarget};
 use forest_graph::decomposition::max_forest_diameter;
-use forest_graph::{generators, matroid};
+use forest_graph::generators;
 use local_model::RoundLedger;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -33,10 +34,18 @@ fn main() {
         ),
         ("path n=400", generators::path(400), 1usize),
     ];
+    let exact_decomposer = Decomposer::new(
+        DecompositionRequest::new(ProblemKind::Forest).with_engine(Engine::ExactMatroid),
+    );
     for (name, g, _alpha_hint) in workloads {
-        let exact = matroid::exact_forest_decomposition(&g);
-        let alpha = exact.arboricity;
-        let before = max_forest_diameter(&g, &exact.decomposition.to_partial());
+        let report = exact_decomposer.run(&g).expect("exact decomposition");
+        let alpha = report.arboricity;
+        let exact_fd = report
+            .artifact
+            .decomposition()
+            .expect("forest runs yield decompositions")
+            .clone();
+        let before = max_forest_diameter(&g, &exact_fd.to_partial());
         for epsilon in [0.5f64, 0.25, 0.1] {
             for (target, label) in [
                 (DiameterTarget::LogOverEpsilon, "O(log n / eps)"),
@@ -46,7 +55,7 @@ fn main() {
                 let mut ledger = RoundLedger::new();
                 let out = reduce_diameter(
                     &g,
-                    &exact.decomposition.to_partial(),
+                    &exact_fd.to_partial(),
                     epsilon,
                     target,
                     &mut rng,

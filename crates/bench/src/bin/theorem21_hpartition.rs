@@ -8,7 +8,7 @@ use forest_decomp::hpartition::{
 use forest_graph::decomposition::{
     validate_forest_decomposition, validate_star_forest_decomposition,
 };
-use forest_graph::{orientation, ListAssignment};
+use forest_graph::{orientation, CsrGraph, GraphView, ListAssignment};
 use local_model::RoundLedger;
 
 fn main() {
@@ -24,7 +24,8 @@ fn main() {
         "t-LFD ok",
     ]);
     for workload in multigraph_suite(5) {
-        let g = &workload.graph;
+        // Freeze once per workload; every phase below runs over the CSR view.
+        let g = &CsrGraph::from_multigraph(&workload.graph);
         let alpha_star = orientation::pseudoarboricity(g);
         for epsilon in [0.5f64, 0.25, 0.1] {
             let mut ledger = RoundLedger::new();

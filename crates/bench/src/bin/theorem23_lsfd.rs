@@ -5,7 +5,7 @@
 use bench::{multigraph_suite, TextTable};
 use forest_decomp::lsfd_degeneracy::list_star_forest_decomposition_degeneracy;
 use forest_graph::decomposition::validate_star_forest_decomposition;
-use forest_graph::{matroid, orientation, ListAssignment};
+use forest_graph::{matroid, orientation, CsrGraph, GraphView, ListAssignment};
 use local_model::RoundLedger;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,8 +22,9 @@ fn main() {
         "rounds",
     ]);
     for workload in multigraph_suite(13) {
-        let g = &workload.graph;
-        let alpha = matroid::arboricity(g);
+        let alpha = matroid::arboricity(&workload.graph);
+        // Freeze once per workload; the degeneracy pipeline runs over CSR.
+        let g = &CsrGraph::from_multigraph(&workload.graph);
         let alpha_star = orientation::pseudoarboricity(g);
         let t = ((2.0 + epsilon) * alpha_star as f64).floor() as usize;
         let palette = 2 * t;

@@ -24,17 +24,16 @@
 //! when `log n / ε` is far below the diameter). The configuration lets
 //! benchmarks force smaller radii to exercise the full machinery.
 
-use crate::augmenting::AugmentationContext;
-use crate::cut::{execute_cut, CutOutcome, CutState, CutStrategy};
+use crate::augmenting::{AugmentationContext, ColorConnectivity};
+use crate::cut::{dense_mask, execute_cut, CutOutcome, CutState, CutStrategy};
 use crate::error::{check_epsilon, FdError};
 use crate::hpartition::{acyclic_orientation, h_partition};
 use forest_graph::decomposition::PartialEdgeColoring;
 use forest_graph::traversal::{bfs_distances, connected_components, multi_source_bfs, UNREACHABLE};
-use forest_graph::{EdgeId, ListAssignment, MultiGraph, VertexId};
+use forest_graph::{CsrGraph, EdgeId, GraphView, ListAssignment, MultiGraph, VertexId};
 use local_model::rounds::costs;
 use local_model::{network_decomposition, RoundLedger};
 use rand::Rng;
-use std::collections::HashSet;
 
 /// Which CUT rule Algorithm 2 should use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -133,7 +132,10 @@ fn derived_radius(n: usize, epsilon: f64) -> usize {
     ((ln_n / epsilon).ceil() as usize).max(2)
 }
 
-/// Runs Algorithm 2 on `g` with the given palettes.
+/// Runs Algorithm 2 on `g` with the given palettes, freezing the topology to
+/// CSR once and running every phase (BFS regions, CUT, augmentation) over the
+/// flat arrays. Callers that already hold a frozen topology should use
+/// [`algorithm2_frozen`].
 ///
 /// Every palette must contain at least `⌈(1+ε)α⌉` colors.
 ///
@@ -142,21 +144,33 @@ fn derived_radius(n: usize, epsilon: f64) -> usize {
 /// Returns an error for invalid `ε`, palettes that are too small, or when an
 /// augmentation cannot be completed even without locality restriction (which
 /// indicates the arboricity bound is wrong).
-#[deprecated(
-    since = "0.2.0",
-    note = "drive Algorithm 2 through api::Decomposer (ProblemKind::Forest or \
-            ProblemKind::ListForest + Engine::HarrisSuVu); the raw phase remains \
-            available for the combine pipelines"
-)]
 pub fn algorithm2<R: Rng + ?Sized>(
     g: &MultiGraph,
     lists: &ListAssignment,
     config: &Algorithm2Config,
     rng: &mut R,
 ) -> Result<Algorithm2Output, FdError> {
+    let csr = CsrGraph::from_multigraph(g);
+    algorithm2_frozen(g, &csr, lists, config, rng)
+}
+
+/// [`algorithm2`] over a pre-frozen topology: `csr` must be
+/// `CsrGraph::from_multigraph(g)` for the same `g` (the facade freezes once
+/// per request and threads the pair through every engine phase).
+///
+/// # Errors
+///
+/// Same as [`algorithm2`].
+pub fn algorithm2_frozen<R: Rng + ?Sized>(
+    g: &MultiGraph,
+    csr: &CsrGraph,
+    lists: &ListAssignment,
+    config: &Algorithm2Config,
+    rng: &mut R,
+) -> Result<Algorithm2Output, FdError> {
     check_epsilon(config.epsilon)?;
-    let n = g.num_vertices();
-    let m = g.num_edges();
+    let n = csr.num_vertices();
+    let m = csr.num_edges();
     let mut ledger = RoundLedger::new();
     if m == 0 {
         return Ok(Algorithm2Output {
@@ -174,7 +188,7 @@ pub fn algorithm2<R: Rng + ?Sized>(
         });
     }
     let needed = ((1.0 + config.epsilon) * config.alpha as f64).ceil() as usize;
-    for e in g.edge_ids() {
+    for e in csr.edge_ids() {
         if lists.palette(e).len() < needed {
             return Err(FdError::PaletteTooSmall {
                 edge: e,
@@ -213,9 +227,9 @@ pub fn algorithm2<R: Rng + ?Sized>(
     let mut cut_state = match config.cut {
         CutStrategyKind::DepthModulo => CutState::new(n),
         CutStrategyKind::ConditionedSampling => {
-            let pseudo = forest_graph::orientation::pseudoarboricity(g).max(1);
-            let hp = h_partition(g, 0.9, pseudo, &mut ledger)?;
-            CutState::with_orientation(n, acyclic_orientation(g, &hp))
+            let pseudo = forest_graph::orientation::pseudoarboricity(csr).max(1);
+            let hp = h_partition(csr, 0.9, pseudo, &mut ledger)?;
+            CutState::with_orientation(n, acyclic_orientation(csr, &hp))
         }
     };
 
@@ -226,15 +240,15 @@ pub fn algorithm2<R: Rng + ?Sized>(
     let power = 2 * (cut_radius + locality_radius);
     let diameter_upper = {
         // Double-BFS upper bound per connected component.
-        let (comp, num_comp) = connected_components(g, |_| true);
+        let (comp, num_comp) = connected_components(csr, |_| true);
         let mut bound = 0usize;
         for c in 0..num_comp {
-            let repr = g
+            let repr = csr
                 .vertices()
                 .find(|v| comp[v.index()] == c)
                 .expect("non-empty component");
-            let d = bfs_distances(g, repr, |_| true);
-            let far = g
+            let d = bfs_distances(csr, repr, |_| true);
+            let far = csr
                 .vertices()
                 .filter(|v| comp[v.index()] == c && d[v.index()] != UNREACHABLE)
                 .map(|v| d[v.index()])
@@ -251,9 +265,9 @@ pub fn algorithm2<R: Rng + ?Sized>(
             "network decomposition of G^{2(R+R')} (trivial: radius exceeds diameter)",
             costs::network_decomposition(n, 1),
         );
-        let (comp, num_comp) = connected_components(g, |_| true);
+        let (comp, num_comp) = connected_components(csr, |_| true);
         let mut clusters: Vec<Vec<VertexId>> = vec![Vec::new(); num_comp];
-        for v in g.vertices() {
+        for v in csr.vertices() {
             clusters[comp[v.index()]].push(v);
         }
         let count = clusters.len();
@@ -275,7 +289,7 @@ pub fn algorithm2<R: Rng + ?Sized>(
     };
 
     let mut coloring = PartialEdgeColoring::new_uncolored(m);
-    let mut removed: HashSet<EdgeId> = HashSet::new();
+    let mut removed = vec![false; m];
     let mut leftover: Vec<EdgeId> = Vec::new();
     let mut all_cuts_good = true;
     let mut forced_cut_removals = 0usize;
@@ -292,22 +306,20 @@ pub fn algorithm2<R: Rng + ?Sized>(
             (cut_radius + locality_radius) * costs::log2_ceil(n).max(1),
         );
         for cluster in clusters {
-            // C' = N^{R'}(C), C'' = N^{R+R'}(C).
-            let dist = multi_source_bfs(g, cluster, |_| true);
-            let core: HashSet<VertexId> = g
-                .vertices()
-                .filter(|v| dist[v.index()] != UNREACHABLE && dist[v.index()] <= locality_radius)
-                .collect();
-            let view: HashSet<VertexId> = g
-                .vertices()
-                .filter(|v| {
-                    dist[v.index()] != UNREACHABLE
-                        && dist[v.index()] <= locality_radius + cut_radius
-                })
-                .collect();
+            // C' = N^{R'}(C), C'' = N^{R+R'}(C), as dense vertex masks.
+            let dist = multi_source_bfs(csr, cluster, |_| true);
+            let mut core = vec![false; n];
+            let mut view = vec![false; n];
+            for v in csr.vertices() {
+                if dist[v.index()] == UNREACHABLE {
+                    continue;
+                }
+                core[v.index()] = dist[v.index()] <= locality_radius;
+                view[v.index()] = dist[v.index()] <= locality_radius + cut_radius;
+            }
             // CUT(C', R).
             let outcome: CutOutcome = execute_cut(
-                g,
+                csr,
                 &coloring,
                 &core,
                 &view,
@@ -319,39 +331,54 @@ pub fn algorithm2<R: Rng + ?Sized>(
             all_cuts_good &= outcome.good;
             forced_cut_removals += outcome.forced.len();
             for e in outcome.all_removed() {
-                if removed.insert(e) {
+                if !removed[e.index()] {
+                    removed[e.index()] = true;
                     coloring.clear(e);
                     leftover.push(e);
                 }
             }
             // Augment every uncolored, non-removed edge incident to C.
-            let cluster_set: HashSet<VertexId> = cluster.iter().copied().collect();
-            let view_edges: HashSet<EdgeId> = g
-                .edges()
-                .filter(|(e, u, v)| !removed.contains(e) && view.contains(u) && view.contains(v))
-                .map(|(e, _, _)| e)
-                .collect();
-            let restricted = AugmentationContext::restricted(g, lists, &view_edges);
-            let unrestricted = AugmentationContext::new(g, lists);
-            for (e, u, v) in g.edges() {
-                if coloring.color(e).is_some() || removed.contains(&e) {
+            let cluster_set = dense_mask(n, cluster.iter().copied());
+            let mut view_edges = vec![false; m];
+            for (e, u, v) in csr.edges() {
+                view_edges[e.index()] = !removed[e.index()] && view[u.index()] && view[v.index()];
+            }
+            let restricted = AugmentationContext::restricted(csr, lists, &view_edges);
+            let unrestricted = AugmentationContext::new(csr, lists);
+            // The connectivity cache is scoped to this cluster: the edge
+            // restriction (and the CUT removals above) changed since the
+            // previous one.
+            let mut conn = ColorConnectivity::new(n);
+            for (e, u, v) in csr.edges() {
+                if coloring.color(e).is_some() || removed[e.index()] {
                     continue;
                 }
-                if !cluster_set.contains(&u) && !cluster_set.contains(&v) {
+                if !cluster_set[u.index()] && !cluster_set[v.index()] {
                     continue;
                 }
-                let seq = restricted
-                    .find_augmenting_sequence(&coloring, e, max_iterations)
-                    .or_else(|| {
-                        fallback_unrestricted += 1;
-                        unrestricted.find_augmenting_sequence(&coloring, e, max_iterations)
-                    });
-                match seq {
-                    Some(seq) => crate::augmenting::apply_augmentation(&mut coloring, &seq),
+                if restricted
+                    .augment_edge_connected(&mut coloring, &mut conn, e, max_iterations)
+                    .is_ok()
+                {
+                    continue;
+                }
+                fallback_unrestricted += 1;
+                match unrestricted.find_augmenting_sequence(&coloring, e, max_iterations) {
+                    Some(seq) => {
+                        // The unrestricted sequence may recolor edges the
+                        // restricted cache tracks; invalidate what it touched.
+                        for &(se, sc) in &seq.steps {
+                            if let Some(old) = coloring.color(se) {
+                                conn.invalidate(old);
+                            }
+                            conn.invalidate(sc);
+                        }
+                        crate::augmenting::apply_augmentation(&mut coloring, &seq);
+                    }
                     None => {
                         // Give up on this edge: it joins the leftover set.
                         fallback_uncolored += 1;
-                        removed.insert(e);
+                        removed[e.index()] = true;
                         leftover.push(e);
                     }
                 }
@@ -375,7 +402,6 @@ pub fn algorithm2<R: Rng + ?Sized>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests exercise the historical entrypoints directly
 mod tests {
     use super::*;
     use forest_graph::decomposition::{
@@ -384,6 +410,7 @@ mod tests {
     use forest_graph::{generators, matroid};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::HashSet;
 
     fn check_output(g: &MultiGraph, lists: &ListAssignment, out: &Algorithm2Output) {
         validate_partial_forest_decomposition(g, &out.coloring).expect("E0 is an LFD");

@@ -1,7 +1,5 @@
 //! Engine adapters: the [`DecompositionEngine`] trait and one adapter per
-//! [`Engine`], wrapping the pre-facade pipeline entrypoints.
-
-#![allow(deprecated)] // the adapters wrap the deprecated free-function shims
+//! [`Engine`], running the pipeline modules over a frozen topology.
 
 use super::report::Artifact;
 use super::{DecompositionRequest, Engine, ProblemKind};
@@ -13,9 +11,24 @@ use crate::star_forest::{
     list_star_forest_decomposition_simple, star_forest_decomposition_simple, SfdConfig,
 };
 use forest_graph::decomposition::max_forest_diameter;
-use forest_graph::{ForestDecomposition, ListAssignment, MultiGraph, SimpleGraph};
+use forest_graph::{CsrGraph, ForestDecomposition, ListAssignment, MultiGraph, SimpleGraph};
 use local_model::RoundLedger;
 use rand::rngs::SmallRng;
+
+/// One decomposition input, frozen once per request: the mutable builder
+/// representation plus its compressed-sparse-row view. The
+/// [`Decomposer`](super::Decomposer) constructs this at the request boundary
+/// and threads it through every engine, so no pipeline re-freezes (and batch
+/// runs over the same graph share one freeze — see
+/// [`FrozenGraph`](super::FrozenGraph)).
+#[derive(Clone, Copy, Debug)]
+pub struct FrozenInput<'a> {
+    /// The original multigraph (centralized baselines and subgraph
+    /// extraction need the adjacency-list form).
+    pub graph: &'a MultiGraph,
+    /// The frozen CSR topology every hot path runs over.
+    pub csr: &'a CsrGraph,
+}
 
 /// What an engine adapter hands back to the [`Decomposer`](super::Decomposer)
 /// for packaging into a [`DecompositionReport`](super::DecompositionReport).
@@ -47,11 +60,12 @@ pub trait DecompositionEngine: Sync {
     /// Whether the engine can solve `problem` at all.
     fn supports(&self, problem: ProblemKind) -> bool;
 
-    /// Runs the engine. `lists` is `Some` exactly for list problems (resolved
-    /// by the `Decomposer` from the request's [`PaletteSpec`](super::PaletteSpec)).
+    /// Runs the engine on a frozen input. `lists` is `Some` exactly for list
+    /// problems (resolved by the `Decomposer` from the request's
+    /// [`PaletteSpec`](super::PaletteSpec)).
     fn execute(
         &self,
-        g: &MultiGraph,
+        input: FrozenInput<'_>,
         request: &DecompositionRequest,
         lists: Option<&ListAssignment>,
         rng: &mut SmallRng,
@@ -81,10 +95,10 @@ fn fd_options(request: &DecompositionRequest) -> FdOptions {
     options
 }
 
-fn resolved_alpha(g: &MultiGraph, request: &DecompositionRequest) -> usize {
+fn resolved_alpha(input: FrozenInput<'_>, request: &DecompositionRequest) -> usize {
     request
         .alpha
-        .unwrap_or_else(|| forest_graph::matroid::arboricity(g))
+        .unwrap_or_else(|| forest_graph::matroid::arboricity(input.graph))
         .max(1)
 }
 
@@ -106,14 +120,14 @@ fn required_lists(
 }
 
 fn decomposition_outcome(
-    g: &MultiGraph,
+    csr: &CsrGraph,
     decomposition: ForestDecomposition,
     arboricity: usize,
     leftover_edges: usize,
     ledger: RoundLedger,
 ) -> EngineOutcome {
     let num_colors = decomposition.num_colors_used();
-    let max_diameter = max_forest_diameter(g, &decomposition.to_partial());
+    let max_diameter = max_forest_diameter(csr, &decomposition.to_partial());
     EngineOutcome {
         artifact: Artifact::Decomposition(decomposition),
         arboricity,
@@ -126,7 +140,7 @@ fn decomposition_outcome(
 
 /// Turns a complete forest decomposition into an orientation outcome by
 /// rooting every tree and orienting toward the root (Corollary 1.1).
-fn orient_outcome(g: &MultiGraph, outcome: EngineOutcome) -> EngineOutcome {
+fn orient_outcome(csr: &CsrGraph, outcome: EngineOutcome) -> EngineOutcome {
     let EngineOutcome {
         artifact,
         arboricity,
@@ -140,8 +154,8 @@ fn orient_outcome(g: &MultiGraph, outcome: EngineOutcome) -> EngineOutcome {
         Artifact::Orientation { .. } => unreachable!("orient_outcome takes decompositions"),
     };
     ledger.charge("orient each tree toward its root", max_diameter.max(1));
-    let orientation = orientation_from_decomposition(g, &decomposition);
-    let max_out_degree = orientation.max_out_degree(g);
+    let orientation = orientation_from_decomposition(csr, &decomposition);
+    let max_out_degree = orientation.max_out_degree(csr);
     EngineOutcome {
         artifact: Artifact::Orientation {
             orientation,
@@ -161,11 +175,11 @@ pub struct HarrisSuVuEngine;
 impl HarrisSuVuEngine {
     fn forest(
         &self,
-        g: &MultiGraph,
+        input: FrozenInput<'_>,
         request: &DecompositionRequest,
         rng: &mut SmallRng,
     ) -> Result<EngineOutcome, FdError> {
-        let result = forest_decomposition(g, &fd_options(request), rng)?;
+        let result = forest_decomposition(input.graph, input.csr, &fd_options(request), rng)?;
         Ok(EngineOutcome {
             artifact: Artifact::Decomposition(result.decomposition),
             arboricity: result.arboricity,
@@ -188,20 +202,26 @@ impl DecompositionEngine for HarrisSuVuEngine {
 
     fn execute(
         &self,
-        g: &MultiGraph,
+        input: FrozenInput<'_>,
         request: &DecompositionRequest,
         lists: Option<&ListAssignment>,
         rng: &mut SmallRng,
     ) -> Result<EngineOutcome, FdError> {
         match request.problem {
-            ProblemKind::Forest => self.forest(g, request, rng),
+            ProblemKind::Forest => self.forest(input, request, rng),
             ProblemKind::Orientation => {
-                let forest = self.forest(g, request, rng)?;
-                Ok(orient_outcome(g, forest))
+                let forest = self.forest(input, request, rng)?;
+                Ok(orient_outcome(input.csr, forest))
             }
             ProblemKind::ListForest => {
                 let lists = required_lists(lists, request.problem)?;
-                let result = list_forest_decomposition(g, lists, &fd_options(request), rng)?;
+                let result = list_forest_decomposition(
+                    input.graph,
+                    input.csr,
+                    lists,
+                    &fd_options(request),
+                    rng,
+                )?;
                 let decomposition = result.coloring.into_complete()?;
                 Ok(EngineOutcome {
                     artifact: Artifact::Decomposition(decomposition),
@@ -213,12 +233,12 @@ impl DecompositionEngine for HarrisSuVuEngine {
                 })
             }
             ProblemKind::StarForest => {
-                let simple = simple_view(g)?;
-                let alpha = resolved_alpha(g, request);
+                let simple = simple_view(input.graph)?;
+                let alpha = resolved_alpha(input, request);
                 let config = SfdConfig::new(request.epsilon).with_alpha(alpha);
-                let result = star_forest_decomposition_simple(&simple, &config, rng)?;
+                let result = star_forest_decomposition_simple(&simple, input.csr, &config, rng)?;
                 Ok(decomposition_outcome(
-                    g,
+                    input.csr,
                     result.decomposition,
                     alpha,
                     result.leftover_edges,
@@ -227,12 +247,13 @@ impl DecompositionEngine for HarrisSuVuEngine {
             }
             ProblemKind::ListStarForest => {
                 let lists = required_lists(lists, request.problem)?;
-                let simple = simple_view(g)?;
-                let alpha = resolved_alpha(g, request);
+                let simple = simple_view(input.graph)?;
+                let alpha = resolved_alpha(input, request);
                 let config = SfdConfig::new(request.epsilon).with_alpha(alpha);
-                let result = list_star_forest_decomposition_simple(&simple, lists, &config, rng)?;
+                let result =
+                    list_star_forest_decomposition_simple(&simple, input.csr, lists, &config, rng)?;
                 Ok(decomposition_outcome(
-                    g,
+                    input.csr,
                     result.decomposition,
                     alpha,
                     result.leftover_edges,
@@ -249,18 +270,18 @@ pub struct BarenboimElkinEngine;
 impl BarenboimElkinEngine {
     fn forest(
         &self,
-        g: &MultiGraph,
+        input: FrozenInput<'_>,
         request: &DecompositionRequest,
     ) -> Result<EngineOutcome, FdError> {
         let bound = request
             .alpha
-            .unwrap_or_else(|| forest_graph::orientation::pseudoarboricity(g))
+            .unwrap_or_else(|| forest_graph::orientation::pseudoarboricity(input.csr))
             .max(1);
         let mut ledger = RoundLedger::new();
         let baseline =
-            barenboim_elkin_forest_decomposition(g, request.epsilon, bound, &mut ledger)?;
+            barenboim_elkin_forest_decomposition(input.csr, request.epsilon, bound, &mut ledger)?;
         Ok(decomposition_outcome(
-            g,
+            input.csr,
             baseline.decomposition,
             bound,
             0,
@@ -280,16 +301,16 @@ impl DecompositionEngine for BarenboimElkinEngine {
 
     fn execute(
         &self,
-        g: &MultiGraph,
+        input: FrozenInput<'_>,
         request: &DecompositionRequest,
         _lists: Option<&ListAssignment>,
         _rng: &mut SmallRng,
     ) -> Result<EngineOutcome, FdError> {
         match request.problem {
-            ProblemKind::Forest => self.forest(g, request),
+            ProblemKind::Forest => self.forest(input, request),
             ProblemKind::Orientation => {
-                let forest = self.forest(g, request)?;
-                Ok(orient_outcome(g, forest))
+                let forest = self.forest(input, request)?;
+                Ok(orient_outcome(input.csr, forest))
             }
             other => Err(unsupported(other, self.engine())),
         }
@@ -311,7 +332,7 @@ impl DecompositionEngine for Folklore2AlphaEngine {
 
     fn execute(
         &self,
-        g: &MultiGraph,
+        input: FrozenInput<'_>,
         request: &DecompositionRequest,
         _lists: Option<&ListAssignment>,
         _rng: &mut SmallRng,
@@ -319,14 +340,20 @@ impl DecompositionEngine for Folklore2AlphaEngine {
         if request.problem != ProblemKind::StarForest {
             return Err(unsupported(request.problem, self.engine()));
         }
-        let exact = forest_graph::matroid::exact_forest_decomposition(g);
-        let stars = two_color_star_forests(g, &exact.decomposition);
+        let exact = forest_graph::matroid::exact_forest_decomposition(input.graph);
+        let stars = two_color_star_forests(input.csr, &exact.decomposition);
         let mut ledger = RoundLedger::new();
         ledger.charge(
             "centralized exact decomposition + two-coloring (non-LOCAL)",
             0,
         );
-        Ok(decomposition_outcome(g, stars, exact.arboricity, 0, ledger))
+        Ok(decomposition_outcome(
+            input.csr,
+            stars,
+            exact.arboricity,
+            0,
+            ledger,
+        ))
     }
 }
 
@@ -334,11 +361,11 @@ impl DecompositionEngine for Folklore2AlphaEngine {
 pub struct ExactMatroidEngine;
 
 impl ExactMatroidEngine {
-    fn forest(&self, g: &MultiGraph) -> EngineOutcome {
-        let exact = forest_graph::matroid::exact_forest_decomposition(g);
+    fn forest(&self, input: FrozenInput<'_>) -> EngineOutcome {
+        let exact = forest_graph::matroid::exact_forest_decomposition(input.graph);
         let mut ledger = RoundLedger::new();
         ledger.charge("centralized matroid partition (non-LOCAL)", 0);
-        decomposition_outcome(g, exact.decomposition, exact.arboricity, 0, ledger)
+        decomposition_outcome(input.csr, exact.decomposition, exact.arboricity, 0, ledger)
     }
 }
 
@@ -353,14 +380,14 @@ impl DecompositionEngine for ExactMatroidEngine {
 
     fn execute(
         &self,
-        g: &MultiGraph,
+        input: FrozenInput<'_>,
         request: &DecompositionRequest,
         _lists: Option<&ListAssignment>,
         _rng: &mut SmallRng,
     ) -> Result<EngineOutcome, FdError> {
         match request.problem {
-            ProblemKind::Forest => Ok(self.forest(g)),
-            ProblemKind::Orientation => Ok(orient_outcome(g, self.forest(g))),
+            ProblemKind::Forest => Ok(self.forest(input)),
+            ProblemKind::Orientation => Ok(orient_outcome(input.csr, self.forest(input))),
             other => Err(unsupported(other, self.engine())),
         }
     }

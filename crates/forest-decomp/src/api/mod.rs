@@ -37,16 +37,62 @@ mod engines;
 mod report;
 mod request;
 
-pub use engines::{DecompositionEngine, EngineOutcome};
+pub use engines::{DecompositionEngine, EngineOutcome, FrozenInput};
 pub use report::{Artifact, DecompositionReport, Validate, ValidationStatus};
 pub use request::{DecompositionRequest, Engine, PaletteSpec, ProblemKind};
 
 use crate::error::FdError;
-use forest_graph::{ListAssignment, MultiGraph};
+use forest_graph::{CsrGraph, ListAssignment, MultiGraph};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use std::time::Instant;
+
+/// A graph frozen for decomposition: the original [`MultiGraph`] paired with
+/// its [`CsrGraph`] view, built once and reusable across any number of runs.
+///
+/// [`Decomposer::run`] freezes internally, so one-off callers never see this
+/// type; freeze explicitly (and use [`Decomposer::run_frozen`] /
+/// [`Decomposer::run_batch_shared`]) when the same graph is decomposed more
+/// than once — repeated requests, seed sweeps, engine comparisons — to pay
+/// the `O(n + m)` conversion a single time.
+#[derive(Clone, Debug)]
+pub struct FrozenGraph {
+    graph: MultiGraph,
+    csr: CsrGraph,
+}
+
+impl FrozenGraph {
+    /// Freezes `graph` (one `O(n + m)` CSR construction).
+    pub fn freeze(graph: MultiGraph) -> Self {
+        let csr = CsrGraph::from_multigraph(&graph);
+        FrozenGraph { graph, csr }
+    }
+
+    /// The original multigraph.
+    pub fn graph(&self) -> &MultiGraph {
+        &self.graph
+    }
+
+    /// The frozen CSR topology.
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
+    }
+
+    /// The borrowed pair handed to engines.
+    pub fn input(&self) -> FrozenInput<'_> {
+        FrozenInput {
+            graph: &self.graph,
+            csr: &self.csr,
+        }
+    }
+}
+
+impl From<MultiGraph> for FrozenGraph {
+    fn from(graph: MultiGraph) -> Self {
+        FrozenGraph::freeze(graph)
+    }
+}
 
 /// Derives the seed used for graph `index` of a batch run with base seed
 /// `base`.
@@ -92,12 +138,32 @@ impl Decomposer {
     /// solve the requested problem, and propagates every pipeline error;
     /// the facade never panics on any `(problem, engine)` pair.
     pub fn run(&self, g: &MultiGraph) -> Result<DecompositionReport, FdError> {
-        self.run_seeded(g, self.request.seed)
+        let csr = CsrGraph::from_multigraph(g);
+        self.run_seeded(
+            FrozenInput {
+                graph: g,
+                csr: &csr,
+            },
+            self.request.seed,
+        )
+    }
+
+    /// Runs the request on an already-frozen graph (no per-run conversion).
+    ///
+    /// Byte-identical to [`Decomposer::run`] on the underlying multigraph:
+    /// freezing is a representation change, not an algorithmic one.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Decomposer::run`].
+    pub fn run_frozen(&self, g: &FrozenGraph) -> Result<DecompositionReport, FdError> {
+        self.run_seeded(g.input(), self.request.seed)
     }
 
     /// Runs the request across many graphs in parallel (one rayon task per
     /// graph), graph `i` using [`derive_seed`]`(request.seed, i)`. Results
     /// come back in input order; per-graph failures do not abort the batch.
+    /// Each graph is frozen exactly once, inside its own task.
     pub fn run_batch(&self, graphs: &[MultiGraph]) -> Vec<Result<DecompositionReport, FdError>> {
         let indexed: Vec<(u64, &MultiGraph)> = graphs
             .iter()
@@ -106,12 +172,61 @@ impl Decomposer {
             .collect();
         indexed
             .par_iter()
-            .map(|(i, g)| self.run_seeded(g, derive_seed(self.request.seed, *i)))
+            .map(|(i, g)| {
+                let csr = CsrGraph::from_multigraph(g);
+                self.run_seeded(
+                    FrozenInput {
+                        graph: g,
+                        csr: &csr,
+                    },
+                    derive_seed(self.request.seed, *i),
+                )
+            })
             .collect()
     }
 
-    fn run_seeded(&self, g: &MultiGraph, seed: u64) -> Result<DecompositionReport, FdError> {
+    /// [`Decomposer::run_batch`] over pre-frozen graphs: no conversions at
+    /// all on the hot path.
+    pub fn run_batch_frozen(
+        &self,
+        graphs: &[FrozenGraph],
+    ) -> Vec<Result<DecompositionReport, FdError>> {
+        let indexed: Vec<(u64, &FrozenGraph)> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (i as u64, g))
+            .collect();
+        indexed
+            .par_iter()
+            .map(|(i, g)| self.run_seeded(g.input(), derive_seed(self.request.seed, *i)))
+            .collect()
+    }
+
+    /// Fans `runs` executions of the request across all cores, **sharing one
+    /// frozen topology**: run `i` uses [`derive_seed`]`(request.seed, i)`.
+    /// This is the seed-sweep / same-graph batch shape — the topology is
+    /// frozen once for the whole sweep.
+    pub fn run_batch_shared(
+        &self,
+        g: &FrozenGraph,
+        runs: usize,
+    ) -> Vec<Result<DecompositionReport, FdError>> {
+        let seeds: Vec<u64> = (0..runs as u64)
+            .map(|i| derive_seed(self.request.seed, i))
+            .collect();
+        seeds
+            .par_iter()
+            .map(|&seed| self.run_seeded(g.input(), seed))
+            .collect()
+    }
+
+    fn run_seeded(
+        &self,
+        input: FrozenInput<'_>,
+        seed: u64,
+    ) -> Result<DecompositionReport, FdError> {
         let start = Instant::now();
+        let g = input.graph;
         let request = &self.request;
         let engine = engines::engine_for(request.engine);
         if !engine.supports(request.problem) {
@@ -132,7 +247,7 @@ impl Decomposer {
             }
             _ => request,
         };
-        let outcome = engine.execute(g, request, lists.as_ref(), &mut rng)?;
+        let outcome = engine.execute(input, request, lists.as_ref(), &mut rng)?;
         let mut report = DecompositionReport {
             problem: request.problem,
             engine: request.engine,
@@ -276,10 +391,11 @@ mod tests {
         // The DecompositionEngine trait is the seam future layers plug into;
         // driving it directly without resolved palettes must not panic.
         let g = generators::path(6);
+        let frozen = FrozenGraph::freeze(g);
         let request = DecompositionRequest::new(ProblemKind::ListForest);
         let mut rng = SmallRng::seed_from_u64(1);
         let err = engines::engine_for(Engine::HarrisSuVu)
-            .execute(&g, &request, None, &mut rng)
+            .execute(frozen.input(), &request, None, &mut rng)
             .unwrap_err();
         assert!(matches!(err, FdError::MissingPalettes { .. }));
     }

@@ -8,12 +8,17 @@
 //! neighborhood of `e`; Algorithm 1 finds an *almost* augmenting sequence
 //! (possibly violating (A3)) by breadth-first growth of an edge set `E_i`,
 //! and Proposition 3.4 short-circuits it into a genuine augmenting sequence.
+//!
+//! The search is generic over [`GraphView`], so Algorithm 2 can run it over a
+//! frozen [`CsrGraph`](forest_graph::CsrGraph); its working state is dense
+//! (`Vec`s indexed by edge/vertex id, with the edge set `E_i` kept in
+//! insertion order), so growth is allocation-light and deterministic.
 
 use crate::error::FdError;
 use forest_graph::decomposition::PartialEdgeColoring;
 use forest_graph::traversal::path_between;
-use forest_graph::{Color, EdgeId, ListAssignment, MultiGraph};
-use std::collections::{HashMap, HashSet, VecDeque};
+use forest_graph::{Color, EdgeId, GraphView, ListAssignment, MultiGraph, UnionFind};
+use std::collections::{BTreeMap, VecDeque};
 
 /// One augmenting sequence: the ordered `(edge, color)` steps.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,23 +39,109 @@ impl AugmentingSequence {
     }
 }
 
+/// Dense working state of one Algorithm 1 growth: the edge set `E_i` as a
+/// membership mask plus insertion-ordered list, the set of vertices touched
+/// by `E_i` (for O(1) adjacency tests), and the parent pointers.
+struct GrowthState {
+    in_set: Vec<bool>,
+    ordered: Vec<EdgeId>,
+    touched: Vec<bool>,
+    parent: Vec<Option<EdgeId>>,
+}
+
+impl GrowthState {
+    fn new<G: GraphView>(g: &G, start: EdgeId) -> Self {
+        let mut state = GrowthState {
+            in_set: vec![false; g.num_edges()],
+            ordered: Vec::new(),
+            touched: vec![false; g.num_vertices()],
+            parent: vec![None; g.num_edges()],
+        };
+        state.insert(g, start, None);
+        state
+    }
+
+    fn insert<G: GraphView>(&mut self, g: &G, e: EdgeId, parent: Option<EdgeId>) {
+        self.in_set[e.index()] = true;
+        self.ordered.push(e);
+        self.parent[e.index()] = parent;
+        let (u, v) = g.endpoints(e);
+        self.touched[u.index()] = true;
+        self.touched[v.index()] = true;
+    }
+
+    fn len(&self) -> usize {
+        self.ordered.len()
+    }
+}
+
+/// Incremental per-color connectivity over a partial coloring.
+///
+/// The overwhelmingly common augmentation is the single step `(e, c)` where
+/// `c` is the first palette color whose forest keeps `e`'s endpoints apart.
+/// Detecting that case needs only a connectivity query, not a path — so this
+/// structure maintains one lazily-built [`UnionFind`] per color and answers
+/// it in near-constant time. Coloring an edge is an incremental union;
+/// recolorings (multi-step sequences, CUT removals) invalidate the affected
+/// colors, which rebuild on next use.
+///
+/// The structure is tied to one `(coloring, allowed)` evolution: create it
+/// fresh whenever the edge restriction changes or colors are cleared outside
+/// [`AugmentationContext::augment_edge_connected`].
+pub struct ColorConnectivity {
+    num_vertices: usize,
+    forests: BTreeMap<Color, UnionFind>,
+}
+
+impl ColorConnectivity {
+    /// An empty cache for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        ColorConnectivity {
+            num_vertices,
+            forests: BTreeMap::new(),
+        }
+    }
+
+    /// Drops the cached forest of `c`, forcing a rebuild on next use.
+    pub fn invalidate(&mut self, c: Color) {
+        self.forests.remove(&c);
+    }
+
+    fn forest<G: GraphView>(
+        &mut self,
+        ctx: &AugmentationContext<'_, G>,
+        coloring: &PartialEdgeColoring,
+        c: Color,
+    ) -> &mut UnionFind {
+        self.forests.entry(c).or_insert_with(|| {
+            let mut uf = UnionFind::new(self.num_vertices);
+            for (e, u, v) in ctx.graph.edges() {
+                if coloring.color(e) == Some(c) && ctx.edge_allowed(e) {
+                    uf.union(u.index(), v.index());
+                }
+            }
+            uf
+        })
+    }
+}
+
 /// The search context: the graph, the palettes and an optional restriction of
 /// the search to a subset of edges (used by Algorithm 2 to stay inside a
 /// cluster's view `C''`).
 #[derive(Clone, Copy)]
-pub struct AugmentationContext<'a> {
-    /// The underlying multigraph.
-    pub graph: &'a MultiGraph,
+pub struct AugmentationContext<'a, G: GraphView = MultiGraph> {
+    /// The underlying graph topology.
+    pub graph: &'a G,
     /// The per-edge palettes.
     pub lists: &'a ListAssignment,
-    /// If set, only these edges may participate in the search (both as
-    /// sequence elements and as path edges).
-    pub allowed: Option<&'a HashSet<EdgeId>>,
+    /// If set, only the edges whose mask entry is `true` may participate in
+    /// the search (both as sequence elements and as path edges).
+    pub allowed: Option<&'a [bool]>,
 }
 
-impl<'a> AugmentationContext<'a> {
+impl<'a, G: GraphView> AugmentationContext<'a, G> {
     /// Context over the whole graph.
-    pub fn new(graph: &'a MultiGraph, lists: &'a ListAssignment) -> Self {
+    pub fn new(graph: &'a G, lists: &'a ListAssignment) -> Self {
         AugmentationContext {
             graph,
             lists,
@@ -58,12 +149,9 @@ impl<'a> AugmentationContext<'a> {
         }
     }
 
-    /// Context restricted to a subset of edges.
-    pub fn restricted(
-        graph: &'a MultiGraph,
-        lists: &'a ListAssignment,
-        allowed: &'a HashSet<EdgeId>,
-    ) -> Self {
+    /// Context restricted to the edges whose entry in the dense `allowed`
+    /// mask (indexed by edge id) is `true`.
+    pub fn restricted(graph: &'a G, lists: &'a ListAssignment, allowed: &'a [bool]) -> Self {
         AugmentationContext {
             graph,
             lists,
@@ -72,7 +160,7 @@ impl<'a> AugmentationContext<'a> {
     }
 
     fn edge_allowed(&self, e: EdgeId) -> bool {
-        self.allowed.is_none_or(|set| set.contains(&e))
+        self.allowed.is_none_or(|mask| mask[e.index()])
     }
 
     /// `C(e, c)`: the unique path between the endpoints of `e` in the
@@ -108,19 +196,17 @@ impl<'a> AugmentationContext<'a> {
             coloring.color(start).is_none(),
             "augmenting sequences start at an uncolored edge"
         );
-        let mut frontier: HashSet<EdgeId> = HashSet::new();
-        frontier.insert(start);
-        // pi(e') = the edge whose color path introduced e'.
-        let mut parent: HashMap<EdgeId, EdgeId> = HashMap::new();
+        let g = self.graph;
+        let mut state = GrowthState::new(g, start);
         let build_sequence = |terminal: EdgeId,
                               terminal_color: Color,
-                              parent: &HashMap<EdgeId, EdgeId>,
+                              state: &GrowthState,
                               coloring: &PartialEdgeColoring|
          -> AugmentingSequence {
             let mut steps = vec![(terminal, terminal_color)];
             let mut cur = terminal;
             while cur != start {
-                let p = parent[&cur];
+                let p = state.parent[cur.index()].expect("parents chain back to the start edge");
                 let color_of_cur = coloring
                     .color(cur)
                     .expect("every non-start sequence edge is colored");
@@ -131,9 +217,12 @@ impl<'a> AugmentationContext<'a> {
             AugmentingSequence { steps }
         };
         for _ in 0..max_iterations {
-            let mut next = frontier.clone();
-            let snapshot: Vec<EdgeId> = frontier.iter().copied().collect();
-            for &e in &snapshot {
+            // E_i is state.ordered[..frontier_len]; adjacency tests run
+            // against E_i's endpoints as of the start of the iteration.
+            let frontier_len = state.len();
+            let touched_snapshot = state.touched.clone();
+            for snapshot_index in 0..frontier_len {
+                let e = state.ordered[snapshot_index];
                 for &c in self.lists.palette(e) {
                     if coloring.color(e) == Some(c) {
                         continue;
@@ -141,30 +230,29 @@ impl<'a> AugmentationContext<'a> {
                     match self.color_path(coloring, e, c) {
                         None => {
                             // C(e, c) is empty: almost augmenting sequence found.
-                            return Some(build_sequence(e, c, &parent, coloring));
+                            return Some(build_sequence(e, c, &state, coloring));
                         }
                         Some(path) => {
                             for x in path {
-                                if next.contains(&x) || !self.edge_allowed(x) {
+                                if state.in_set[x.index()] || !self.edge_allowed(x) {
                                     continue;
                                 }
                                 // Only edges adjacent to the current edge set
                                 // E_i join E_{i+1} (Algorithm 1, line 7).
-                                if self.adjacent_to_set(x, &frontier) {
-                                    next.insert(x);
-                                    parent.insert(x, e);
+                                let (u, v) = g.endpoints(x);
+                                if touched_snapshot[u.index()] || touched_snapshot[v.index()] {
+                                    state.insert(g, x, Some(e));
                                 }
                             }
                         }
                     }
                 }
             }
-            if next.len() == frontier.len() {
+            if state.len() == frontier_len {
                 // No growth: with valid preconditions this cannot happen
                 // before termination; bail out to avoid looping forever.
                 return None;
             }
-            frontier = next;
         }
         None
     }
@@ -180,14 +268,15 @@ impl<'a> AugmentationContext<'a> {
         max_iterations: usize,
     ) -> Vec<usize> {
         assert!(coloring.color(start).is_none());
-        let mut frontier: HashSet<EdgeId> = HashSet::new();
-        frontier.insert(start);
-        let mut trace = vec![frontier.len()];
+        let g = self.graph;
+        let mut state = GrowthState::new(g, start);
+        let mut trace = vec![state.len()];
         for _ in 0..max_iterations {
-            let mut next = frontier.clone();
-            let snapshot: Vec<EdgeId> = frontier.iter().copied().collect();
+            let frontier_len = state.len();
+            let touched_snapshot = state.touched.clone();
             let mut terminated = false;
-            for &e in &snapshot {
+            for snapshot_index in 0..frontier_len {
+                let e = state.ordered[snapshot_index];
                 for &c in self.lists.palette(e) {
                     if coloring.color(e) == Some(c) {
                         continue;
@@ -198,32 +287,23 @@ impl<'a> AugmentationContext<'a> {
                         }
                         Some(path) => {
                             for x in path {
-                                if !next.contains(&x)
-                                    && self.edge_allowed(x)
-                                    && self.adjacent_to_set(x, &frontier)
-                                {
-                                    next.insert(x);
+                                if !state.in_set[x.index()] && self.edge_allowed(x) {
+                                    let (u, v) = g.endpoints(x);
+                                    if touched_snapshot[u.index()] || touched_snapshot[v.index()] {
+                                        state.insert(g, x, Some(e));
+                                    }
                                 }
                             }
                         }
                     }
                 }
             }
-            if terminated || next.len() == frontier.len() {
+            if terminated || state.len() == frontier_len {
                 break;
             }
-            trace.push(next.len());
-            frontier = next;
+            trace.push(state.len());
         }
         trace
-    }
-
-    fn adjacent_to_set(&self, e: EdgeId, set: &HashSet<EdgeId>) -> bool {
-        let (u, v) = self.graph.endpoints(e);
-        set.iter().any(|&f| {
-            let (a, b) = self.graph.endpoints(f);
-            a == u || a == v || b == u || b == v
-        })
     }
 
     /// Proposition 3.4: short-circuits an almost augmenting sequence into a
@@ -332,6 +412,63 @@ impl<'a> AugmentationContext<'a> {
         apply_augmentation(coloring, &sequence);
         Ok(sequence)
     }
+
+    /// [`AugmentationContext::augment_edge`] with a connectivity fast path:
+    /// when some palette color's forest keeps the endpoints of `start` apart
+    /// (the common case), the single-step sequence is found with a union-find
+    /// query instead of a breadth-first growth — the produced sequence is
+    /// identical to what the full search would return.
+    ///
+    /// `conn` must have been created for this context's `(coloring, allowed)`
+    /// evolution and is kept consistent across calls.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`AugmentationContext::augment_edge`].
+    pub fn augment_edge_connected(
+        &self,
+        coloring: &mut PartialEdgeColoring,
+        conn: &mut ColorConnectivity,
+        start: EdgeId,
+        max_iterations: usize,
+    ) -> Result<AugmentingSequence, FdError> {
+        assert!(
+            coloring.color(start).is_none(),
+            "augmenting sequences start at an uncolored edge"
+        );
+        let (u, v) = self.graph.endpoints(start);
+        // Fast path: the slow search's first growth iteration returns the
+        // single step (start, c) for the first palette color c with no path
+        // between the endpoints — exactly the first disconnected forest.
+        for &c in self.lists.palette(start) {
+            if coloring.color(start) == Some(c) {
+                continue;
+            }
+            if !conn
+                .forest(self, coloring, c)
+                .connected(u.index(), v.index())
+            {
+                coloring.set(start, c);
+                conn.forest(self, coloring, c).union(u.index(), v.index());
+                return Ok(AugmentingSequence {
+                    steps: vec![(start, c)],
+                });
+            }
+        }
+        // Every palette color is blocked: run the full search and invalidate
+        // whatever the applied sequence recolored.
+        let sequence = self
+            .find_augmenting_sequence(coloring, start, max_iterations)
+            .ok_or(FdError::AugmentationFailed { edge: start })?;
+        for &(e, c) in &sequence.steps {
+            if let Some(old) = coloring.color(e) {
+                conn.invalidate(old);
+            }
+            conn.invalidate(c);
+        }
+        apply_augmentation(coloring, &sequence);
+        Ok(sequence)
+    }
 }
 
 /// Applies an augmenting sequence: `ψ'(e_i) = c_i` for every step.
@@ -348,20 +485,21 @@ pub fn apply_augmentation(coloring: &mut PartialEdgeColoring, sequence: &Augment
 /// # Errors
 ///
 /// Returns [`FdError::AugmentationFailed`] if some edge cannot be colored.
-pub fn complete_by_augmentation(
-    g: &MultiGraph,
+pub fn complete_by_augmentation<G: GraphView>(
+    g: &G,
     lists: &ListAssignment,
     coloring: &mut PartialEdgeColoring,
     max_iterations: usize,
 ) -> Result<usize, FdError> {
     let ctx = AugmentationContext::new(g, lists);
+    let mut conn = ColorConnectivity::new(g.num_vertices());
     let mut queue: VecDeque<EdgeId> = coloring.uncolored_edges().into();
     let mut augmentations = 0usize;
     while let Some(e) = queue.pop_front() {
         if coloring.color(e).is_some() {
             continue;
         }
-        ctx.augment_edge(coloring, e, max_iterations)?;
+        ctx.augment_edge_connected(coloring, &mut conn, e, max_iterations)?;
         augmentations += 1;
     }
     Ok(augmentations)
@@ -373,7 +511,7 @@ mod tests {
     use forest_graph::decomposition::{
         validate_list_coloring, validate_partial_forest_decomposition,
     };
-    use forest_graph::{generators, matroid};
+    use forest_graph::{generators, matroid, CsrGraph};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -478,6 +616,29 @@ mod tests {
     }
 
     #[test]
+    fn csr_and_multigraph_find_identical_sequences() {
+        // The dense search is deterministic and representation-independent:
+        // the same coloring state yields the same sequence on both layouts.
+        let mut rng = StdRng::seed_from_u64(29);
+        let g = generators::planted_forest_union(28, 3, &mut rng);
+        let alpha = matroid::arboricity(&g);
+        let lists = ListAssignment::uniform(g.num_edges(), alpha + 1);
+        let csr = CsrGraph::from_multigraph(&g);
+        let mut c_mg = PartialEdgeColoring::new_uncolored(g.num_edges());
+        let mut c_csr = c_mg.clone();
+        let ctx_mg = AugmentationContext::new(&g, &lists);
+        let ctx_csr = AugmentationContext::new(&csr, &lists);
+        for e in g.edge_ids() {
+            if c_mg.color(e).is_none() {
+                let a = ctx_mg.augment_edge(&mut c_mg, e, ITER).unwrap();
+                let b = ctx_csr.augment_edge(&mut c_csr, e, ITER).unwrap();
+                assert_eq!(a, b);
+            }
+        }
+        assert_eq!(c_mg, c_csr);
+    }
+
+    #[test]
     fn augmentation_fails_gracefully_when_palettes_too_small() {
         // A fat path with multiplicity 3 cannot be list-forest-decomposed
         // with 2 colors; the search must give up rather than loop.
@@ -494,11 +655,14 @@ mod tests {
         let g = generators::planted_forest_union(16, 2, &mut rng);
         let lists = ListAssignment::uniform(g.num_edges(), 4);
         let coloring = PartialEdgeColoring::new_uncolored(g.num_edges());
-        let allowed: HashSet<EdgeId> = g.edge_ids().take(g.num_edges() / 2).collect();
+        let mut allowed = vec![false; g.num_edges()];
+        for e in g.edge_ids().take(g.num_edges() / 2) {
+            allowed[e.index()] = true;
+        }
         let start = EdgeId::new(0);
         let ctx = AugmentationContext::restricted(&g, &lists, &allowed);
         if let Some(seq) = ctx.find_augmenting_sequence(&coloring, start, ITER) {
-            assert!(seq.steps.iter().all(|&(e, _)| allowed.contains(&e)));
+            assert!(seq.steps.iter().all(|&(e, _)| allowed[e.index()]));
         }
     }
 

@@ -12,9 +12,8 @@
 use crate::error::FdError;
 use crate::hpartition::{acyclic_orientation, h_partition, out_edge_labels};
 use forest_graph::traversal::root_forest;
-use forest_graph::{Color, EdgeId, ForestDecomposition, MultiGraph};
+use forest_graph::{Color, ForestDecomposition, GraphView, MultiGraph};
 use local_model::RoundLedger;
-use std::collections::HashSet;
 
 /// Result of the Barenboim–Elkin baseline.
 #[derive(Clone, Debug)]
@@ -34,12 +33,8 @@ pub struct BaselineFd {
 /// # Errors
 ///
 /// Propagates the H-partition parameter errors.
-#[deprecated(
-    since = "0.2.0",
-    note = "use api::Decomposer with ProblemKind::Forest + Engine::BarenboimElkin"
-)]
-pub fn barenboim_elkin_forest_decomposition(
-    g: &MultiGraph,
+pub fn barenboim_elkin_forest_decomposition<G: GraphView>(
+    g: &G,
     epsilon: f64,
     pseudoarboricity_bound: usize,
     ledger: &mut RoundLedger,
@@ -61,25 +56,28 @@ pub fn barenboim_elkin_forest_decomposition(
 /// color class and split its edges by the depth parity of the parent
 /// endpoint. Color `2c + p` holds the class-`c` edges whose parent sits at
 /// even (`p = 0`) or odd (`p = 1`) depth.
-#[deprecated(
-    since = "0.2.0",
-    note = "use api::Decomposer with ProblemKind::StarForest + Engine::Folklore2Alpha"
-)]
-pub fn two_color_star_forests(
-    g: &MultiGraph,
+pub fn two_color_star_forests<G: GraphView>(
+    g: &G,
     decomposition: &ForestDecomposition,
 ) -> ForestDecomposition {
     let mut colors = vec![Color::new(0); g.num_edges()];
+    let mut in_class = vec![false; g.num_edges()];
     for c in decomposition.colors_used() {
-        let class: HashSet<EdgeId> = decomposition.edges_with_color(c).into_iter().collect();
-        let rooted = root_forest(g, |e| class.contains(&e), |_| 0);
+        let class = decomposition.edges_with_color(c);
+        for &e in &class {
+            in_class[e.index()] = true;
+        }
+        let rooted = root_forest(g, |e| in_class[e.index()], |_| 0);
         for v in g.vertices() {
             if let Some(pe) = rooted.parent_edge[v.index()] {
-                if class.contains(&pe) {
+                if in_class[pe.index()] {
                     let parent_depth = rooted.depth[v.index()] - 1;
                     colors[pe.index()] = Color::new(2 * c.index() + parent_depth % 2);
                 }
             }
+        }
+        for &e in &class {
+            in_class[e.index()] = false;
         }
     }
     ForestDecomposition::from_colors(colors)
@@ -87,17 +85,12 @@ pub fn two_color_star_forests(
 
 /// The exact centralized `α`-forest decomposition (matroid partition); a thin
 /// convenience re-export so benchmark code only needs this crate.
-#[deprecated(
-    since = "0.2.0",
-    note = "use api::Decomposer with ProblemKind::Forest + Engine::ExactMatroid"
-)]
 pub fn exact_centralized_decomposition(g: &MultiGraph) -> (ForestDecomposition, usize) {
     let exact = forest_graph::matroid::exact_forest_decomposition(g);
     (exact.decomposition, exact.arboricity)
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests exercise the historical entrypoints directly
 mod tests {
     use super::*;
     use forest_graph::decomposition::{

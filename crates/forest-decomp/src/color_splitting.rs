@@ -173,12 +173,17 @@ pub fn split_colors_independent<R: Rng + ?Sized>(
                 ),
             });
         }
-        let mut to_resample: HashSet<VertexId> = HashSet::new();
+        // Resample in ascending vertex order: the RNG draws below must not
+        // depend on hash-set iteration order, or the same seed would produce
+        // different splittings across runs.
+        let mut to_resample: Vec<VertexId> = Vec::with_capacity(2 * bad.len());
         for e in bad {
             let (u, v) = g.endpoints(e);
-            to_resample.insert(u);
-            to_resample.insert(v);
+            to_resample.push(u);
+            to_resample.push(v);
         }
+        to_resample.sort_unstable();
+        to_resample.dedup();
         for v in to_resample {
             resample(rng, &mut splitting.side1[v.index()]);
         }

@@ -14,9 +14,7 @@
 //! direct augmentation on the leftover subgraph); Proposition 4.8 guarantees
 //! the merge of the two sides is still a list-forest decomposition.
 
-#[allow(deprecated)]
-use crate::algorithm2::algorithm2;
-use crate::algorithm2::{Algorithm2Config, CutStrategyKind};
+use crate::algorithm2::{algorithm2_frozen, Algorithm2Config, CutStrategyKind};
 use crate::augmenting::complete_by_augmentation;
 use crate::color_splitting::split_colors_clustered;
 use crate::diameter_reduction::{reduce_diameter, DiameterTarget};
@@ -27,7 +25,7 @@ use forest_graph::decomposition::{
     max_forest_diameter, merge_disjoint_colorings, validate_list_coloring,
     validate_partial_forest_decomposition, PartialEdgeColoring,
 };
-use forest_graph::{Color, EdgeId, ForestDecomposition, ListAssignment, MultiGraph};
+use forest_graph::{Color, CsrGraph, EdgeId, ForestDecomposition, ListAssignment, MultiGraph};
 use local_model::RoundLedger;
 use rand::Rng;
 use std::collections::HashSet;
@@ -102,19 +100,17 @@ pub struct FdResult {
     pub ledger: RoundLedger,
 }
 
-/// Theorem 4.6: `(1+O(ε))α`-forest decomposition of a multigraph.
+/// Theorem 4.6: `(1+O(ε))α`-forest decomposition of a multigraph, over the
+/// frozen topology `csr` (which must equal `CsrGraph::from_multigraph(g)`;
+/// the `Decomposer` facade freezes once per request and threads the pair
+/// through every phase).
 ///
 /// # Errors
 ///
 /// Returns an error for invalid parameters or if an internal phase fails.
-#[deprecated(
-    since = "0.2.0",
-    note = "use api::Decomposer with ProblemKind::Forest + Engine::HarrisSuVu \
-            (FdOptions knobs become DecompositionRequest::with_* builders, the \
-            rng argument becomes with_seed)"
-)]
-pub fn forest_decomposition<R: Rng + ?Sized>(
+pub(crate) fn forest_decomposition<R: Rng + ?Sized>(
     g: &MultiGraph,
+    csr: &CsrGraph,
     options: &FdOptions,
     rng: &mut R,
 ) -> Result<FdResult, FdError> {
@@ -140,14 +136,13 @@ pub fn forest_decomposition<R: Rng + ?Sized>(
     if let Some((r, rp)) = options.radii {
         config = config.with_radii(r, rp);
     }
-    #[allow(deprecated)]
-    let out = algorithm2(g, &lists, &config, rng)?;
+    let out = algorithm2_frozen(g, csr, &lists, &config, rng)?;
     let mut ledger = out.ledger.clone();
     let mut coloring = out.coloring.clone();
     // Recolor the leftover as star forests with fresh colors (Theorem 2.1(3)).
-    let leftover_set: HashSet<EdgeId> = out.leftover.iter().copied().collect();
-    if !leftover_set.is_empty() {
-        let (sub, back) = g.edge_subgraph(|e| leftover_set.contains(&e));
+    if !out.leftover.is_empty() {
+        let leftover_mask = crate::cut::dense_mask(g.num_edges(), out.leftover.iter().copied());
+        let (sub, back) = g.edge_subgraph(|e| leftover_mask[e.index()]);
         let pseudo = forest_graph::orientation::pseudoarboricity(&sub).max(1);
         let hp = h_partition(&sub, 0.5, pseudo, &mut ledger)?;
         let sub_orientation = acyclic_orientation(&sub, &hp);
@@ -165,9 +160,9 @@ pub fn forest_decomposition<R: Rng + ?Sized>(
         coloring = reduced.coloring;
     }
     let decomposition = coloring.into_complete()?;
-    validate_partial_forest_decomposition(g, &decomposition.to_partial())?;
+    validate_partial_forest_decomposition(csr, &decomposition.to_partial())?;
     let num_colors = decomposition.num_colors_used();
-    let max_diameter = max_forest_diameter(g, &decomposition.to_partial());
+    let max_diameter = max_forest_diameter(csr, &decomposition.to_partial());
     Ok(FdResult {
         decomposition,
         num_colors,
@@ -206,13 +201,9 @@ pub struct LfdResult {
 ///
 /// Returns an error if the palettes are too small, the splitting repeatedly
 /// fails to leave a large enough main side, or an internal phase fails.
-#[deprecated(
-    since = "0.2.0",
-    note = "use api::Decomposer with ProblemKind::ListForest + Engine::HarrisSuVu \
-            (pass palettes via DecompositionRequest::with_palettes)"
-)]
-pub fn list_forest_decomposition<R: Rng + ?Sized>(
+pub(crate) fn list_forest_decomposition<R: Rng + ?Sized>(
     g: &MultiGraph,
+    csr: &CsrGraph,
     lists: &ListAssignment,
     options: &FdOptions,
     rng: &mut R,
@@ -275,8 +266,7 @@ pub fn list_forest_decomposition<R: Rng + ?Sized>(
     if let Some((r, rp)) = options.radii {
         config = config.with_radii(r, rp);
     }
-    #[allow(deprecated)]
-    let out = algorithm2(g, &q0, &config, rng)?;
+    let out = algorithm2_frozen(g, csr, &q0, &config, rng)?;
     ledger.absorb("algorithm2", out.ledger.clone());
     let phi0 = out.coloring.clone();
 
@@ -339,10 +329,10 @@ pub fn list_forest_decomposition<R: Rng + ?Sized>(
             }
         }
     };
-    validate_partial_forest_decomposition(g, &coloring)?;
-    validate_list_coloring(g, &coloring, lists)?;
+    validate_partial_forest_decomposition(csr, &coloring)?;
+    validate_list_coloring(csr, &coloring, lists)?;
     let num_colors = coloring.num_colors_used();
-    let max_diameter = max_forest_diameter(g, &coloring);
+    let max_diameter = max_forest_diameter(csr, &coloring);
     Ok(LfdResult {
         coloring,
         num_colors,
@@ -355,7 +345,6 @@ pub fn list_forest_decomposition<R: Rng + ?Sized>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests exercise the historical entrypoints directly
 mod tests {
     use super::*;
     use forest_graph::decomposition::validate_forest_decomposition;
@@ -368,7 +357,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let g = generators::planted_forest_union(60, 4, &mut rng);
         let options = FdOptions::new(0.5);
-        let result = forest_decomposition(&g, &options, &mut rng).unwrap();
+        let csr = CsrGraph::from_multigraph(&g);
+        let result = forest_decomposition(&g, &csr, &options, &mut rng).unwrap();
         validate_forest_decomposition(&g, &result.decomposition, Some(result.num_colors))
             .expect("valid FD");
         // (1 + O(eps)) alpha colors: with eps = 0.5 and the leftover budget,
@@ -390,7 +380,8 @@ mod tests {
         let options = FdOptions::new(0.4)
             .with_alpha(3)
             .with_diameter_target(DiameterTarget::OneOverEpsilon);
-        let result = forest_decomposition(&g, &options, &mut rng).unwrap();
+        let csr = CsrGraph::from_multigraph(&g);
+        let result = forest_decomposition(&g, &csr, &options, &mut rng).unwrap();
         validate_forest_decomposition(&g, &result.decomposition, Some(result.num_colors))
             .expect("valid FD");
         // Diameter O(1/eps): z = ceil(2/0.4) = 5, so at most 2z = 10.
@@ -409,7 +400,8 @@ mod tests {
         let g = generators::fat_path(100, 2);
         let mut rng = StdRng::seed_from_u64(3);
         let options = FdOptions::new(0.5).with_alpha(2).with_radii(8, 4);
-        let result = forest_decomposition(&g, &options, &mut rng).unwrap();
+        let csr = CsrGraph::from_multigraph(&g);
+        let result = forest_decomposition(&g, &csr, &options, &mut rng).unwrap();
         validate_forest_decomposition(&g, &result.decomposition, Some(result.num_colors))
             .expect("valid FD");
         assert!(result.num_colors >= 2);
@@ -422,7 +414,8 @@ mod tests {
         let alpha = forest_graph::matroid::arboricity(&g);
         let lists = ListAssignment::uniform(g.num_edges(), 2 * (alpha + 1));
         let options = FdOptions::new(0.5).with_alpha(alpha);
-        let result = list_forest_decomposition(&g, &lists, &options, &mut rng).unwrap();
+        let csr = CsrGraph::from_multigraph(&g);
+        let result = list_forest_decomposition(&g, &csr, &lists, &options, &mut rng).unwrap();
         assert!(result.coloring.is_complete());
         validate_partial_forest_decomposition(&g, &result.coloring).expect("valid LFD");
         validate_list_coloring(&g, &result.coloring, &lists).expect("palettes respected");
@@ -436,7 +429,8 @@ mod tests {
         let palette_size = 3 * (alpha + 1);
         let lists = ListAssignment::random(g.num_edges(), 2 * palette_size, palette_size, &mut rng);
         let options = FdOptions::new(0.5).with_alpha(alpha);
-        let result = list_forest_decomposition(&g, &lists, &options, &mut rng).unwrap();
+        let csr = CsrGraph::from_multigraph(&g);
+        let result = list_forest_decomposition(&g, &csr, &lists, &options, &mut rng).unwrap();
         validate_partial_forest_decomposition(&g, &result.coloring).expect("valid LFD");
         validate_list_coloring(&g, &result.coloring, &lists).expect("palettes respected");
     }
@@ -447,8 +441,9 @@ mod tests {
         let g = generators::planted_forest_union(20, 3, &mut rng);
         let lists = ListAssignment::uniform(g.num_edges(), 1);
         let options = FdOptions::new(0.5).with_alpha(3);
+        let csr = CsrGraph::from_multigraph(&g);
         assert!(matches!(
-            list_forest_decomposition(&g, &lists, &options, &mut rng),
+            list_forest_decomposition(&g, &csr, &lists, &options, &mut rng),
             Err(FdError::PaletteTooSmall { .. })
         ));
     }
@@ -457,11 +452,12 @@ mod tests {
     fn empty_graph_pipelines() {
         let mut rng = StdRng::seed_from_u64(7);
         let g = MultiGraph::new(3);
+        let csr = CsrGraph::from_multigraph(&g);
         let options = FdOptions::new(0.5);
-        let fd = forest_decomposition(&g, &options, &mut rng).unwrap();
+        let fd = forest_decomposition(&g, &csr, &options, &mut rng).unwrap();
         assert_eq!(fd.num_colors, 0);
         let lists = ListAssignment::uniform(0, 1);
-        let lfd = list_forest_decomposition(&g, &lists, &options, &mut rng).unwrap();
+        let lfd = list_forest_decomposition(&g, &csr, &lists, &options, &mut rng).unwrap();
         assert_eq!(lfd.num_colors, 0);
     }
 }

@@ -28,11 +28,16 @@
 //! procedure deterministically cuts any surviving core-to-outside path,
 //! counting those extra removals separately so the benchmarks can report how
 //! often the randomness alone sufficed.
+//!
+//! Vertex and edge sets are dense `&[bool]` masks indexed by id, and colors
+//! are always processed in ascending order (`BTreeMap` grouping), so a CUT
+//! invocation consumes its RNG in an order fixed by the topology alone —
+//! same seed, same removals, byte for byte.
 
 use forest_graph::decomposition::PartialEdgeColoring;
-use forest_graph::{Color, EdgeId, MultiGraph, Orientation, VertexId};
+use forest_graph::{Color, EdgeId, GraphView, Orientation, VertexId};
 use rand::Rng;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::BTreeMap;
 
 /// Which CUT rule to apply (Theorem 4.2).
 #[derive(Clone, Debug, PartialEq)]
@@ -109,82 +114,132 @@ impl CutOutcome {
     }
 }
 
-fn eligible_edges(
-    g: &MultiGraph,
+/// Builds a dense id-indexed membership mask of length `len` from a set of
+/// identifiers — the representation `CUT` (and Algorithm 2) uses for vertex
+/// cores/views and edge sets.
+pub fn dense_mask<I>(len: usize, ids: I) -> Vec<bool>
+where
+    I: IntoIterator,
+    I::Item: Into<usize>,
+{
+    let mut mask = vec![false; len];
+    for id in ids {
+        mask[id.into()] = true;
+    }
+    mask
+}
+
+fn eligible_edges<G: GraphView>(
+    g: &G,
     coloring: &PartialEdgeColoring,
-    core: &HashSet<VertexId>,
-    view: &HashSet<VertexId>,
+    core: &[bool],
+    view: &[bool],
 ) -> Vec<EdgeId> {
     g.edges()
         .filter(|&(e, u, v)| {
             coloring.color(e).is_some()
-                && view.contains(&u)
-                && view.contains(&v)
-                && !(core.contains(&u) && core.contains(&v))
+                && view[u.index()]
+                && view[v.index()]
+                && !(core[u.index()] && core[v.index()])
         })
         .map(|(e, _, _)| e)
         .collect()
 }
 
-/// Checks goodness: no color class (over the non-removed colored edges)
-/// connects a core vertex to a vertex outside the view.
-pub fn is_good(
-    g: &MultiGraph,
+/// Groups the edges accepted by `keep` by their color, in ascending color
+/// order (deterministic iteration, unlike a hash map).
+fn edges_by_color<G, F>(
+    g: &G,
     coloring: &PartialEdgeColoring,
-    removed: &HashSet<EdgeId>,
-    core: &HashSet<VertexId>,
-    view: &HashSet<VertexId>,
+    keep: F,
+) -> BTreeMap<Color, Vec<EdgeId>>
+where
+    G: GraphView,
+    F: Fn(EdgeId) -> bool,
+{
+    let mut by_color: BTreeMap<Color, Vec<EdgeId>> = BTreeMap::new();
+    for e in g.edge_ids() {
+        if let Some(c) = coloring.color(e) {
+            if keep(e) {
+                by_color.entry(c).or_default().push(e);
+            }
+        }
+    }
+    by_color
+}
+
+/// Checks goodness: no color class (over the non-removed colored edges)
+/// connects a core vertex (`core[v]`) to a vertex outside the view
+/// (`!view[v]`). All three sets are dense id-indexed masks.
+pub fn is_good<G: GraphView>(
+    g: &G,
+    coloring: &PartialEdgeColoring,
+    removed: &[bool],
+    core: &[bool],
+    view: &[bool],
 ) -> bool {
     find_escaping_path(g, coloring, removed, core, view).is_none()
 }
 
 /// Finds a monochromatic path from the core to a vertex outside the view, if
 /// one exists, as a list of edge ids (ordered from the core outward).
-fn find_escaping_path(
-    g: &MultiGraph,
+fn find_escaping_path<G: GraphView>(
+    g: &G,
     coloring: &PartialEdgeColoring,
-    removed: &HashSet<EdgeId>,
-    core: &HashSet<VertexId>,
-    view: &HashSet<VertexId>,
+    removed: &[bool],
+    core: &[bool],
+    view: &[bool],
 ) -> Option<Vec<EdgeId>> {
-    // Group colored, non-removed edges by color once.
-    let mut by_color: HashMap<Color, Vec<EdgeId>> = HashMap::new();
-    for e in g.edge_ids() {
-        if removed.contains(&e) {
-            continue;
-        }
-        if let Some(c) = coloring.color(e) {
-            by_color.entry(c).or_default().push(e);
-        }
-    }
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    let by_color = edges_by_color(g, coloring, |e| !removed[e.index()]);
+    let mut in_class = vec![false; m];
+    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut queue: std::collections::VecDeque<VertexId> = std::collections::VecDeque::new();
     for (_, edges) in by_color {
-        let in_class: HashSet<EdgeId> = edges.iter().copied().collect();
+        for &e in &edges {
+            in_class[e.index()] = true;
+        }
         // Multi-source BFS from the core over this color class.
-        let mut parent_edge: HashMap<VertexId, EdgeId> = HashMap::new();
-        let mut visited: HashSet<VertexId> = core.clone();
-        let mut queue: VecDeque<VertexId> = core.iter().copied().collect();
-        while let Some(u) = queue.pop_front() {
+        visited.copy_from_slice(core);
+        parent_edge.fill(None);
+        queue.clear();
+        queue.extend(g.vertices().filter(|v| core[v.index()]));
+        let mut escape = None;
+        'bfs: while let Some(u) = queue.pop_front() {
             for (w, e) in g.incidences(u) {
-                if in_class.contains(&e) && !visited.contains(&w) {
-                    visited.insert(w);
-                    parent_edge.insert(w, e);
-                    if !view.contains(&w) {
-                        // Reconstruct the path back to the core.
-                        let mut path = Vec::new();
-                        let mut cur = w;
-                        while let Some(&pe) = parent_edge.get(&cur) {
-                            path.push(pe);
-                            cur = g.other_endpoint(pe, cur);
-                            if core.contains(&cur) {
-                                break;
-                            }
-                        }
-                        path.reverse();
-                        return Some(path);
+                if in_class[e.index()] && !visited[w.index()] {
+                    visited[w.index()] = true;
+                    parent_edge[w.index()] = Some(e);
+                    if !view[w.index()] {
+                        escape = Some(w);
+                        break 'bfs;
                     }
                     queue.push_back(w);
                 }
             }
+        }
+        // Undo the class mask before the next color either way.
+        let found = escape.map(|w| {
+            // Reconstruct the path back to the core.
+            let mut path = Vec::new();
+            let mut cur = w;
+            while let Some(pe) = parent_edge[cur.index()] {
+                path.push(pe);
+                cur = g.other_endpoint(pe, cur);
+                if core[cur.index()] {
+                    break;
+                }
+            }
+            path.reverse();
+            path
+        });
+        for &e in &edges {
+            in_class[e.index()] = false;
+        }
+        if found.is_some() {
+            return found;
         }
     }
     None
@@ -192,52 +247,56 @@ fn find_escaping_path(
 
 /// Executes `CUT(C', R)` for one cluster.
 ///
-/// `core` is `C'`, `view` is `C''`; the colored edges inside the view but not
-/// inside the core are eligible for removal. Removed edges are *not* cleared
-/// from `coloring` here — the caller does that so it can also track the
-/// leftover set.
+/// `core` is `C'`, `view` is `C''`, both as dense per-vertex masks (see
+/// [`dense_mask`]); the colored edges inside the view but not inside the core
+/// are eligible for removal. Removed edges are *not* cleared from `coloring`
+/// here — the caller does that so it can also track the leftover set.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's CUT(C', R) signature
-pub fn execute_cut<R: Rng + ?Sized>(
-    g: &MultiGraph,
+pub fn execute_cut<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
     coloring: &PartialEdgeColoring,
-    core: &HashSet<VertexId>,
-    view: &HashSet<VertexId>,
+    core: &[bool],
+    view: &[bool],
     strategy: &CutStrategy,
     state: &mut CutState,
     force_good: bool,
     rng: &mut R,
 ) -> CutOutcome {
+    let m = g.num_edges();
     let eligible = eligible_edges(g, coloring, core, view);
-    let eligible_set: HashSet<EdgeId> = eligible.iter().copied().collect();
+    let eligible_mask = dense_mask(m, eligible.iter().copied());
     let mut removed: Vec<EdgeId> = Vec::new();
     match strategy {
         CutStrategy::DepthModulo { levels } => {
             let levels = (*levels).max(1);
-            // Group eligible edges by color.
-            let mut by_color: HashMap<Color, Vec<EdgeId>> = HashMap::new();
-            for &e in &eligible {
-                let c = coloring.color(e).expect("eligible edges are colored");
-                by_color.entry(c).or_default().push(e);
-            }
+            // Group eligible edges by color, ascending — the per-color RNG
+            // draws below happen in a deterministic order.
+            let by_color = edges_by_color(g, coloring, |e| eligible_mask[e.index()]);
+            let mut in_class = vec![false; m];
             for (_, edges) in by_color {
-                let in_class: HashSet<EdgeId> = edges.iter().copied().collect();
+                for &e in &edges {
+                    in_class[e.index()] = true;
+                }
                 // Root the per-color forest, preferring roots inside the core
                 // so that depth measures the distance leaving the cluster.
                 let rooted = forest_graph::traversal::root_forest(
                     g,
-                    |e| in_class.contains(&e),
-                    |v| usize::from(!core.contains(&v)),
+                    |e| in_class[e.index()],
+                    |v| usize::from(!core[v.index()]),
                 );
                 let offset = rng.gen_range(0..levels);
                 for v in g.vertices() {
                     if let Some(pe) = rooted.parent_edge[v.index()] {
-                        if in_class.contains(&pe) && rooted.depth[v.index()] % levels == offset {
+                        if in_class[pe.index()] && rooted.depth[v.index()] % levels == offset {
                             removed.push(pe);
                             // The deleted edge is charged to (oriented away
                             // from) the child vertex v.
                             state.load[v.index()] += 1;
                         }
                     }
+                }
+                for &e in &edges {
+                    in_class[e.index()] = false;
                 }
             }
         }
@@ -251,7 +310,7 @@ pub fn execute_cut<R: Rng + ?Sized>(
                 .expect("conditioned sampling requires a fixed orientation in CutState");
             let p = probability.clamp(0.0, 1.0);
             for v in g.vertices() {
-                if !view.contains(&v) || core.contains(&v) {
+                if !view[v.index()] || core[v.index()] {
                     continue;
                 }
                 if state.load[v.index()] >= *load_cap {
@@ -263,7 +322,7 @@ pub fn execute_cut<R: Rng + ?Sized>(
                 let candidates: Vec<EdgeId> = orientation
                     .out_edges(g, v)
                     .into_iter()
-                    .filter(|e| eligible_set.contains(e))
+                    .filter(|e| eligible_mask[e.index()])
                     .collect();
                 if candidates.is_empty() {
                     continue;
@@ -276,21 +335,21 @@ pub fn execute_cut<R: Rng + ?Sized>(
     }
     removed.sort_unstable();
     removed.dedup();
-    let mut removed_set: HashSet<EdgeId> = removed.iter().copied().collect();
-    let good = is_good(g, coloring, &removed_set, core, view);
+    let mut removed_mask = dense_mask(m, removed.iter().copied());
+    let good = is_good(g, coloring, &removed_mask, core, view);
     let mut forced = Vec::new();
     if force_good && !good {
         // Deterministic completion: repeatedly cut a surviving escape path at
         // an eligible edge whose charged vertex has minimum load.
         let limit = eligible.len() + 1;
         for _ in 0..limit {
-            let Some(path) = find_escaping_path(g, coloring, &removed_set, core, view) else {
+            let Some(path) = find_escaping_path(g, coloring, &removed_mask, core, view) else {
                 break;
             };
             let candidate = path
                 .iter()
                 .copied()
-                .filter(|e| eligible_set.contains(e) && !removed_set.contains(e))
+                .filter(|e| eligible_mask[e.index()] && !removed_mask[e.index()])
                 .min_by_key(|&e| {
                     let (u, v) = g.endpoints(e);
                     state.load[u.index()].min(state.load[v.index()])
@@ -307,7 +366,7 @@ pub fn execute_cut<R: Rng + ?Sized>(
                 v
             };
             state.load[charged.index()] += 1;
-            removed_set.insert(e);
+            removed_mask[e.index()] = true;
             forced.push(e);
         }
     }
@@ -321,8 +380,8 @@ pub fn execute_cut<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use forest_graph::generators;
     use forest_graph::orientation::min_max_outdegree_orientation;
+    use forest_graph::{generators, CsrGraph, MultiGraph};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -331,28 +390,24 @@ mod tests {
     fn long_path_setup(
         n: usize,
         view_len: usize,
-    ) -> (
-        MultiGraph,
-        PartialEdgeColoring,
-        HashSet<VertexId>,
-        HashSet<VertexId>,
-    ) {
+    ) -> (MultiGraph, PartialEdgeColoring, Vec<bool>, Vec<bool>) {
         let g = generators::path(n);
         let mut coloring = PartialEdgeColoring::new_uncolored(g.num_edges());
         for e in g.edge_ids() {
             coloring.set(e, Color::new(0));
         }
-        let core: HashSet<VertexId> = (0..2).map(VertexId::new).collect();
-        let view: HashSet<VertexId> = (0..view_len).map(VertexId::new).collect();
+        let core = dense_mask(n, (0..2).map(VertexId::new));
+        let view = dense_mask(n, (0..view_len).map(VertexId::new));
         (g, coloring, core, view)
     }
 
     #[test]
     fn ungood_configuration_is_detected() {
         let (g, coloring, core, view) = long_path_setup(30, 10);
-        assert!(!is_good(&g, &coloring, &HashSet::new(), &core, &view));
+        let none = vec![false; g.num_edges()];
+        assert!(!is_good(&g, &coloring, &none, &core, &view));
         // Removing the edge that leaves the view restores goodness.
-        let removed: HashSet<EdgeId> = [EdgeId::new(9)].into_iter().collect();
+        let removed = dense_mask(g.num_edges(), [EdgeId::new(9)]);
         assert!(is_good(&g, &coloring, &removed, &core, &view));
     }
 
@@ -374,13 +429,13 @@ mod tests {
         // levels = 4 <= R/2 for the implied R = 10, so the cut is always good.
         assert!(outcome.good);
         assert!(outcome.forced.is_empty());
-        let removed: HashSet<EdgeId> = outcome.all_removed().into_iter().collect();
+        let removed = dense_mask(g.num_edges(), outcome.all_removed());
         assert!(is_good(&g, &coloring, &removed, &core, &view));
         // Only eligible (outside-core, inside-view) edges were touched.
         for e in &outcome.removed {
             let (u, v) = g.endpoints(*e);
-            assert!(view.contains(&u) && view.contains(&v));
-            assert!(!(core.contains(&u) && core.contains(&v)));
+            assert!(view[u.index()] && view[v.index()]);
+            assert!(!(core[u.index()] && core[v.index()]));
         }
     }
 
@@ -414,8 +469,8 @@ mod tests {
         }
         let (orientation, _) = min_max_outdegree_orientation(&g);
         let mut state = CutState::with_orientation(g.num_vertices(), orientation);
-        let core: HashSet<VertexId> = (0..3).map(VertexId::new).collect();
-        let view: HashSet<VertexId> = g.vertices().collect();
+        let core = dense_mask(g.num_vertices(), (0..3).map(VertexId::new));
+        let view = vec![true; g.num_vertices()];
         for _ in 0..20 {
             execute_cut(
                 &g,
@@ -457,7 +512,7 @@ mod tests {
             true,
             &mut rng,
         );
-        let removed: HashSet<EdgeId> = outcome.all_removed().into_iter().collect();
+        let removed = dense_mask(g.num_edges(), outcome.all_removed());
         assert!(is_good(&g, &coloring, &removed, &core, &view));
     }
 
@@ -492,8 +547,8 @@ mod tests {
         for e in g.edge_ids() {
             coloring.set(e, Color::new(e.index() % 2));
         }
-        let core: HashSet<VertexId> = (0..2).map(VertexId::new).collect();
-        let view: HashSet<VertexId> = (0..14).map(VertexId::new).collect();
+        let core = dense_mask(g.num_vertices(), (0..2).map(VertexId::new));
+        let view = dense_mask(g.num_vertices(), (0..14).map(VertexId::new));
         let mut state = CutState::new(g.num_vertices());
         let mut rng = StdRng::seed_from_u64(8);
         let outcome = execute_cut(
@@ -506,7 +561,50 @@ mod tests {
             true,
             &mut rng,
         );
-        let removed: HashSet<EdgeId> = outcome.all_removed().into_iter().collect();
+        let removed = dense_mask(g.num_edges(), outcome.all_removed());
         assert!(is_good(&g, &coloring, &removed, &core, &view));
+    }
+
+    #[test]
+    fn same_seed_same_removals_across_runs_and_representations() {
+        // Regression for the old HashMap-ordered color iteration: the RNG
+        // draws per color must happen in a fixed order.
+        let g = generators::fat_path(60, 3);
+        let mut coloring = PartialEdgeColoring::new_uncolored(g.num_edges());
+        for e in g.edge_ids() {
+            coloring.set(e, Color::new(e.index() % 3));
+        }
+        let core = dense_mask(g.num_vertices(), (0..3).map(VertexId::new));
+        let view = dense_mask(g.num_vertices(), (0..20).map(VertexId::new));
+        let csr = CsrGraph::from_multigraph(&g);
+        let mut outcomes = Vec::new();
+        for _ in 0..2 {
+            let mut state = CutState::new(g.num_vertices());
+            let mut rng = StdRng::seed_from_u64(77);
+            outcomes.push(execute_cut(
+                &g,
+                &coloring,
+                &core,
+                &view,
+                &CutStrategy::DepthModulo { levels: 4 },
+                &mut state,
+                true,
+                &mut rng,
+            ));
+        }
+        let mut state = CutState::new(g.num_vertices());
+        let mut rng = StdRng::seed_from_u64(77);
+        outcomes.push(execute_cut(
+            &csr,
+            &coloring,
+            &core,
+            &view,
+            &CutStrategy::DepthModulo { levels: 4 },
+            &mut state,
+            true,
+            &mut rng,
+        ));
+        assert_eq!(outcomes[0], outcomes[1], "same seed must repeat exactly");
+        assert_eq!(outcomes[0], outcomes[2], "CSR must match MultiGraph");
     }
 }

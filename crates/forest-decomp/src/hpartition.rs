@@ -16,7 +16,7 @@
 use crate::error::{check_epsilon, FdError};
 use forest_graph::decomposition::PartialEdgeColoring;
 use forest_graph::{
-    Color, EdgeId, ForestDecomposition, ListAssignment, MultiGraph, Orientation, VertexId,
+    Color, EdgeId, ForestDecomposition, GraphView, ListAssignment, Orientation, VertexId,
 };
 use local_model::cole_vishkin::{cole_vishkin_three_coloring, RootedForestView};
 use local_model::RoundLedger;
@@ -51,7 +51,7 @@ impl HPartition {
 
     /// Checks the defining property: every vertex of class `i` has at most
     /// `degree_threshold` neighbors in classes `i, i+1, ..`.
-    pub fn satisfies_degree_property(&self, g: &MultiGraph) -> bool {
+    pub fn satisfies_degree_property<G: GraphView>(&self, g: &G) -> bool {
         for v in g.vertices() {
             let class = self.class_of[v.index()];
             let later_neighbors = g
@@ -75,8 +75,8 @@ impl HPartition {
 /// Returns [`FdError::InvalidEpsilon`] for an epsilon outside `(0,1)` and
 /// [`FdError::ArboricityBoundTooSmall`] if the bound is zero on a non-empty
 /// graph.
-pub fn h_partition(
-    g: &MultiGraph,
+pub fn h_partition<G: GraphView>(
+    g: &G,
     epsilon: f64,
     pseudoarboricity_bound: usize,
     ledger: &mut RoundLedger,
@@ -147,7 +147,7 @@ pub fn h_partition(
 /// Edges are oriented from the lower class to the higher class, ties broken
 /// toward the higher vertex id, so the tail is the lexicographically smaller
 /// `(class, id)` endpoint.
-pub fn acyclic_orientation(g: &MultiGraph, partition: &HPartition) -> Orientation {
+pub fn acyclic_orientation<G: GraphView>(g: &G, partition: &HPartition) -> Orientation {
     Orientation::from_fn(g, |_, u, v| {
         let ku = (partition.class_of[u.index()], u);
         let kv = (partition.class_of[v.index()], v);
@@ -162,7 +162,7 @@ pub fn acyclic_orientation(g: &MultiGraph, partition: &HPartition) -> Orientatio
 /// Labels the out-edges of every vertex with indices `0..out_degree`, giving
 /// one rooted forest per label: in forest `i`, each vertex's parent is the
 /// head of its `i`-th out-edge.
-pub(crate) fn out_edge_labels(g: &MultiGraph, orientation: &Orientation) -> Vec<usize> {
+pub(crate) fn out_edge_labels<G: GraphView>(g: &G, orientation: &Orientation) -> Vec<usize> {
     let mut next_label = vec![0usize; g.num_vertices()];
     let mut label = vec![0usize; g.num_edges()];
     for (e, _, _) in g.edges() {
@@ -176,8 +176,8 @@ pub(crate) fn out_edge_labels(g: &MultiGraph, orientation: &Orientation) -> Vec<
 /// Theorem 2.1(3): a `3t`-star-forest decomposition from an acyclic
 /// `t`-orientation. Returns the decomposition; color `3i + c` holds the
 /// label-`i` edges whose parent endpoint received Cole–Vishkin color `c`.
-pub fn star_forest_decomposition(
-    g: &MultiGraph,
+pub fn star_forest_decomposition<G: GraphView>(
+    g: &G,
     orientation: &Orientation,
     ledger: &mut RoundLedger,
 ) -> ForestDecomposition {
@@ -217,8 +217,8 @@ pub fn star_forest_decomposition(
 ///
 /// Returns [`FdError::PaletteTooSmall`] if some vertex has more out-edges
 /// than a palette can accommodate.
-pub fn list_forest_decomposition(
-    g: &MultiGraph,
+pub fn list_forest_decomposition<G: GraphView>(
+    g: &G,
     orientation: &Orientation,
     lists: &ListAssignment,
     ledger: &mut RoundLedger,
@@ -256,6 +256,7 @@ mod tests {
         validate_forest_decomposition, validate_list_coloring,
         validate_partial_forest_decomposition, validate_star_forest_decomposition,
     };
+    use forest_graph::MultiGraph;
     use forest_graph::{generators, orientation::pseudoarboricity};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -65,25 +65,40 @@
 //! * [`baselines`] — Barenboim–Elkin `(2+ε)α`-FD, the folklore `2α`-SFD and
 //!   the exact centralized decomposition.
 //!
-//! # Migrating from the pre-facade entrypoints
+//! # Frozen topology
 //!
-//! The six historical free-function entrypoints still work but are
-//! deprecated; each maps onto one `(problem, engine)` request:
+//! Every end-to-end pipeline runs over a frozen
+//! [`CsrGraph`](forest_graph::CsrGraph): [`api::Decomposer::run`] freezes the
+//! input once per request and threads the `(MultiGraph, CsrGraph)` pair
+//! through the engine phases, and [`api::Decomposer::run_batch_shared`]
+//! shares one [`api::FrozenGraph`] across a whole seed sweep. Phase-level
+//! entrypoints ([`algorithm2`], [`augmenting`], [`cut`], [`hpartition`]) are
+//! generic over [`forest_graph::GraphView`], so they accept either
+//! representation and produce identical output on both.
 //!
-//! | old entrypoint | request |
+//! # The pre-facade entrypoints
+//!
+//! The historical free-function entrypoints (`forest_decomposition`,
+//! `list_forest_decomposition`, the `*_simple` star-forest functions,
+//! `low_outdegree_orientation`) were deprecated when the facade landed and
+//! have since been folded into the engine adapters; each maps onto one
+//! `(problem, engine)` request:
+//!
+//! | removed entrypoint | request |
 //! |---|---|
 //! | `combine::forest_decomposition` | `ProblemKind::Forest` + `Engine::HarrisSuVu` |
 //! | `combine::list_forest_decomposition` | `ProblemKind::ListForest` + `Engine::HarrisSuVu` |
 //! | `star_forest::star_forest_decomposition_simple` | `ProblemKind::StarForest` + `Engine::HarrisSuVu` |
 //! | `star_forest::list_star_forest_decomposition_simple` | `ProblemKind::ListStarForest` + `Engine::HarrisSuVu` |
 //! | `orientation::low_outdegree_orientation` | `ProblemKind::Orientation` + `Engine::HarrisSuVu` |
-//! | `baselines::barenboim_elkin_forest_decomposition` | `ProblemKind::Forest` + `Engine::BarenboimElkin` |
-//! | `baselines::two_color_star_forests` | `ProblemKind::StarForest` + `Engine::Folklore2Alpha` |
-//! | `baselines::exact_centralized_decomposition` | `ProblemKind::Forest` + `Engine::ExactMatroid` |
 //!
-//! `FdOptions`/`SfdConfig` knobs (`epsilon`, `alpha`, cut strategy, diameter
-//! target, radii) have eponymous `with_*` builders on the request, and the
-//! `&mut R` RNG argument is replaced by `with_seed`.
+//! The baselines (`baselines::*`) remain available as plain functions for
+//! phase-level experiments, and are also reachable through
+//! `Engine::BarenboimElkin`, `Engine::Folklore2Alpha` and
+//! `Engine::ExactMatroid`. `FdOptions`/`SfdConfig` knobs (`epsilon`,
+//! `alpha`, cut strategy, diameter target, radii) have eponymous `with_*`
+//! builders on the request, and the `&mut R` RNG argument is replaced by
+//! `with_seed`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -107,20 +122,10 @@ pub use api::{
     Decomposer, DecompositionReport, DecompositionRequest, Engine, ProblemKind, Validate,
 };
 
-pub use algorithm2::{Algorithm2Config, Algorithm2Output, CutStrategyKind};
-pub use augmenting::{AugmentationContext, AugmentingSequence};
+pub use algorithm2::{algorithm2, Algorithm2Config, Algorithm2Output, CutStrategyKind};
+pub use augmenting::{AugmentationContext, AugmentingSequence, ColorConnectivity};
 pub use combine::{FdOptions, FdResult, LfdResult};
 pub use diameter_reduction::{reduce_diameter, DiameterTarget};
 pub use error::FdError;
 pub use hpartition::HPartition;
-pub use orientation::OrientationResult;
 pub use star_forest::{SfdConfig, StarForestResult};
-
-#[allow(deprecated)]
-pub use algorithm2::algorithm2;
-#[allow(deprecated)]
-pub use combine::{forest_decomposition, list_forest_decomposition};
-#[allow(deprecated)]
-pub use orientation::low_outdegree_orientation;
-#[allow(deprecated)]
-pub use star_forest::{list_star_forest_decomposition_simple, star_forest_decomposition_simple};

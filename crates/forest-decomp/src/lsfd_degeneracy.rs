@@ -19,7 +19,7 @@
 use crate::error::{check_epsilon, FdError};
 use crate::hpartition::{acyclic_orientation, h_partition};
 use forest_graph::decomposition::PartialEdgeColoring;
-use forest_graph::{Color, EdgeId, ListAssignment, MultiGraph, Orientation};
+use forest_graph::{Color, EdgeId, GraphView, ListAssignment, Orientation};
 use local_model::rounds::costs;
 use local_model::RoundLedger;
 use std::collections::HashSet;
@@ -36,8 +36,8 @@ use std::collections::HashSet;
 /// # Errors
 ///
 /// Returns [`FdError::PaletteTooSmall`] if some palette runs out of colors.
-pub fn greedy_lsfd_from_orientation(
-    g: &MultiGraph,
+pub fn greedy_lsfd_from_orientation<G: GraphView>(
+    g: &G,
     orientation: &Orientation,
     lists: &ListAssignment,
 ) -> Result<PartialEdgeColoring, FdError> {
@@ -91,8 +91,8 @@ pub struct LsfdOutcome {
 /// # Errors
 ///
 /// Returns an error for invalid `ε` or palettes below the required size.
-pub fn list_star_forest_decomposition_degeneracy(
-    g: &MultiGraph,
+pub fn list_star_forest_decomposition_degeneracy<G: GraphView>(
+    g: &G,
     lists: &ListAssignment,
     epsilon: f64,
     pseudoarboricity_bound: usize,
@@ -147,6 +147,7 @@ mod tests {
     use super::*;
     use forest_graph::decomposition::{validate_list_coloring, validate_star_forest_decomposition};
     use forest_graph::orientation::pseudoarboricity;
+    use forest_graph::MultiGraph;
     use forest_graph::{generators, matroid};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -6,35 +6,34 @@
 //! color. This gives the first `(1+ε)α`-orientation algorithms with a linear
 //! dependence on `1/ε`.
 
-#[allow(deprecated)]
-use crate::combine::forest_decomposition;
-use crate::combine::FdOptions;
-use crate::error::FdError;
-use forest_graph::decomposition::max_forest_diameter;
 use forest_graph::traversal::root_forest;
-use forest_graph::{EdgeId, ForestDecomposition, MultiGraph, Orientation};
-use local_model::RoundLedger;
-use rand::Rng;
-use std::collections::HashSet;
+use forest_graph::{EdgeId, ForestDecomposition, GraphView, Orientation};
 
 /// Orients every edge of a complete forest decomposition toward the root of
 /// its tree (per color class). The resulting out-degree of a vertex is at
 /// most the number of colors, since it has at most one parent edge per color.
-pub fn orientation_from_decomposition(
-    g: &MultiGraph,
+pub fn orientation_from_decomposition<G: GraphView>(
+    g: &G,
     decomposition: &ForestDecomposition,
 ) -> Orientation {
     let mut tails = vec![None; g.num_edges()];
+    let mut in_class = vec![false; g.num_edges()];
     for c in decomposition.colors_used() {
-        let class: HashSet<EdgeId> = decomposition.edges_with_color(c).into_iter().collect();
-        let rooted = root_forest(g, |e| class.contains(&e), |_| 0);
+        let class = decomposition.edges_with_color(c);
+        for &e in &class {
+            in_class[e.index()] = true;
+        }
+        let rooted = root_forest(g, |e| in_class[e.index()], |_| 0);
         for v in g.vertices() {
             if let Some(pe) = rooted.parent_edge[v.index()] {
-                if class.contains(&pe) {
+                if in_class[pe.index()] {
                     // The edge points from the child v toward its parent.
                     tails[pe.index()] = Some(v);
                 }
             }
+        }
+        for &e in &class {
+            in_class[e.index()] = false;
         }
     }
     let tails: Vec<_> = tails
@@ -45,58 +44,10 @@ pub fn orientation_from_decomposition(
     Orientation::from_tails(g, tails).expect("tails are endpoints by construction")
 }
 
-/// Result of the end-to-end `(1+ε)α`-orientation (Corollary 1.1).
-#[derive(Clone, Debug)]
-pub struct OrientationResult {
-    /// The orientation.
-    pub orientation: Orientation,
-    /// Maximum out-degree achieved.
-    pub max_out_degree: usize,
-    /// Number of forests of the underlying decomposition.
-    pub num_forests: usize,
-    /// Diameter of the underlying decomposition (the orientation step costs
-    /// `O(diameter)` extra rounds).
-    pub forest_diameter: usize,
-    /// Round accounting (decomposition plus orientation).
-    pub ledger: RoundLedger,
-}
-
-/// Corollary 1.1: computes a `(1+O(ε))α`-orientation by running the forest
-/// decomposition pipeline of Theorem 4.6 and orienting each tree toward its
-/// root.
-///
-/// # Errors
-///
-/// Propagates errors from the decomposition pipeline.
-#[deprecated(
-    since = "0.2.0",
-    note = "use api::Decomposer with ProblemKind::Orientation + Engine::HarrisSuVu"
-)]
-pub fn low_outdegree_orientation<R: Rng + ?Sized>(
-    g: &MultiGraph,
-    options: &FdOptions,
-    rng: &mut R,
-) -> Result<OrientationResult, FdError> {
-    #[allow(deprecated)]
-    let result = forest_decomposition(g, options, rng)?;
-    let mut ledger = result.ledger.clone();
-    let diameter = max_forest_diameter(g, &result.decomposition.to_partial());
-    ledger.charge("orient each tree toward its root", diameter.max(1));
-    let orientation = orientation_from_decomposition(g, &result.decomposition);
-    Ok(OrientationResult {
-        max_out_degree: orientation.max_out_degree(g),
-        orientation,
-        num_forests: result.num_colors,
-        forest_diameter: diameter,
-        ledger,
-    })
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // unit tests exercise the historical entrypoints directly
 mod tests {
     use super::*;
-    use forest_graph::{generators, matroid};
+    use forest_graph::{generators, matroid, MultiGraph};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -121,23 +72,6 @@ mod tests {
         let exact = matroid::exact_forest_decomposition(&g);
         let orientation = orientation_from_decomposition(&g, &exact.decomposition);
         assert!(orientation.max_out_degree(&g) <= exact.arboricity);
-    }
-
-    #[test]
-    fn end_to_end_orientation_close_to_alpha() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let g = generators::planted_forest_union(40, 4, &mut rng);
-        let alpha = matroid::arboricity(&g);
-        let options = FdOptions::new(0.5);
-        let result = low_outdegree_orientation(&g, &options, &mut rng).unwrap();
-        // (1 + O(eps)) alpha out-degree: allow the pipeline's extra colors.
-        assert!(
-            result.max_out_degree <= 2 * alpha + 2,
-            "out-degree {} vs alpha {alpha}",
-            result.max_out_degree
-        );
-        assert!(result.num_forests >= alpha);
-        assert!(result.ledger.total_rounds() > 0);
     }
 
     #[test]

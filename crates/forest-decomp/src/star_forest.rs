@@ -22,8 +22,8 @@ use crate::matching::maximum_bipartite_matching;
 use forest_graph::decomposition::PartialEdgeColoring;
 use forest_graph::orientation::bounded_outdegree_orientation;
 use forest_graph::{
-    Color, EdgeId, ForestDecomposition, ListAssignment, MultiGraph, Orientation, SimpleGraph,
-    VertexId,
+    Color, CsrGraph, EdgeId, ForestDecomposition, GraphView, ListAssignment, Orientation,
+    SimpleGraph, VertexId,
 };
 use local_model::rounds::costs;
 use local_model::RoundLedger;
@@ -78,10 +78,15 @@ pub struct StarForestResult {
     pub ledger: RoundLedger,
 }
 
-fn matching_for_vertex(
-    g: &MultiGraph,
+/// Per-vertex sampled color sets, stored as dense bitmasks over the
+/// colorspace index (so membership tests inside the matching loops are O(1)
+/// array reads instead of hash probes).
+type ColorSets = Vec<Vec<bool>>;
+
+fn matching_for_vertex<G: GraphView>(
+    g: &G,
     orientation: &Orientation,
-    color_sets: &[HashSet<Color>],
+    color_sets: &ColorSets,
     lists: Option<&ListAssignment>,
     colorspace: &[Color],
     v: VertexId,
@@ -95,9 +100,9 @@ fn matching_for_vertex(
             colorspace
                 .iter()
                 .enumerate()
-                .filter(|(_, &c)| {
-                    color_sets[v.index()].contains(&c)
-                        && !color_sets[u.index()].contains(&c)
+                .filter(|&(i, &c)| {
+                    color_sets[v.index()][i]
+                        && !color_sets[u.index()][i]
                         && lists.is_none_or(|l| l.contains(e, c))
                 })
                 .map(|(i, _)| i)
@@ -113,20 +118,19 @@ fn matching_for_vertex(
 
 /// Internal driver shared by the ordinary and list variants.
 #[allow(clippy::too_many_arguments)]
-fn star_forest_by_matching<R: Rng + ?Sized>(
-    g: &MultiGraph,
+fn star_forest_by_matching<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
     orientation: &Orientation,
     colorspace: &[Color],
     lists: Option<&ListAssignment>,
     allowed_deficiency: usize,
-    sample_color_set: &mut dyn FnMut(&mut R, VertexId) -> HashSet<Color>,
+    sample_color_set: &mut dyn FnMut(&mut R, VertexId) -> Vec<bool>,
     max_lll_rounds: usize,
     rng: &mut R,
     ledger: &mut RoundLedger,
 ) -> (PartialEdgeColoring, usize, usize) {
     let n = g.num_vertices();
-    let mut color_sets: Vec<HashSet<Color>> =
-        g.vertices().map(|v| sample_color_set(rng, v)).collect();
+    let mut color_sets: ColorSets = g.vertices().map(|v| sample_color_set(rng, v)).collect();
     // LLL loop: a vertex is "bad" if its matching misses more than
     // `allowed_deficiency` of its out-edges.
     let mut lll_rounds = 0usize;
@@ -171,18 +175,17 @@ fn star_forest_by_matching<R: Rng + ?Sized>(
     (coloring, leftover, lll_rounds)
 }
 
-/// Theorem 5.4(1): `(1+O(ε))α`-star-forest decomposition of a simple graph.
+/// Theorem 5.4(1): `(1+O(ε))α`-star-forest decomposition of a simple graph,
+/// over the frozen topology `csr` (which must equal
+/// `CsrGraph::from_multigraph(g.graph())`; the `Decomposer` facade freezes
+/// once per request and threads the pair through).
 ///
 /// # Errors
 ///
 /// Returns an error for invalid `ε` or if the leftover recoloring fails.
-#[deprecated(
-    since = "0.2.0",
-    note = "use api::Decomposer with ProblemKind::StarForest + Engine::HarrisSuVu \
-            (the facade converts multigraph inputs and reports FdError::NotSimple)"
-)]
-pub fn star_forest_decomposition_simple<R: Rng + ?Sized>(
+pub(crate) fn star_forest_decomposition_simple<R: Rng + ?Sized>(
     g: &SimpleGraph,
+    csr: &CsrGraph,
     config: &SfdConfig,
     rng: &mut R,
 ) -> Result<StarForestResult, FdError> {
@@ -208,9 +211,9 @@ pub fn star_forest_decomposition_simple<R: Rng + ?Sized>(
     // (O~(log^2 n / eps^2) rounds); we take the exact flow orientation and
     // charge the same round budget.
     let orientation =
-        bounded_outdegree_orientation(graph, t).ok_or(FdError::ArboricityBoundTooSmall {
+        bounded_outdegree_orientation(csr, t).ok_or(FdError::ArboricityBoundTooSmall {
             bound: alpha,
-            required: forest_graph::orientation::pseudoarboricity(graph),
+            required: forest_graph::orientation::pseudoarboricity(csr),
         })?;
     let n = graph.num_vertices();
     let log_n = costs::log2_ceil(n).max(1);
@@ -221,14 +224,16 @@ pub fn star_forest_decomposition_simple<R: Rng + ?Sized>(
     let colorspace: Vec<Color> = (0..t).map(Color::new).collect();
     let subset_size = alpha.min(t);
     let allowed_deficiency = (2.0 * config.epsilon * alpha as f64).ceil() as usize;
-    let mut sample = |rng: &mut R, _v: VertexId| -> HashSet<Color> {
-        colorspace
-            .choose_multiple(rng, subset_size)
-            .copied()
-            .collect()
+    let indices: Vec<usize> = (0..t).collect();
+    let mut sample = |rng: &mut R, _v: VertexId| -> Vec<bool> {
+        let mut mask = vec![false; t];
+        for &i in indices.choose_multiple(rng, subset_size) {
+            mask[i] = true;
+        }
+        mask
     };
     let (mut coloring, leftover_edges, lll_rounds) = star_forest_by_matching(
-        graph,
+        csr,
         &orientation,
         &colorspace,
         None,
@@ -240,12 +245,9 @@ pub fn star_forest_decomposition_simple<R: Rng + ?Sized>(
     );
     // Recolor the leftover (unmatched) edges as star forests with fresh
     // colors via Theorem 2.1.
-    let leftover_set: HashSet<EdgeId> = graph
-        .edge_ids()
-        .filter(|&e| coloring.color(e).is_none())
-        .collect();
-    if !leftover_set.is_empty() {
-        let (sub, back) = graph.edge_subgraph(|e| leftover_set.contains(&e));
+    let any_leftover = csr.edge_ids().any(|e| coloring.color(e).is_none());
+    if any_leftover {
+        let (sub, back) = graph.edge_subgraph(|e| coloring.color(e).is_none());
         let pseudo = forest_graph::orientation::pseudoarboricity(&sub).max(1);
         let hp = h_partition(&sub, 0.5, pseudo, &mut ledger)?;
         let sub_orientation = acyclic_orientation(&sub, &hp);
@@ -267,19 +269,18 @@ pub fn star_forest_decomposition_simple<R: Rng + ?Sized>(
 }
 
 /// Theorem 5.4(2): `(1+O(ε))α`-list-star-forest decomposition of a simple
-/// graph whose palettes have at least `(1 + 200ε)α`-ish colors (Lemma 5.3).
+/// graph whose palettes have at least `(1 + 200ε)α`-ish colors (Lemma 5.3),
+/// over the frozen topology `csr` (see
+/// [`star_forest_decomposition_simple`]).
 ///
 /// # Errors
 ///
 /// Returns an error for invalid `ε`, or [`FdError::NotConverged`] if some
 /// vertex never obtains a perfect matching and its unmatched edges cannot be
 /// finished greedily from their palettes.
-#[deprecated(
-    since = "0.2.0",
-    note = "use api::Decomposer with ProblemKind::ListStarForest + Engine::HarrisSuVu"
-)]
-pub fn list_star_forest_decomposition_simple<R: Rng + ?Sized>(
+pub(crate) fn list_star_forest_decomposition_simple<R: Rng + ?Sized>(
     g: &SimpleGraph,
+    csr: &CsrGraph,
     lists: &ListAssignment,
     config: &SfdConfig,
     rng: &mut R,
@@ -303,9 +304,9 @@ pub fn list_star_forest_decomposition_simple<R: Rng + ?Sized>(
         .max(1);
     let t = ((1.0 + config.epsilon) * alpha as f64).ceil() as usize;
     let orientation =
-        bounded_outdegree_orientation(graph, t).ok_or(FdError::ArboricityBoundTooSmall {
+        bounded_outdegree_orientation(csr, t).ok_or(FdError::ArboricityBoundTooSmall {
             bound: alpha,
-            required: forest_graph::orientation::pseudoarboricity(graph),
+            required: forest_graph::orientation::pseudoarboricity(csr),
         })?;
     let n = graph.num_vertices();
     let log_n = costs::log2_ceil(n).max(1);
@@ -321,16 +322,14 @@ pub fn list_star_forest_decomposition_simple<R: Rng + ?Sized>(
     colorspace.sort_unstable();
     colorspace.dedup();
     let keep_probability = 1.0 - config.epsilon;
-    let colorspace_clone = colorspace.clone();
-    let mut sample = move |rng: &mut R, _v: VertexId| -> HashSet<Color> {
-        colorspace_clone
-            .iter()
-            .copied()
-            .filter(|_| rng.gen_bool(keep_probability))
+    let colorspace_len = colorspace.len();
+    let mut sample = move |rng: &mut R, _v: VertexId| -> Vec<bool> {
+        (0..colorspace_len)
+            .map(|_| rng.gen_bool(keep_probability))
             .collect()
     };
     let (mut coloring, mut leftover_edges, lll_rounds) = star_forest_by_matching(
-        graph,
+        csr,
         &orientation,
         &colorspace,
         Some(lists),
@@ -343,16 +342,17 @@ pub fn list_star_forest_decomposition_simple<R: Rng + ?Sized>(
     // In the list setting there is no budget for fresh colors; finish any
     // unmatched edge greedily with a palette color unused by every edge
     // incident to either endpoint (which keeps every class a star forest).
-    let unmatched: Vec<EdgeId> = graph
+    let unmatched: Vec<EdgeId> = csr
         .edge_ids()
         .filter(|&e| coloring.color(e).is_none())
         .collect();
     for e in unmatched {
-        let (u, v) = graph.endpoints(e);
-        let neighbor_colors: HashSet<Color> = graph
-            .incident_edges(u)
-            .chain(graph.incident_edges(v))
-            .filter_map(|x| coloring.color(x))
+        let (u, v) = csr.endpoints(e);
+        let neighbor_colors: HashSet<Color> = csr
+            .edge_slice(u)
+            .iter()
+            .chain(csr.edge_slice(v).iter())
+            .filter_map(|&x| coloring.color(x))
             .collect();
         let choice = lists
             .palette(e)
@@ -385,7 +385,6 @@ pub fn list_star_forest_decomposition_simple<R: Rng + ?Sized>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // unit tests exercise the historical entrypoints directly
 mod tests {
     use super::*;
     use forest_graph::decomposition::{validate_list_coloring, validate_star_forest_decomposition};
@@ -399,7 +398,8 @@ mod tests {
         let g = generators::planted_simple_arboricity(60, 4, &mut rng);
         let alpha = forest_graph::matroid::arboricity(g.graph());
         let config = SfdConfig::new(0.5).with_alpha(alpha);
-        let result = star_forest_decomposition_simple(&g, &config, &mut rng).unwrap();
+        let csr = CsrGraph::from_multigraph(g.graph());
+        let result = star_forest_decomposition_simple(&g, &csr, &config, &mut rng).unwrap();
         validate_star_forest_decomposition(g.graph(), &result.decomposition, None)
             .expect("star forests");
         // The color budget: t primary colors plus O(eps alpha) recolored ones;
@@ -417,7 +417,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let g = SimpleGraph::try_from_multigraph(generators::complete_graph(12)).unwrap();
         let config = SfdConfig::new(0.4);
-        let result = star_forest_decomposition_simple(&g, &config, &mut rng).unwrap();
+        let csr = CsrGraph::from_multigraph(g.graph());
+        let result = star_forest_decomposition_simple(&g, &csr, &config, &mut rng).unwrap();
         validate_star_forest_decomposition(g.graph(), &result.decomposition, None)
             .expect("star forests");
         // Sanity bound: stay within 3 alpha colors on K12 (alpha = 6); the
@@ -431,7 +432,8 @@ mod tests {
         let tree = generators::random_tree(80, &mut rng);
         let g = SimpleGraph::try_from_multigraph(tree).unwrap();
         let config = SfdConfig::new(0.5).with_alpha(1);
-        let result = star_forest_decomposition_simple(&g, &config, &mut rng).unwrap();
+        let csr = CsrGraph::from_multigraph(g.graph());
+        let result = star_forest_decomposition_simple(&g, &csr, &config, &mut rng).unwrap();
         validate_star_forest_decomposition(g.graph(), &result.decomposition, None)
             .expect("star forests");
         // alpha = 1: a star forest decomposition with O(1) colors.
@@ -443,7 +445,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let g = SimpleGraph::new(5);
         let config = SfdConfig::new(0.3);
-        let result = star_forest_decomposition_simple(&g, &config, &mut rng).unwrap();
+        let csr = CsrGraph::from_multigraph(g.graph());
+        let result = star_forest_decomposition_simple(&g, &csr, &config, &mut rng).unwrap();
         assert_eq!(result.num_colors, 0);
     }
 
@@ -463,7 +466,9 @@ mod tests {
             &mut rng,
         );
         let config = SfdConfig::new(0.2).with_alpha(alpha);
-        let result = list_star_forest_decomposition_simple(&g, &lists, &config, &mut rng).unwrap();
+        let csr = CsrGraph::from_multigraph(g.graph());
+        let result =
+            list_star_forest_decomposition_simple(&g, &csr, &lists, &config, &mut rng).unwrap();
         validate_star_forest_decomposition(g.graph(), &result.decomposition, None)
             .expect("star forests");
         validate_list_coloring(g.graph(), &result.decomposition.to_partial(), &lists)
@@ -477,7 +482,8 @@ mod tests {
         // A single shared color cannot star-decompose K8.
         let lists = ListAssignment::uniform(g.graph().num_edges(), 1);
         let config = SfdConfig::new(0.2).with_alpha(4);
-        let result = list_star_forest_decomposition_simple(&g, &lists, &config, &mut rng);
+        let csr = CsrGraph::from_multigraph(g.graph());
+        let result = list_star_forest_decomposition_simple(&g, &csr, &lists, &config, &mut rng);
         assert!(result.is_err());
     }
 
@@ -486,6 +492,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let g = SimpleGraph::new(3);
         let config = SfdConfig::new(0.0);
-        assert!(star_forest_decomposition_simple(&g, &config, &mut rng).is_err());
+        let csr = CsrGraph::from_multigraph(g.graph());
+        assert!(star_forest_decomposition_simple(&g, &csr, &config, &mut rng).is_err());
     }
 }

@@ -1,0 +1,294 @@
+//! A frozen compressed-sparse-row graph: the cache-friendly topology every
+//! decomposition pipeline runs on.
+//!
+//! [`CsrGraph`] stores the incidence structure of a
+//! [`MultiGraph`](crate::MultiGraph) in three flat arrays (`offsets`,
+//! `neighbors`, `edge_ids`): neighborhood iteration is a contiguous slice
+//! scan instead of a pointer chase through per-vertex `Vec`s, degrees are
+//! O(1) offset differences, and iteration order is fixed by construction.
+//! The topology is *frozen* — there is no `add_edge` — which is exactly what
+//! the Harris–Su–Vu algorithms need: they are round-synchronous scans over
+//! static topology.
+//!
+//! # When to freeze
+//!
+//! Freeze once per request/run, not per phase: build the graph mutably as a
+//! `MultiGraph`, convert with [`CsrGraph::from_multigraph`] at the boundary
+//! where algorithms start (the `Decomposer` facade does this automatically),
+//! and thread the `CsrGraph` through every phase. Conversion is `O(n + m)`
+//! and preserves `MultiGraph`'s incidence order, so algorithm output is
+//! identical on both representations.
+
+use crate::ids::{EdgeId, VertexId};
+use crate::multigraph::MultiGraph;
+use crate::view::GraphView;
+
+/// A frozen-topology compressed-sparse-row graph.
+///
+/// ```
+/// use forest_graph::{CsrGraph, GraphView, MultiGraph};
+/// let g = MultiGraph::from_pairs(3, &[(0, 1), (1, 2), (0, 1)])?;
+/// let csr = CsrGraph::from_multigraph(&g);
+/// assert_eq!(csr.num_edges(), 3);
+/// assert_eq!(csr.degree(1.into()), 3);
+/// assert_eq!(csr.neighbor_slice(0.into()), &[1.into(), 1.into()]);
+/// assert_eq!(csr.to_multigraph(), g);
+/// # Ok::<(), forest_graph::GraphError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` is vertex `v`'s slice of the incidence
+    /// arrays; length `n + 1`.
+    offsets: Vec<u32>,
+    /// Neighbor of each incidence slot; length `2m`.
+    neighbors: Vec<VertexId>,
+    /// Edge of each incidence slot; parallel to `neighbors`.
+    edge_ids: Vec<EdgeId>,
+    /// Endpoints of each edge in insertion order; length `m`.
+    endpoints: Vec<(VertexId, VertexId)>,
+}
+
+impl CsrGraph {
+    /// Freezes any [`GraphView`] into CSR form, preserving the view's
+    /// per-vertex incidence order. `O(n + m)`.
+    pub fn from_view<G: GraphView>(g: &G) -> Self {
+        let n = g.num_vertices();
+        let m = g.num_edges();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::with_capacity(2 * m);
+        let mut edge_ids = Vec::with_capacity(2 * m);
+        offsets.push(0);
+        for v in g.vertices() {
+            for (u, e) in g.incidences(v) {
+                neighbors.push(u);
+                edge_ids.push(e);
+            }
+            assert!(
+                neighbors.len() <= u32::MAX as usize,
+                "CSR incidence count exceeds u32 (graph too large for 32-bit offsets)"
+            );
+            offsets.push(neighbors.len() as u32);
+        }
+        let endpoints = g.edge_ids().map(|e| g.endpoints(e)).collect();
+        CsrGraph {
+            offsets,
+            neighbors,
+            edge_ids,
+            endpoints,
+        }
+    }
+
+    /// Freezes a [`MultiGraph`]. Equivalent to [`CsrGraph::from_view`]; kept
+    /// as the named conversion the rest of the workspace uses.
+    pub fn from_multigraph(g: &MultiGraph) -> Self {
+        Self::from_view(g)
+    }
+
+    /// Thaws back into a [`MultiGraph`] (edges re-added in id order).
+    ///
+    /// Round-trips exactly: `CsrGraph::from_multigraph(&g).to_multigraph()`
+    /// equals `g`, because `MultiGraph` incidence order is ascending edge id
+    /// by construction.
+    pub fn to_multigraph(&self) -> MultiGraph {
+        MultiGraph::with_edges(self.num_vertices(), self.endpoints.iter().copied())
+            .expect("CSR endpoints are valid by construction")
+    }
+
+    /// The contiguous range of incidence-slot indices belonging to `v`.
+    #[inline]
+    pub fn incidence_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize
+    }
+
+    /// The neighbors of `v` as a slice (with multiplicity, incidence order).
+    #[inline]
+    pub fn neighbor_slice(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.incidence_range(v)]
+    }
+
+    /// The incident edges of `v` as a slice (incidence order).
+    #[inline]
+    pub fn edge_slice(&self, v: VertexId) -> &[EdgeId] {
+        &self.edge_ids[self.incidence_range(v)]
+    }
+
+    /// Total number of incidence slots, i.e. `2m`.
+    #[inline]
+    pub fn num_incidences(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// The neighbor stored at incidence slot `slot`.
+    #[inline]
+    pub fn slot_neighbor(&self, slot: usize) -> VertexId {
+        self.neighbors[slot]
+    }
+
+    /// The edge stored at incidence slot `slot`.
+    #[inline]
+    pub fn slot_edge(&self, slot: usize) -> EdgeId {
+        self.edge_ids[slot]
+    }
+
+    /// For every incidence slot, the slot of the *same edge* at the other
+    /// endpoint: a permutation of `0..2m` that message-passing simulators use
+    /// to exchange per-edge messages without any per-vertex allocation.
+    pub fn mirror_slots(&self) -> Vec<u32> {
+        let slots = self.num_incidences();
+        // First slot seen for each edge, then matched by its partner.
+        let mut first = vec![u32::MAX; self.num_edges()];
+        let mut mirror = vec![0u32; slots];
+        for (slot, &e) in self.edge_ids.iter().enumerate() {
+            let other = &mut first[e.index()];
+            if *other == u32::MAX {
+                *other = slot as u32;
+            } else {
+                mirror[slot] = *other;
+                mirror[*other as usize] = slot as u32;
+            }
+        }
+        mirror
+    }
+}
+
+impl Default for CsrGraph {
+    /// The frozen empty graph (0 vertices, 0 edges). A manual impl because
+    /// the `offsets` invariant (`offsets.len() == n + 1`, starting at 0)
+    /// must hold even for the default value.
+    fn default() -> Self {
+        CsrGraph {
+            offsets: vec![0],
+            neighbors: Vec::new(),
+            edge_ids: Vec::new(),
+            endpoints: Vec::new(),
+        }
+    }
+}
+
+impl From<&MultiGraph> for CsrGraph {
+    fn from(g: &MultiGraph) -> Self {
+        CsrGraph::from_multigraph(g)
+    }
+}
+
+impl GraphView for CsrGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    #[inline]
+    fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        self.endpoints[e.index()]
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    #[inline]
+    fn incidences(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        let range = self.incidence_range(v);
+        self.neighbors[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.edge_ids[range].iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn freeze_preserves_counts_and_order() {
+        let g = MultiGraph::from_pairs(5, &[(0, 1), (1, 2), (0, 1), (3, 4), (2, 0)]).unwrap();
+        let csr = CsrGraph::from_multigraph(&g);
+        assert_eq!(csr.num_vertices(), 5);
+        assert_eq!(csr.num_edges(), 5);
+        assert_eq!(csr.num_incidences(), 10);
+        for x in g.vertices() {
+            assert_eq!(csr.degree(x), g.degree(x));
+            let mg: Vec<_> = g.incidences(x).collect();
+            let cs: Vec<_> = csr.incidences(x).collect();
+            assert_eq!(mg, cs);
+            assert_eq!(csr.neighbor_slice(x).len(), csr.degree(x));
+            assert_eq!(csr.edge_slice(x).len(), csr.degree(x));
+        }
+        for e in g.edge_ids() {
+            assert_eq!(csr.endpoints(e), g.endpoints(e));
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let g = MultiGraph::from_pairs(6, &[(0, 1), (2, 3), (0, 1), (4, 5), (1, 4)]).unwrap();
+        let csr = CsrGraph::from_multigraph(&g);
+        assert_eq!(csr.to_multigraph(), g);
+        // Freezing the thawed graph gives back the same CSR.
+        assert_eq!(CsrGraph::from_multigraph(&csr.to_multigraph()), csr);
+    }
+
+    #[test]
+    fn roundtrip_of_empty_and_isolated() {
+        let g = MultiGraph::new(4);
+        let csr = CsrGraph::from_multigraph(&g);
+        assert_eq!(csr.num_vertices(), 4);
+        assert_eq!(csr.num_edges(), 0);
+        assert_eq!(csr.to_multigraph(), g);
+        let empty = CsrGraph::from_multigraph(&MultiGraph::new(0));
+        assert_eq!(empty.num_vertices(), 0);
+    }
+
+    #[test]
+    fn mirror_slots_pair_up_edges() {
+        let g = MultiGraph::from_pairs(4, &[(0, 1), (1, 2), (0, 1), (2, 3)]).unwrap();
+        let csr = CsrGraph::from_multigraph(&g);
+        let mirror = csr.mirror_slots();
+        assert_eq!(mirror.len(), csr.num_incidences());
+        for slot in 0..csr.num_incidences() {
+            let other = mirror[slot] as usize;
+            assert_ne!(slot, other);
+            assert_eq!(mirror[other] as usize, slot, "mirror is an involution");
+            assert_eq!(csr.slot_edge(slot), csr.slot_edge(other));
+        }
+    }
+
+    #[test]
+    fn default_is_the_valid_empty_graph() {
+        let d = CsrGraph::default();
+        assert_eq!(d.num_vertices(), 0);
+        assert_eq!(d.num_edges(), 0);
+        assert!(d.vertices().next().is_none());
+        assert_eq!(d, CsrGraph::from_multigraph(&MultiGraph::new(0)));
+    }
+
+    #[test]
+    fn from_view_accepts_csr_itself() {
+        let g = MultiGraph::from_pairs(3, &[(0, 1), (1, 2)]).unwrap();
+        let csr = CsrGraph::from_multigraph(&g);
+        assert_eq!(CsrGraph::from_view(&csr), csr);
+    }
+
+    #[test]
+    fn slot_accessors_match_slices() {
+        let g = MultiGraph::from_pairs(3, &[(0, 2), (2, 1)]).unwrap();
+        let csr = CsrGraph::from_multigraph(&g);
+        let r = csr.incidence_range(v(2));
+        assert_eq!(r.len(), 2);
+        for slot in r {
+            assert!(csr.neighbor_slice(v(2)).contains(&csr.slot_neighbor(slot)));
+            assert!(csr.edge_slice(v(2)).contains(&csr.slot_edge(slot)));
+        }
+    }
+}

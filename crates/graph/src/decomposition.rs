@@ -8,10 +8,10 @@
 
 use crate::error::ValidationError;
 use crate::ids::{Color, EdgeId, VertexId};
-use crate::multigraph::MultiGraph;
 use crate::palette::ListAssignment;
 use crate::traversal;
 use crate::union_find::UnionFind;
+use crate::view::GraphView;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A partial edge coloring: some edges may still be uncolored.
@@ -209,7 +209,7 @@ impl ForestDecomposition {
     }
 }
 
-fn check_length(g: &MultiGraph, len: usize) -> Result<(), ValidationError> {
+fn check_length<G: GraphView>(g: &G, len: usize) -> Result<(), ValidationError> {
     if len != g.num_edges() {
         Err(ValidationError::LengthMismatch {
             coloring_len: len,
@@ -220,8 +220,9 @@ fn check_length(g: &MultiGraph, len: usize) -> Result<(), ValidationError> {
     }
 }
 
-fn group_by_color<F>(g: &MultiGraph, color_of: F) -> BTreeMap<Color, Vec<EdgeId>>
+fn group_by_color<G, F>(g: &G, color_of: F) -> BTreeMap<Color, Vec<EdgeId>>
 where
+    G: GraphView,
     F: Fn(EdgeId) -> Option<Color>,
 {
     let mut classes: BTreeMap<Color, Vec<EdgeId>> = BTreeMap::new();
@@ -239,8 +240,8 @@ where
 ///
 /// Returns [`ValidationError::CycleInColorClass`] naming a cycle edge if some
 /// color class contains a cycle, or a length mismatch error.
-pub fn validate_partial_forest_decomposition(
-    g: &MultiGraph,
+pub fn validate_partial_forest_decomposition<G: GraphView>(
+    g: &G,
     coloring: &PartialEdgeColoring,
 ) -> Result<(), ValidationError> {
     check_length(g, coloring.len())?;
@@ -263,8 +264,8 @@ pub fn validate_partial_forest_decomposition(
 /// # Errors
 ///
 /// Returns the first violation found (cycle or too many colors).
-pub fn validate_forest_decomposition(
-    g: &MultiGraph,
+pub fn validate_forest_decomposition<G: GraphView>(
+    g: &G,
     fd: &ForestDecomposition,
     max_colors: Option<usize>,
 ) -> Result<(), ValidationError> {
@@ -286,8 +287,8 @@ pub fn validate_forest_decomposition(
 ///
 /// Returns [`ValidationError::NotAStarForest`] naming the middle vertex of a
 /// three-edge path (or of a cycle).
-pub fn validate_star_forest_decomposition(
-    g: &MultiGraph,
+pub fn validate_star_forest_decomposition<G: GraphView>(
+    g: &G,
     fd: &ForestDecomposition,
     max_colors: Option<usize>,
 ) -> Result<(), ValidationError> {
@@ -321,8 +322,8 @@ pub fn validate_star_forest_decomposition(
 /// # Errors
 ///
 /// Returns [`ValidationError::ColorNotInPalette`] for the first violation.
-pub fn validate_list_coloring(
-    g: &MultiGraph,
+pub fn validate_list_coloring<G: GraphView>(
+    g: &G,
     coloring: &PartialEdgeColoring,
     lists: &ListAssignment,
 ) -> Result<(), ValidationError> {
@@ -340,13 +341,19 @@ pub fn validate_list_coloring(
 /// Maximum strong diameter over all trees in all color classes of a (possibly
 /// partial) coloring. The coloring must already be a valid (partial) forest
 /// decomposition.
-pub fn max_forest_diameter(g: &MultiGraph, coloring: &PartialEdgeColoring) -> usize {
+pub fn max_forest_diameter<G: GraphView>(g: &G, coloring: &PartialEdgeColoring) -> usize {
     let classes = group_by_color(g, |e| coloring.color(e));
+    let mut in_class = vec![false; g.num_edges()];
     let mut max_diam = 0;
     for (_, edges) in classes {
-        let in_class: std::collections::HashSet<EdgeId> = edges.iter().copied().collect();
-        let diam = traversal::forest_diameter(g, |e| in_class.contains(&e));
+        for &e in &edges {
+            in_class[e.index()] = true;
+        }
+        let diam = traversal::forest_diameter(g, |e| in_class[e.index()]);
         max_diam = max_diam.max(diam);
+        for &e in &edges {
+            in_class[e.index()] = false;
+        }
     }
     max_diam
 }
@@ -357,15 +364,21 @@ pub fn max_forest_diameter(g: &MultiGraph, coloring: &PartialEdgeColoring) -> us
 ///
 /// Returns [`ValidationError::DiameterExceeded`] for the first violating
 /// color class.
-pub fn validate_diameter_bound(
-    g: &MultiGraph,
+pub fn validate_diameter_bound<G: GraphView>(
+    g: &G,
     coloring: &PartialEdgeColoring,
     bound: usize,
 ) -> Result<(), ValidationError> {
     let classes = group_by_color(g, |e| coloring.color(e));
+    let mut in_class = vec![false; g.num_edges()];
     for (color, edges) in classes {
-        let in_class: std::collections::HashSet<EdgeId> = edges.iter().copied().collect();
-        let measured = traversal::forest_diameter(g, |e| in_class.contains(&e));
+        for &e in &edges {
+            in_class[e.index()] = true;
+        }
+        let measured = traversal::forest_diameter(g, |e| in_class[e.index()]);
+        for &e in &edges {
+            in_class[e.index()] = false;
+        }
         if measured > bound {
             return Err(ValidationError::DiameterExceeded {
                 color,
@@ -392,7 +405,7 @@ pub struct DecompositionStats {
 
 /// Computes [`DecompositionStats`] for a complete decomposition that is
 /// already known to be a valid forest decomposition.
-pub fn decomposition_stats(g: &MultiGraph, fd: &ForestDecomposition) -> DecompositionStats {
+pub fn decomposition_stats<G: GraphView>(g: &G, fd: &ForestDecomposition) -> DecompositionStats {
     let num_colors = fd.num_colors_used();
     let max_diameter = max_forest_diameter(g, &fd.to_partial());
     let max_class_size = fd.class_sizes().values().copied().max().unwrap_or(0);
@@ -439,8 +452,8 @@ pub fn merge_disjoint_colorings(
 
 /// Finds a vertex witnessing that the color class of `color` is not a star,
 /// or `None` if it is one. Used as a diagnostic helper in tests.
-pub fn star_violation_witness(
-    g: &MultiGraph,
+pub fn star_violation_witness<G: GraphView>(
+    g: &G,
     fd: &ForestDecomposition,
     color: Color,
 ) -> Option<VertexId> {
@@ -463,6 +476,7 @@ pub fn star_violation_witness(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::multigraph::MultiGraph;
 
     fn c(i: usize) -> Color {
         Color::new(i)

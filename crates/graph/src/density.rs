@@ -9,6 +9,7 @@
 use crate::flow::{FlowNetwork, INF_CAPACITY};
 use crate::ids::VertexId;
 use crate::multigraph::MultiGraph;
+use crate::view::GraphView;
 
 /// Result of an exact densest-subgraph computation.
 #[derive(Clone, Debug)]
@@ -21,7 +22,7 @@ pub struct DensestSubgraph {
     pub density: f64,
 }
 
-fn induced_edge_count(g: &MultiGraph, in_set: &[bool]) -> usize {
+fn induced_edge_count<G: GraphView>(g: &G, in_set: &[bool]) -> usize {
     g.edges()
         .filter(|(_, u, v)| in_set[u.index()] && in_set[v.index()])
         .count()
@@ -34,7 +35,7 @@ fn induced_edge_count(g: &MultiGraph, in_set: &[bool]) -> usize {
 /// unit, edges feed their endpoints with infinite capacity, and each vertex
 /// pays `guess` to the sink. Capacities are scaled by `scale` so that
 /// `guess` can be rational with denominator `scale`.
-fn denser_than(g: &MultiGraph, guess_num: i64, scale: i64) -> Option<Vec<VertexId>> {
+fn denser_than<G: GraphView>(g: &G, guess_num: i64, scale: i64) -> Option<Vec<VertexId>> {
     let m = g.num_edges();
     let n = g.num_vertices();
     if m == 0 {
@@ -74,7 +75,7 @@ fn denser_than(g: &MultiGraph, guess_num: i64, scale: i64) -> Option<Vec<VertexI
 /// Computes the exact maximum subgraph density `max_H |E(H)| / |V(H)|` and a
 /// witnessing subgraph. Returns a density of 0 with all vertices for an
 /// edgeless graph.
-pub fn densest_subgraph(g: &MultiGraph) -> DensestSubgraph {
+pub fn densest_subgraph<G: GraphView>(g: &G) -> DensestSubgraph {
     let n = g.num_vertices();
     let m = g.num_edges();
     if m == 0 {
@@ -116,14 +117,14 @@ pub fn densest_subgraph(g: &MultiGraph) -> DensestSubgraph {
 }
 
 /// Exact maximum density `max_H |E(H)| / |V(H)|`.
-pub fn maximum_density(g: &MultiGraph) -> f64 {
+pub fn maximum_density<G: GraphView>(g: &G) -> f64 {
     densest_subgraph(g).density
 }
 
 /// Exact pseudo-arboricity `α* = ⌈max_H |E(H)| / |V(H)|⌉`, computed from the
 /// minimum-out-degree orientation (cross-validated against
 /// [`densest_subgraph`] in tests).
-pub fn pseudoarboricity(g: &MultiGraph) -> usize {
+pub fn pseudoarboricity<G: GraphView>(g: &G) -> usize {
     crate::orientation::pseudoarboricity(g)
 }
 

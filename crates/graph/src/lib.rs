@@ -6,6 +6,13 @@
 //!
 //! * [`MultiGraph`] / [`SimpleGraph`] — undirected (multi-)graph containers
 //!   with dense [`VertexId`] / [`EdgeId`] identifiers.
+//! * [`GraphView`] / [`CsrGraph`] — the read-only topology abstraction and
+//!   its frozen compressed-sparse-row instantiation. Build mutably as a
+//!   `MultiGraph`, freeze once with [`CsrGraph::from_multigraph`] at the
+//!   point where algorithms start, and run every phase over the flat CSR
+//!   arrays; conversion preserves incidence order, so outputs are identical
+//!   on both representations. All traversal, orientation, density and
+//!   validation helpers in this crate are generic over `GraphView`.
 //! * [`decomposition`] — forest / star-forest decompositions and their
 //!   validators, the central result types of the whole workspace.
 //! * [`palette`] — per-edge color lists for list-forest decompositions.
@@ -36,6 +43,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod csr;
 pub mod decomposition;
 pub mod density;
 mod error;
@@ -48,7 +56,9 @@ pub mod orientation;
 pub mod palette;
 pub mod traversal;
 pub mod union_find;
+mod view;
 
+pub use csr::CsrGraph;
 pub use decomposition::{DecompositionStats, ForestDecomposition, PartialEdgeColoring};
 pub use error::{GraphError, ValidationError};
 pub use flow::FlowNetwork;
@@ -57,3 +67,4 @@ pub use multigraph::{InducedSubgraph, MultiGraph, SimpleGraph};
 pub use orientation::Orientation;
 pub use palette::ListAssignment;
 pub use union_find::UnionFind;
+pub use view::GraphView;

@@ -8,6 +8,7 @@
 
 use crate::error::GraphError;
 use crate::ids::{EdgeId, VertexId};
+use crate::view::GraphView;
 
 /// An undirected multi-graph with `n` vertices and `m` edges.
 ///
@@ -283,6 +284,33 @@ impl MultiGraph {
         } else {
             Ok(())
         }
+    }
+}
+
+impl GraphView for MultiGraph {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        MultiGraph::num_vertices(self)
+    }
+
+    #[inline]
+    fn num_edges(&self) -> usize {
+        MultiGraph::num_edges(self)
+    }
+
+    #[inline]
+    fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        MultiGraph::endpoints(self, e)
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> usize {
+        MultiGraph::degree(self, v)
+    }
+
+    #[inline]
+    fn incidences(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        MultiGraph::incidences(self, v)
     }
 }
 

@@ -11,7 +11,7 @@
 use crate::error::GraphError;
 use crate::flow::FlowNetwork;
 use crate::ids::{EdgeId, VertexId};
-use crate::multigraph::MultiGraph;
+use crate::view::GraphView;
 
 /// An orientation of every edge of a [`MultiGraph`]: each edge is directed
 /// away from its *tail* vertex.
@@ -28,7 +28,7 @@ impl Orientation {
     ///
     /// Returns an error if the vector length does not match the number of
     /// edges or some tail is not an endpoint of its edge.
-    pub fn from_tails(g: &MultiGraph, tails: Vec<VertexId>) -> Result<Self, GraphError> {
+    pub fn from_tails<G: GraphView>(g: &G, tails: Vec<VertexId>) -> Result<Self, GraphError> {
         if tails.len() != g.num_edges() {
             return Err(GraphError::EdgeOutOfRange {
                 edge: EdgeId::new(tails.len()),
@@ -55,8 +55,9 @@ impl Orientation {
     /// # Panics
     ///
     /// Panics if `choose_tail` returns a vertex that is not an endpoint.
-    pub fn from_fn<F>(g: &MultiGraph, mut choose_tail: F) -> Self
+    pub fn from_fn<G, F>(g: &G, mut choose_tail: F) -> Self
     where
+        G: GraphView,
         F: FnMut(EdgeId, VertexId, VertexId) -> VertexId,
     {
         let tails: Vec<VertexId> = g
@@ -78,7 +79,7 @@ impl Orientation {
 
     /// The vertex the edge points toward.
     #[inline]
-    pub fn head(&self, g: &MultiGraph, e: EdgeId) -> VertexId {
+    pub fn head<G: GraphView>(&self, g: &G, e: EdgeId) -> VertexId {
         g.other_endpoint(e, self.tail(e))
     }
 
@@ -89,7 +90,7 @@ impl Orientation {
     }
 
     /// Out-degree of every vertex.
-    pub fn out_degrees(&self, g: &MultiGraph) -> Vec<usize> {
+    pub fn out_degrees<G: GraphView>(&self, g: &G) -> Vec<usize> {
         let mut deg = vec![0usize; g.num_vertices()];
         for &t in &self.tail {
             deg[t.index()] += 1;
@@ -98,26 +99,26 @@ impl Orientation {
     }
 
     /// Maximum out-degree over all vertices.
-    pub fn max_out_degree(&self, g: &MultiGraph) -> usize {
+    pub fn max_out_degree<G: GraphView>(&self, g: &G) -> usize {
         self.out_degrees(g).into_iter().max().unwrap_or(0)
     }
 
     /// Out-edges of `v`.
-    pub fn out_edges(&self, g: &MultiGraph, v: VertexId) -> Vec<EdgeId> {
+    pub fn out_edges<G: GraphView>(&self, g: &G, v: VertexId) -> Vec<EdgeId> {
         g.incident_edges(v)
             .filter(|&e| self.is_out_edge(e, v))
             .collect()
     }
 
     /// In-edges of `v`.
-    pub fn in_edges(&self, g: &MultiGraph, v: VertexId) -> Vec<EdgeId> {
+    pub fn in_edges<G: GraphView>(&self, g: &G, v: VertexId) -> Vec<EdgeId> {
         g.incident_edges(v)
             .filter(|&e| !self.is_out_edge(e, v))
             .collect()
     }
 
     /// Out-neighbors of `v` (with multiplicity).
-    pub fn out_neighbors(&self, g: &MultiGraph, v: VertexId) -> Vec<VertexId> {
+    pub fn out_neighbors<G: GraphView>(&self, g: &G, v: VertexId) -> Vec<VertexId> {
         self.out_edges(g, v)
             .into_iter()
             .map(|e| g.other_endpoint(e, v))
@@ -126,13 +127,13 @@ impl Orientation {
 
     /// Returns `true` if the directed graph induced by the orientation is
     /// acyclic (checked with Kahn's algorithm).
-    pub fn is_acyclic(&self, g: &MultiGraph) -> bool {
+    pub fn is_acyclic<G: GraphView>(&self, g: &G) -> bool {
         self.topological_order(g).is_some()
     }
 
     /// Returns a topological order of the vertices in the oriented graph, or
     /// `None` if it contains a directed cycle.
-    pub fn topological_order(&self, g: &MultiGraph) -> Option<Vec<VertexId>> {
+    pub fn topological_order<G: GraphView>(&self, g: &G) -> Option<Vec<VertexId>> {
         let n = g.num_vertices();
         let mut indeg = vec![0usize; n];
         for e in g.edge_ids() {
@@ -159,7 +160,7 @@ impl Orientation {
     }
 
     /// Reverses the orientation of a single edge.
-    pub fn flip(&mut self, g: &MultiGraph, e: EdgeId) {
+    pub fn flip<G: GraphView>(&mut self, g: &G, e: EdgeId) {
         self.tail[e.index()] = g.other_endpoint(e, self.tail[e.index()]);
     }
 }
@@ -167,7 +168,7 @@ impl Orientation {
 /// Tries to orient `g` so that every vertex has out-degree at most `k`, using
 /// a bipartite edge/vertex flow gadget. Returns `None` if no such orientation
 /// exists (i.e. `k` is below the pseudo-arboricity).
-pub fn bounded_outdegree_orientation(g: &MultiGraph, k: usize) -> Option<Orientation> {
+pub fn bounded_outdegree_orientation<G: GraphView>(g: &G, k: usize) -> Option<Orientation> {
     let m = g.num_edges();
     let n = g.num_vertices();
     if m == 0 {
@@ -209,7 +210,7 @@ pub fn bounded_outdegree_orientation(g: &MultiGraph, k: usize) -> Option<Orienta
 /// Computes an exact minimum-max-out-degree orientation and returns it along
 /// with the optimum value, which equals the pseudo-arboricity `α*` of `g`
 /// (0 for an edgeless graph).
-pub fn min_max_outdegree_orientation(g: &MultiGraph) -> (Orientation, usize) {
+pub fn min_max_outdegree_orientation<G: GraphView>(g: &G) -> (Orientation, usize) {
     if g.num_edges() == 0 {
         return (Orientation { tail: Vec::new() }, 0);
     }
@@ -233,13 +234,14 @@ pub fn min_max_outdegree_orientation(g: &MultiGraph) -> (Orientation, usize) {
 }
 
 /// Exact pseudo-arboricity `α*` (minimum `k` admitting a `k`-orientation).
-pub fn pseudoarboricity(g: &MultiGraph) -> usize {
+pub fn pseudoarboricity<G: GraphView>(g: &G) -> usize {
     min_max_outdegree_orientation(g).1
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::multigraph::MultiGraph;
 
     fn v(i: usize) -> VertexId {
         VertexId::new(i)

@@ -8,7 +8,7 @@
 //! materializing subgraphs.
 
 use crate::ids::{EdgeId, VertexId};
-use crate::multigraph::MultiGraph;
+use crate::view::GraphView;
 use std::collections::VecDeque;
 
 /// Distance value meaning "unreachable".
@@ -17,8 +17,9 @@ pub const UNREACHABLE: usize = usize::MAX;
 /// Breadth-first search from `source`, visiting only edges accepted by
 /// `edge_filter`. Returns distances (in edges) with [`UNREACHABLE`] for
 /// vertices that were not reached.
-pub fn bfs_distances<F>(g: &MultiGraph, source: VertexId, mut edge_filter: F) -> Vec<usize>
+pub fn bfs_distances<G, F>(g: &G, source: VertexId, mut edge_filter: F) -> Vec<usize>
 where
+    G: GraphView,
     F: FnMut(EdgeId) -> bool,
 {
     let mut dist = vec![UNREACHABLE; g.num_vertices()];
@@ -38,8 +39,9 @@ where
 }
 
 /// Multi-source BFS: every vertex in `sources` starts at distance 0.
-pub fn multi_source_bfs<F>(g: &MultiGraph, sources: &[VertexId], mut edge_filter: F) -> Vec<usize>
+pub fn multi_source_bfs<G, F>(g: &G, sources: &[VertexId], mut edge_filter: F) -> Vec<usize>
 where
+    G: GraphView,
     F: FnMut(EdgeId) -> bool,
 {
     let mut dist = vec![UNREACHABLE; g.num_vertices()];
@@ -64,7 +66,7 @@ where
 
 /// Returns all vertices within distance `radius` of `source` (the closed
 /// `radius`-neighborhood `N^r(source)` of the paper's Section 1.1).
-pub fn ball(g: &MultiGraph, source: VertexId, radius: usize) -> Vec<VertexId> {
+pub fn ball<G: GraphView>(g: &G, source: VertexId, radius: usize) -> Vec<VertexId> {
     let dist = bfs_distances(g, source, |_| true);
     g.vertices()
         .filter(|v| dist[v.index()] != UNREACHABLE && dist[v.index()] <= radius)
@@ -72,7 +74,7 @@ pub fn ball(g: &MultiGraph, source: VertexId, radius: usize) -> Vec<VertexId> {
 }
 
 /// Returns all vertices within distance `radius` of any vertex in `sources`.
-pub fn ball_of_set(g: &MultiGraph, sources: &[VertexId], radius: usize) -> Vec<VertexId> {
+pub fn ball_of_set<G: GraphView>(g: &G, sources: &[VertexId], radius: usize) -> Vec<VertexId> {
     let dist = multi_source_bfs(g, sources, |_| true);
     g.vertices()
         .filter(|v| dist[v.index()] != UNREACHABLE && dist[v.index()] <= radius)
@@ -82,13 +84,14 @@ pub fn ball_of_set(g: &MultiGraph, sources: &[VertexId], radius: usize) -> Vec<V
 /// Finds the (edge, vertex) path from `u` to `v` using only edges accepted by
 /// `edge_filter`. Returns the edge ids of the path, or `None` if `v` is not
 /// reachable from `u`. The empty path is returned when `u == v`.
-pub fn path_between<F>(
-    g: &MultiGraph,
+pub fn path_between<G, F>(
+    g: &G,
     u: VertexId,
     v: VertexId,
     mut edge_filter: F,
 ) -> Option<Vec<EdgeId>>
 where
+    G: GraphView,
     F: FnMut(EdgeId) -> bool,
 {
     if u == v {
@@ -130,8 +133,9 @@ where
 /// `edge_filter` (isolated vertices each form their own component).
 ///
 /// Returns `(component_of, num_components)`.
-pub fn connected_components<F>(g: &MultiGraph, mut edge_filter: F) -> (Vec<usize>, usize)
+pub fn connected_components<G, F>(g: &G, mut edge_filter: F) -> (Vec<usize>, usize)
 where
+    G: GraphView,
     F: FnMut(EdgeId) -> bool,
 {
     let n = g.num_vertices();
@@ -160,8 +164,9 @@ where
 /// Returns `true` if the subgraph spanned by the accepted edges is acyclic
 /// (i.e. a forest). Parallel accepted edges between the same pair count as a
 /// cycle.
-pub fn is_forest<F>(g: &MultiGraph, mut edge_filter: F) -> bool
+pub fn is_forest<G, F>(g: &G, mut edge_filter: F) -> bool
 where
+    G: GraphView,
     F: FnMut(EdgeId) -> bool,
 {
     let mut uf = crate::union_find::UnionFind::new(g.num_vertices());
@@ -180,8 +185,9 @@ where
 /// # Panics
 ///
 /// Panics in debug builds if the filtered subgraph contains a cycle.
-pub fn forest_eccentricities<F>(g: &MultiGraph, mut edge_filter: F) -> Vec<usize>
+pub fn forest_eccentricities<G, F>(g: &G, mut edge_filter: F) -> Vec<usize>
 where
+    G: GraphView,
     F: FnMut(EdgeId) -> bool,
 {
     // Standard trick: within each tree, the farthest vertex from any vertex is
@@ -229,8 +235,9 @@ where
 /// Maximum diameter over the trees of the forest spanned by the accepted
 /// edges. Returns 0 for an edgeless selection. The filtered subgraph must be
 /// a forest.
-pub fn forest_diameter<F>(g: &MultiGraph, edge_filter: F) -> usize
+pub fn forest_diameter<G, F>(g: &G, edge_filter: F) -> usize
 where
+    G: GraphView,
     F: FnMut(EdgeId) -> bool,
 {
     forest_eccentricities(g, edge_filter)
@@ -278,8 +285,9 @@ impl RootedForest {
 /// minimizing `(prefer_root(v), v)` becomes the root, so passing `|_| 0`
 /// simply roots at the smallest vertex id. The filtered subgraph must be a
 /// forest.
-pub fn root_forest<F, P>(g: &MultiGraph, mut edge_filter: F, mut prefer_root: P) -> RootedForest
+pub fn root_forest<G, F, P>(g: &G, mut edge_filter: F, mut prefer_root: P) -> RootedForest
 where
+    G: GraphView,
     F: FnMut(EdgeId) -> bool,
     P: FnMut(VertexId) -> usize,
 {
@@ -330,6 +338,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::multigraph::MultiGraph;
 
     fn v(i: usize) -> VertexId {
         VertexId::new(i)

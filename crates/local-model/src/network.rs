@@ -8,8 +8,21 @@
 //! enough to express vertex-by-vertex (H-partition, Cole–Vishkin, the random
 //! coin phases) run on this engine, which keeps their round counts honest
 //! rather than formula-derived.
+//!
+//! # Topology and message plumbing
+//!
+//! The network freezes its communication graph into a [`CsrGraph`] at
+//! construction. Messages live in one flat array with a slot per directed
+//! incidence (`2m` slots total): composing writes slot-by-slot in CSR order
+//! and delivery is a fixed permutation of that array
+//! ([`CsrGraph::mirror_slots`]), so a round performs zero per-vertex
+//! allocations. [`SyncNetwork::round_parallel`] runs the same compose and
+//! update functions fanned across all cores; because both phases are pure
+//! per-vertex functions evaluated in the same slot order, its results are
+//! bit-identical to the sequential [`SyncNetwork::round`].
 
-use forest_graph::{EdgeId, MultiGraph, VertexId};
+use forest_graph::{CsrGraph, EdgeId, GraphView, VertexId};
+use rayon::prelude::*;
 
 /// Identifier material available to a vertex: its id and a globally unique
 /// `O(log n)`-bit label (here simply the vertex index, as permitted by the
@@ -24,44 +37,59 @@ pub struct NodeInfo {
     pub degree: usize,
 }
 
-/// A synchronous network simulator over a [`MultiGraph`].
+/// A synchronous network simulator over a frozen [`CsrGraph`] topology.
 ///
-/// `S` is the per-node state, `M` the message type. The caller drives the
-/// simulation with [`SyncNetwork::round`]; the number of executed rounds is
-/// available from [`SyncNetwork::rounds_executed`].
+/// `S` is the per-node state. The caller drives the simulation with
+/// [`SyncNetwork::round`] (or [`SyncNetwork::round_parallel`]); the number of
+/// executed rounds is available from [`SyncNetwork::rounds_executed`].
 #[derive(Debug)]
-pub struct SyncNetwork<'g, S> {
-    graph: &'g MultiGraph,
+pub struct SyncNetwork<S> {
+    csr: CsrGraph,
+    /// Delivery permutation: slot `i` (sender side) lands in slot
+    /// `mirror[i]` (receiver side).
+    mirror: Vec<u32>,
     states: Vec<S>,
     rounds: usize,
 }
 
-impl<'g, S> SyncNetwork<'g, S> {
-    /// Creates a network where each vertex state is produced by `init`.
-    pub fn new<F>(graph: &'g MultiGraph, mut init: F) -> Self
+impl<S> SyncNetwork<S> {
+    /// Creates a network over any graph view, freezing the topology to CSR;
+    /// each vertex state is produced by `init`.
+    pub fn new<G, F>(graph: &G, init: F) -> Self
+    where
+        G: GraphView,
+        F: FnMut(NodeInfo) -> S,
+    {
+        Self::from_csr(CsrGraph::from_view(graph), init)
+    }
+
+    /// Creates a network over an already-frozen topology.
+    pub fn from_csr<F>(csr: CsrGraph, mut init: F) -> Self
     where
         F: FnMut(NodeInfo) -> S,
     {
-        let states = graph
+        let states = csr
             .vertices()
             .map(|v| {
                 init(NodeInfo {
                     vertex: v,
                     unique_id: v.index() as u64,
-                    degree: graph.degree(v),
+                    degree: csr.degree(v),
                 })
             })
             .collect();
+        let mirror = csr.mirror_slots();
         SyncNetwork {
-            graph,
+            csr,
+            mirror,
             states,
             rounds: 0,
         }
     }
 
-    /// The communication graph.
-    pub fn graph(&self) -> &MultiGraph {
-        self.graph
+    /// The frozen communication topology.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.csr
     }
 
     /// Read-only access to every node state.
@@ -81,30 +109,95 @@ impl<'g, S> SyncNetwork<'g, S> {
 
     /// Executes one synchronous round.
     ///
-    /// * `compose` is called once per (vertex, incident edge) and produces the
-    ///   message sent along that edge by that vertex.
+    /// * `compose` is called once per (vertex, incident edge), in CSR slot
+    ///   order, and produces the message sent along that edge by that vertex.
     /// * `update` is called once per vertex with all messages received this
-    ///   round, as `(edge, neighbor, message)` triples, and mutates the state.
+    ///   round as `(edge, neighbor, message)` triples, ordered by the
+    ///   receiver's own incidence order, and mutates the state.
     pub fn round<M, FCompose, FUpdate>(&mut self, mut compose: FCompose, mut update: FUpdate)
     where
         FCompose: FnMut(VertexId, &S, EdgeId, VertexId) -> M,
         FUpdate: FnMut(VertexId, &mut S, &[(EdgeId, VertexId, M)]),
     {
-        // Compose all messages from the snapshot of current states.
-        let mut inboxes: Vec<Vec<(EdgeId, VertexId, M)>> =
-            (0..self.graph.num_vertices()).map(|_| Vec::new()).collect();
-        for v in self.graph.vertices() {
+        // Compose all messages from the snapshot of current states into one
+        // flat slot-indexed outbox.
+        let slots = self.csr.num_incidences();
+        let mut outbox: Vec<Option<M>> = Vec::with_capacity(slots);
+        for v in self.csr.vertices() {
             let state = &self.states[v.index()];
-            for (neighbor, edge) in self.graph.incidences(v) {
-                let msg = compose(v, state, edge, neighbor);
-                inboxes[neighbor.index()].push((edge, v, msg));
+            for (neighbor, edge) in self.csr.incidences(v) {
+                outbox.push(Some(compose(v, state, edge, neighbor)));
             }
         }
-        // Deliver and update.
-        for v in self.graph.vertices() {
-            let inbox = std::mem::take(&mut inboxes[v.index()]);
+        // Deliver and update, reusing one inbox buffer across vertices.
+        let mut inbox: Vec<(EdgeId, VertexId, M)> = Vec::new();
+        for v in self.csr.vertices() {
+            inbox.clear();
+            for slot in self.csr.incidence_range(v) {
+                let msg = outbox[self.mirror[slot] as usize]
+                    .take()
+                    .expect("each slot is delivered exactly once");
+                inbox.push((self.csr.slot_edge(slot), self.csr.slot_neighbor(slot), msg));
+            }
             update(v, &mut self.states[v.index()], &inbox);
         }
+        self.rounds += 1;
+    }
+
+    /// Executes one synchronous round with compose and update fanned across
+    /// all cores.
+    ///
+    /// Requires pure (`Fn`) closures and clonable messages/states; under
+    /// those constraints the result is **bit-identical** to
+    /// [`SyncNetwork::round`] with the same closures, because both phases
+    /// evaluate the same per-vertex functions against the same state
+    /// snapshot in the same slot order — parallelism only changes *who*
+    /// computes each slot, never its value.
+    pub fn round_parallel<M, FCompose, FUpdate>(&mut self, compose: FCompose, update: FUpdate)
+    where
+        S: Clone + Send + Sync,
+        M: Clone + Send + Sync,
+        FCompose: Fn(VertexId, &S, EdgeId, VertexId) -> M + Sync,
+        FUpdate: Fn(VertexId, &mut S, &[(EdgeId, VertexId, M)]) + Sync,
+    {
+        let ids: Vec<u32> = (0..self.csr.num_vertices() as u32).collect();
+        let csr = &self.csr;
+        let states = &self.states;
+        // Phase 1: all outgoing messages, one Vec per vertex in slot order.
+        let per_vertex: Vec<Vec<M>> = ids
+            .par_iter()
+            .map(|&v| {
+                let v = VertexId::new(v as usize);
+                let state = &states[v.index()];
+                csr.incidences(v)
+                    .map(|(neighbor, edge)| compose(v, state, edge, neighbor))
+                    .collect()
+            })
+            .collect();
+        // Exchange: flatten to the slot-indexed outbox (cheap, O(2m)).
+        let outbox: Vec<M> = per_vertex.into_iter().flatten().collect();
+        let mirror = &self.mirror;
+        // Phase 2: every vertex updates from its delivered slice.
+        let new_states: Vec<S> = ids
+            .par_iter()
+            .map(|&v| {
+                let v = VertexId::new(v as usize);
+                let inbox: Vec<(EdgeId, VertexId, M)> = csr
+                    .incidence_range(v)
+                    .map(|slot| {
+                        (
+                            csr.slot_edge(slot),
+                            csr.slot_neighbor(slot),
+                            outbox[mirror[slot] as usize].clone(),
+                        )
+                    })
+                    .collect();
+                let mut state = states[v.index()].clone();
+                update(v, &mut state, &inbox);
+                state
+            })
+            .collect();
+        self.states = new_states;
         self.rounds += 1;
     }
 
@@ -150,6 +243,7 @@ mod tests {
         assert_eq!(*net.state(VertexId::new(0)), 4);
         assert_eq!(*net.state(VertexId::new(1)), 1);
         assert_eq!(net.rounds_executed(), 0);
+        assert_eq!(net.graph().num_edges(), 4);
     }
 
     #[test]
@@ -220,5 +314,80 @@ mod tests {
         );
         assert!(net.states().iter().all(|&d| d == 5));
         assert_eq!(net.rounds_executed(), 1);
+    }
+
+    /// The compose/update pair used by the sequential-vs-parallel equivalence
+    /// tests: a nontrivial deterministic aggregation that is sensitive to
+    /// message-to-edge attribution.
+    fn gossip_round(net: &mut SyncNetwork<u64>, parallel: bool) {
+        let compose = |v: VertexId, state: &u64, e: EdgeId, u: VertexId| {
+            state
+                .wrapping_mul(31)
+                .wrapping_add(e.index() as u64)
+                .wrapping_add((v.index() as u64) << 8)
+                .wrapping_add((u.index() as u64) << 4)
+        };
+        let update = |_: VertexId, state: &mut u64, inbox: &[(EdgeId, VertexId, u64)]| {
+            for (e, u, m) in inbox {
+                *state = state
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add(*m)
+                    .wrapping_add(e.index() as u64 ^ ((u.index() as u64) << 16));
+            }
+        };
+        if parallel {
+            net.round_parallel(compose, update);
+        } else {
+            net.round(compose, update);
+        }
+    }
+
+    #[test]
+    fn parallel_round_is_bit_identical_to_sequential() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        for (i, g) in [
+            generators::path(40),
+            generators::grid(8, 8),
+            generators::planted_forest_union(64, 3, &mut rng),
+            generators::star(17),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut seq = SyncNetwork::new(&g, |info| info.unique_id.wrapping_mul(0x9E37));
+            let mut par = SyncNetwork::new(&g, |info| info.unique_id.wrapping_mul(0x9E37));
+            for round in 0..6 {
+                gossip_round(&mut seq, false);
+                gossip_round(&mut par, true);
+                assert_eq!(
+                    seq.states(),
+                    par.states(),
+                    "graph {i} diverged at round {round}"
+                );
+            }
+            assert_eq!(seq.rounds_executed(), par.rounds_executed());
+        }
+    }
+
+    #[test]
+    fn parallel_round_on_edgeless_and_empty_graphs() {
+        let g = forest_graph::MultiGraph::new(5);
+        let mut net = SyncNetwork::new(&g, |info| info.unique_id);
+        net.round_parallel(|_, s, _, _| *s, |_, _, _: &[(EdgeId, VertexId, u64)]| {});
+        assert_eq!(net.rounds_executed(), 1);
+        assert_eq!(net.states().len(), 5);
+        let empty = forest_graph::MultiGraph::new(0);
+        let mut net = SyncNetwork::new(&empty, |info| info.unique_id);
+        net.round_parallel(|_, s, _, _| *s, |_, _, _: &[(EdgeId, VertexId, u64)]| {});
+        assert!(net.states().is_empty());
+    }
+
+    #[test]
+    fn from_csr_matches_new() {
+        let g = generators::grid(4, 4);
+        let csr = CsrGraph::from_multigraph(&g);
+        let a = SyncNetwork::new(&g, |info| info.degree);
+        let b = SyncNetwork::from_csr(csr, |info| info.degree);
+        assert_eq!(a.states(), b.states());
     }
 }

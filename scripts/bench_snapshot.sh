@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_pr2.json: the performance snapshot of the Decomposer
+# facade (graph sizes x engines x wall-clock, plus the 64-graph
+# decomposer_batch workload with its pre-refactor baseline).
+#
+# Usage: scripts/bench_snapshot.sh [output-file]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pr2.json}"
+
+cargo build --release -p bench --bin bench_snapshot
+./target/release/bench_snapshot > "$out"
+echo "wrote $out" >&2
