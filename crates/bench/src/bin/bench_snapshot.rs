@@ -1,26 +1,32 @@
-//! Emits a machine-readable performance snapshot (`BENCH_pr2.json` via
+//! Emits a machine-readable performance snapshot (`BENCH_pr3.json` via
 //! `scripts/bench_snapshot.sh`): wall-clock of the `Decomposer` facade across
-//! graph sizes × engines, plus the 64-graph `decomposer_batch` workload that
-//! the acceptance criteria track across PRs.
+//! graph sizes × engines, the 64-graph `decomposer_batch` workload the
+//! acceptance criteria track across PRs, a sharded-vs-unsharded large-graph
+//! comparison (`run_sharded`), and an on-disk CSR round-trip
+//! (save → `load_mmap` → decompose on a temp file, asserted byte-identical
+//! to the owned-storage run).
 //!
-//! The `pre_refactor_baseline` block records the medians measured on the
-//! PR 1 facade (before the CSR graph core landed) with the identical
-//! workload, so the JSON carries its own before/after comparison.
+//! The `pr2_baseline` block records the medians from `BENCH_pr2.json`
+//! (post-CSR-refactor facade, commit `c2da8ed`) for the identical workload,
+//! so the JSON carries its own before/after comparison; snapshots are
+//! appended as new `BENCH_pr<N>.json` files, never overwritten.
 
-use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, FrozenGraph, ProblemKind};
-use forest_graph::{generators, MultiGraph};
+use forest_decomp::api::{
+    Decomposer, DecompositionRequest, Engine, FrozenGraph, GraphInput, ProblemKind,
+};
+use forest_graph::{generators, CsrGraph, MultiGraph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
 
-/// Medians measured on the pre-refactor facade (PR 1, commit `2718eda`) for
-/// the exact `decomposer_batch` workload below, in milliseconds — on the
+/// Medians recorded in `BENCH_pr2.json` (the PR 2 facade, commit `c2da8ed`)
+/// for the exact `decomposer_batch` workload below, in milliseconds — on the
 /// PR 2 development container. Speedup ratios in the emitted JSON are only
 /// meaningful when the snapshot is regenerated on comparable hardware; the
 /// JSON carries a `baseline_host_note` flagging this.
 const BASELINE_SEQUENTIAL_MS: [(&str, f64); 2] =
-    [("harris-su-vu", 37.312), ("exact-matroid", 32.302)];
-const BASELINE_RAYON_MS: [(&str, f64); 2] = [("harris-su-vu", 38.873), ("exact-matroid", 33.165)];
+    [("harris-su-vu", 6.053), ("exact-matroid", 3.496)];
+const BASELINE_RAYON_MS: [(&str, f64); 2] = [("harris-su-vu", 6.603), ("exact-matroid", 3.628)];
 
 fn batch_workload() -> Vec<MultiGraph> {
     // Identical to benches/decomposer_batch.rs.
@@ -48,9 +54,9 @@ fn json_f(x: f64) -> String {
 
 fn main() {
     let mut out = String::from("{\n");
-    out.push_str("  \"snapshot\": \"BENCH_pr2\",\n");
+    out.push_str("  \"snapshot\": \"BENCH_pr3\",\n");
     out.push_str("  \"workload\": \"decomposer_batch: 64 planted multigraphs, n in 48..96, alpha 3, forest problem, validation off\",\n");
-    out.push_str("  \"baseline_host_note\": \"pre_refactor_baseline was measured on the PR 2 development container at commit 2718eda; speedup ratios are machine-specific and only comparable when this snapshot is regenerated on similar hardware\",\n");
+    out.push_str("  \"baseline_host_note\": \"pr2_baseline was measured on the PR 2 development container at commit c2da8ed; speedup ratios are machine-specific and only comparable when this snapshot is regenerated on similar hardware\",\n");
 
     // --- the acceptance-criteria batch workload -------------------------
     let graphs = batch_workload();
@@ -97,7 +103,7 @@ fn main() {
             .map(|(_, ms)| *ms)
             .unwrap();
         engine_blocks.push(format!(
-            "    \"{name}\": {{\n      \"pre_refactor_baseline\": {{\"sequential_ms\": {}, \"rayon_batch_ms\": {}}},\n      \"post_refactor\": {{\"sequential_ms\": {}, \"rayon_batch_ms\": {}, \"frozen_batch_ms\": {}}},\n      \"speedup_sequential\": {},\n      \"speedup_rayon_batch\": {}\n    }}",
+            "    \"{name}\": {{\n      \"pr2_baseline\": {{\"sequential_ms\": {}, \"rayon_batch_ms\": {}}},\n      \"pr3\": {{\"sequential_ms\": {}, \"rayon_batch_ms\": {}, \"frozen_batch_ms\": {}}},\n      \"ratio_sequential_vs_pr2\": {},\n      \"ratio_rayon_batch_vs_pr2\": {}\n    }}",
             json_f(before_seq),
             json_f(before_rayon),
             json_f(sequential),
@@ -109,6 +115,120 @@ fn main() {
     }
     out.push_str(&engine_blocks.join(",\n"));
     out.push_str("\n  },\n");
+
+    // --- sharded vs unsharded on large graphs ---------------------------
+    // The new `run_sharded` path: split the CSR into zero-copy shards,
+    // decompose shards on all cores, stitch the boundary through the
+    // leftover/augmenting machinery. Two workloads: a locality-friendly
+    // grid (contiguous vertex ranges cut few edges) and an adversarial
+    // random graph (most edges cross shards), so the snapshot records how
+    // the boundary fraction governs sharding overhead.
+    let mut rng = StdRng::seed_from_u64(33);
+    let workloads: Vec<(&str, &str, Engine, MultiGraph)> = vec![
+        (
+            "grid 2000x200 (locality-friendly split)",
+            "exact-matroid",
+            Engine::ExactMatroid,
+            generators::grid(2000, 200),
+        ),
+        (
+            "planted_forest_union alpha 3 (adversarial random split)",
+            "harris-su-vu",
+            Engine::HarrisSuVu,
+            generators::planted_forest_union(20_000, 3, &mut rng),
+        ),
+    ];
+    out.push_str("  \"sharded_vs_unsharded\": {\n");
+    out.push_str("    \"note\": \"at bench scale the per-shard thaw + global stitch/validate passes dominate, so sharding trades wall-clock for bounded per-shard working sets; the boundary fraction is the governing quantity\",\n");
+    out.push_str("    \"workloads\": [\n");
+    let mut workload_blocks = Vec::new();
+    for (family, engine_name, engine, big) in workloads {
+        let big_frozen = FrozenGraph::freeze(big.clone());
+        let decomposer = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_engine(engine)
+                .with_epsilon(0.5)
+                .with_alpha(3)
+                .with_seed(17)
+                .without_validation(),
+        );
+        let unsharded_report = decomposer.run_frozen(&big_frozen).unwrap();
+        let unsharded_ms = median_ms(3, || {
+            decomposer.run_frozen(&big_frozen).unwrap();
+        });
+        let mut shard_rows = Vec::new();
+        for k in [2usize, 4, 8] {
+            let report = decomposer.run_sharded(&big_frozen, k).unwrap();
+            let ms = median_ms(3, || {
+                decomposer.run_sharded(&big_frozen, k).unwrap();
+            });
+            shard_rows.push(format!(
+                "          {{\"shards\": {k}, \"median_ms\": {}, \"colors\": {}, \"leftover_edges\": {}, \"ratio_vs_unsharded\": {}}}",
+                json_f(ms),
+                report.num_colors,
+                report.leftover_edges,
+                json_f(ms / unsharded_ms)
+            ));
+        }
+        workload_blocks.push(format!(
+            "      {{\n        \"graph\": {{\"n\": {}, \"m\": {}, \"family\": \"{family}\"}},\n        \"engine\": \"{engine_name}\",\n        \"unsharded\": {{\"median_ms\": {}, \"colors\": {}}},\n        \"sharded\": [\n{}\n        ]\n      }}",
+            big.num_vertices(),
+            big.num_edges(),
+            json_f(unsharded_ms),
+            unsharded_report.num_colors,
+            shard_rows.join(",\n"),
+        ));
+    }
+    out.push_str(&workload_blocks.join(",\n"));
+    out.push_str("\n    ]\n  },\n");
+
+    // --- mmap round-trip -------------------------------------------------
+    // save -> load_mmap -> decompose on a temp file; the report must be
+    // byte-identical to the owned-storage run (the format contract).
+    let path = std::env::temp_dir().join(format!("bench-snapshot-{}.csr", std::process::id()));
+    let medium = {
+        let mut rng = StdRng::seed_from_u64(51);
+        generators::planted_forest_union(4_096, 3, &mut rng)
+    };
+    let medium_csr = CsrGraph::from_multigraph(&medium);
+    let save_ms = median_ms(5, || {
+        medium_csr.save(&path).unwrap();
+    });
+    let load_ms = median_ms(5, || {
+        GraphInput::from_mmap(&path).unwrap();
+    });
+    let mmap_decomposer = Decomposer::new(
+        DecompositionRequest::new(ProblemKind::Forest)
+            .with_engine(Engine::HarrisSuVu)
+            .with_alpha(3)
+            .with_seed(29)
+            .without_validation(),
+    );
+    let owned_report = mmap_decomposer.run(&medium).unwrap();
+    let mmap_report = mmap_decomposer
+        .run(GraphInput::from_mmap(&path).unwrap())
+        .unwrap();
+    assert_eq!(
+        owned_report.canonical_bytes(),
+        mmap_report.canonical_bytes(),
+        "mmap run must be byte-identical to the owned-storage run"
+    );
+    let mmap_run_ms = median_ms(3, || {
+        mmap_decomposer
+            .run(GraphInput::from_mmap(&path).unwrap())
+            .unwrap();
+    });
+    let file_bytes = std::fs::metadata(&path).unwrap().len();
+    std::fs::remove_file(&path).unwrap();
+    out.push_str("  \"mmap_round_trip\": {\n");
+    out.push_str(&format!(
+        "    \"graph\": {{\"n\": {}, \"m\": {}}},\n    \"file_bytes\": {file_bytes},\n    \"save_ms\": {},\n    \"load_mmap_ms\": {},\n    \"load_and_decompose_ms\": {},\n    \"byte_identical_to_owned\": true\n  }},\n",
+        medium.num_vertices(),
+        medium.num_edges(),
+        json_f(save_ms),
+        json_f(load_ms),
+        json_f(mmap_run_ms),
+    ));
 
     // --- size × engine sweep --------------------------------------------
     out.push_str("  \"size_sweep\": [\n");

@@ -3,7 +3,9 @@
 //! Barenboim-Elkin baseline — both LOCAL rows driven through the `Decomposer`.
 
 use bench::{multigraph_suite, TextTable};
-use forest_decomp::api::{Artifact, Decomposer, DecompositionRequest, Engine, ProblemKind};
+use forest_decomp::api::{
+    Artifact, Decomposer, DecompositionRequest, Engine, FrozenGraph, ProblemKind,
+};
 use forest_graph::{matroid, orientation};
 
 fn orientation_row(report: &forest_decomp::DecompositionReport) -> (usize, usize) {
@@ -25,6 +27,8 @@ fn main() {
     ]);
     for workload in multigraph_suite(17) {
         let g = &workload.graph;
+        // One freeze per workload; both LOCAL rows run via `GraphInput`.
+        let frozen = FrozenGraph::freeze(g.clone());
         let alpha = matroid::arboricity(g);
         let alpha_star = orientation::pseudoarboricity(g);
 
@@ -50,7 +54,7 @@ fn main() {
                 .with_alpha(alpha_star)
                 .with_seed(23),
         )
-        .run(g)
+        .run(&frozen)
         .unwrap();
         let (be_deg, be_rounds) = orientation_row(&be);
         table.row(vec![
@@ -69,7 +73,7 @@ fn main() {
                 .with_alpha(workload.alpha_bound)
                 .with_seed(23),
         )
-        .run(g)
+        .run(&frozen)
         .unwrap();
         let (hsv_deg, hsv_rounds) = orientation_row(&result);
         table.row(vec![

@@ -5,7 +5,9 @@
 //! constructions run through the `Decomposer` facade.
 
 use bench::{simple_suite, TextTable};
-use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, PaletteSpec, ProblemKind};
+use forest_decomp::api::{
+    Decomposer, DecompositionRequest, Engine, FrozenGraph, PaletteSpec, ProblemKind,
+};
 use forest_graph::matroid;
 
 fn main() {
@@ -20,6 +22,9 @@ fn main() {
     ]);
     for (name, g, bound) in simple_suite(99) {
         let graph = g.graph();
+        // One freeze per workload; all three constructions share it through
+        // the facade's `GraphInput` frozen path.
+        let frozen = FrozenGraph::freeze(graph.clone());
         let alpha = matroid::arboricity(graph);
         let delta = graph.max_degree();
         let mut row = |method: String, colors: String, excess: String| {
@@ -39,7 +44,7 @@ fn main() {
                 .with_engine(Engine::Folklore2Alpha)
                 .with_seed(31),
         )
-        .run(graph)
+        .run(&frozen)
         .unwrap();
         row(
             "2-coloring of exact FD (<= 2 alpha)".into(),
@@ -54,7 +59,7 @@ fn main() {
                 .with_alpha(bound)
                 .with_seed(31),
         )
-        .run(graph)
+        .run(&frozen)
         .unwrap();
         row(
             "Thm 5.4(1) SFD".into(),
@@ -74,7 +79,7 @@ fn main() {
                 })
                 .with_seed(31),
         )
-        .run(graph);
+        .run(&frozen);
         match lsfd {
             Ok(report) => row(
                 format!("Thm 5.4(2) LSFD (palette {palette})"),

@@ -4,13 +4,15 @@
 //! and print the achieved diameter next to the theoretical 1/eps scale.
 
 use bench::TextTable;
-use forest_decomp::api::{Decomposer, DecompositionRequest, ProblemKind};
+use forest_decomp::api::{Decomposer, DecompositionRequest, FrozenGraph, ProblemKind};
 use forest_decomp::DiameterTarget;
 use forest_graph::generators;
 
 fn main() {
     let multiplicity = 4usize;
-    let g = generators::fat_path(400, multiplicity);
+    // Freeze the fat path once for the whole eps sweep (the facade's
+    // `GraphInput` frozen path; one CSR conversion instead of four).
+    let frozen = FrozenGraph::freeze(generators::fat_path(400, multiplicity));
     let mut table = TextTable::new(&[
         "eps",
         "colors used",
@@ -26,7 +28,7 @@ fn main() {
                 .with_diameter_target(DiameterTarget::OneOverEpsilon)
                 .with_seed(12345),
         )
-        .run(&g)
+        .run(&frozen)
         .unwrap();
         let budget = ((1.0 + epsilon) * multiplicity as f64).ceil() as usize;
         table.row(vec![

@@ -5,7 +5,7 @@
 //! variants run through the `Decomposer` facade.
 
 use bench::{simple_suite, TextTable};
-use forest_decomp::api::{Decomposer, DecompositionRequest, PaletteSpec, ProblemKind};
+use forest_decomp::api::{Decomposer, DecompositionRequest, FrozenGraph, PaletteSpec, ProblemKind};
 
 use forest_graph::matroid;
 
@@ -24,6 +24,9 @@ fn main() {
     ]);
     for (name, g, bound) in simple_suite(7) {
         let graph = g.graph();
+        // One freeze per workload, shared by the whole eps sweep below via
+        // the facade's `GraphInput` frozen path.
+        let frozen = FrozenGraph::freeze(graph.clone());
         let alpha = matroid::arboricity(graph);
         let delta = graph.max_degree() as f64;
         let reference = delta.log2().sqrt() + (alpha as f64).log2().max(0.0);
@@ -34,7 +37,7 @@ fn main() {
                     .with_alpha(bound)
                     .with_seed(19),
             )
-            .run(graph)
+            .run(&frozen)
             .unwrap();
             let lll_charge = sfd.ledger.rounds_for(|label| label.contains("LLL"));
             table.row(vec![
@@ -61,7 +64,7 @@ fn main() {
                     })
                     .with_seed(19),
             )
-            .run(graph);
+            .run(&frozen);
             match lsfd {
                 Ok(report) => {
                     let lll_charge = report.ledger.rounds_for(|label| label.contains("LLL"));

@@ -155,15 +155,17 @@ pub fn algorithm2<R: Rng + ?Sized>(
 }
 
 /// [`algorithm2`] over a pre-frozen topology: `csr` must be
-/// `CsrGraph::from_multigraph(g)` for the same `g` (the facade freezes once
-/// per request and threads the pair through every engine phase).
+/// topology-identical to `CsrGraph::from_multigraph(g)` for the same `g` —
+/// any storage (owned, borrowed shard view, mmap-backed) qualifies; the
+/// facade freezes once per request and threads the pair through every
+/// engine phase.
 ///
 /// # Errors
 ///
 /// Same as [`algorithm2`].
-pub fn algorithm2_frozen<R: Rng + ?Sized>(
+pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
     g: &MultiGraph,
-    csr: &CsrGraph,
+    csr: &C,
     lists: &ListAssignment,
     config: &Algorithm2Config,
     rng: &mut R,

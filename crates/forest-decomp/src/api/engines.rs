@@ -11,7 +11,9 @@ use crate::star_forest::{
     list_star_forest_decomposition_simple, star_forest_decomposition_simple, SfdConfig,
 };
 use forest_graph::decomposition::max_forest_diameter;
-use forest_graph::{CsrGraph, ForestDecomposition, ListAssignment, MultiGraph, SimpleGraph};
+use forest_graph::{
+    CsrRef, ForestDecomposition, GraphView, ListAssignment, MultiGraph, SimpleGraph,
+};
 use local_model::RoundLedger;
 use rand::rngs::SmallRng;
 
@@ -21,13 +23,19 @@ use rand::rngs::SmallRng;
 /// and threads it through every engine, so no pipeline re-freezes (and batch
 /// runs over the same graph share one freeze — see
 /// [`FrozenGraph`](super::FrozenGraph)).
+///
+/// The CSR side is a zero-copy [`CsrRef`], so the *same* engine code runs
+/// over owned arrays, an mmap-backed file, or one shard of a
+/// [`CsrPartition`](forest_graph::CsrPartition) — storage is erased at this
+/// boundary.
 #[derive(Clone, Copy, Debug)]
 pub struct FrozenInput<'a> {
     /// The original multigraph (centralized baselines and subgraph
     /// extraction need the adjacency-list form).
     pub graph: &'a MultiGraph,
-    /// The frozen CSR topology every hot path runs over.
-    pub csr: &'a CsrGraph,
+    /// The frozen CSR topology every hot path runs over, borrowed from
+    /// whichever storage owns it.
+    pub csr: CsrRef<'a>,
 }
 
 /// What an engine adapter hands back to the [`Decomposer`](super::Decomposer)
@@ -119,8 +127,8 @@ fn required_lists(
     lists.ok_or(FdError::MissingPalettes { problem })
 }
 
-fn decomposition_outcome(
-    csr: &CsrGraph,
+fn decomposition_outcome<C: GraphView>(
+    csr: &C,
     decomposition: ForestDecomposition,
     arboricity: usize,
     leftover_edges: usize,
@@ -140,7 +148,7 @@ fn decomposition_outcome(
 
 /// Turns a complete forest decomposition into an orientation outcome by
 /// rooting every tree and orienting toward the root (Corollary 1.1).
-fn orient_outcome(csr: &CsrGraph, outcome: EngineOutcome) -> EngineOutcome {
+fn orient_outcome<C: GraphView>(csr: &C, outcome: EngineOutcome) -> EngineOutcome {
     let EngineOutcome {
         artifact,
         arboricity,
@@ -179,7 +187,7 @@ impl HarrisSuVuEngine {
         request: &DecompositionRequest,
         rng: &mut SmallRng,
     ) -> Result<EngineOutcome, FdError> {
-        let result = forest_decomposition(input.graph, input.csr, &fd_options(request), rng)?;
+        let result = forest_decomposition(input.graph, &input.csr, &fd_options(request), rng)?;
         Ok(EngineOutcome {
             artifact: Artifact::Decomposition(result.decomposition),
             arboricity: result.arboricity,
@@ -211,13 +219,13 @@ impl DecompositionEngine for HarrisSuVuEngine {
             ProblemKind::Forest => self.forest(input, request, rng),
             ProblemKind::Orientation => {
                 let forest = self.forest(input, request, rng)?;
-                Ok(orient_outcome(input.csr, forest))
+                Ok(orient_outcome(&input.csr, forest))
             }
             ProblemKind::ListForest => {
                 let lists = required_lists(lists, request.problem)?;
                 let result = list_forest_decomposition(
                     input.graph,
-                    input.csr,
+                    &input.csr,
                     lists,
                     &fd_options(request),
                     rng,
@@ -236,9 +244,9 @@ impl DecompositionEngine for HarrisSuVuEngine {
                 let simple = simple_view(input.graph)?;
                 let alpha = resolved_alpha(input, request);
                 let config = SfdConfig::new(request.epsilon).with_alpha(alpha);
-                let result = star_forest_decomposition_simple(&simple, input.csr, &config, rng)?;
+                let result = star_forest_decomposition_simple(&simple, &input.csr, &config, rng)?;
                 Ok(decomposition_outcome(
-                    input.csr,
+                    &input.csr,
                     result.decomposition,
                     alpha,
                     result.leftover_edges,
@@ -250,10 +258,11 @@ impl DecompositionEngine for HarrisSuVuEngine {
                 let simple = simple_view(input.graph)?;
                 let alpha = resolved_alpha(input, request);
                 let config = SfdConfig::new(request.epsilon).with_alpha(alpha);
-                let result =
-                    list_star_forest_decomposition_simple(&simple, input.csr, lists, &config, rng)?;
+                let result = list_star_forest_decomposition_simple(
+                    &simple, &input.csr, lists, &config, rng,
+                )?;
                 Ok(decomposition_outcome(
-                    input.csr,
+                    &input.csr,
                     result.decomposition,
                     alpha,
                     result.leftover_edges,
@@ -275,13 +284,13 @@ impl BarenboimElkinEngine {
     ) -> Result<EngineOutcome, FdError> {
         let bound = request
             .alpha
-            .unwrap_or_else(|| forest_graph::orientation::pseudoarboricity(input.csr))
+            .unwrap_or_else(|| forest_graph::orientation::pseudoarboricity(&input.csr))
             .max(1);
         let mut ledger = RoundLedger::new();
         let baseline =
-            barenboim_elkin_forest_decomposition(input.csr, request.epsilon, bound, &mut ledger)?;
+            barenboim_elkin_forest_decomposition(&input.csr, request.epsilon, bound, &mut ledger)?;
         Ok(decomposition_outcome(
-            input.csr,
+            &input.csr,
             baseline.decomposition,
             bound,
             0,
@@ -310,7 +319,7 @@ impl DecompositionEngine for BarenboimElkinEngine {
             ProblemKind::Forest => self.forest(input, request),
             ProblemKind::Orientation => {
                 let forest = self.forest(input, request)?;
-                Ok(orient_outcome(input.csr, forest))
+                Ok(orient_outcome(&input.csr, forest))
             }
             other => Err(unsupported(other, self.engine())),
         }
@@ -341,14 +350,14 @@ impl DecompositionEngine for Folklore2AlphaEngine {
             return Err(unsupported(request.problem, self.engine()));
         }
         let exact = forest_graph::matroid::exact_forest_decomposition(input.graph);
-        let stars = two_color_star_forests(input.csr, &exact.decomposition);
+        let stars = two_color_star_forests(&input.csr, &exact.decomposition);
         let mut ledger = RoundLedger::new();
         ledger.charge(
             "centralized exact decomposition + two-coloring (non-LOCAL)",
             0,
         );
         Ok(decomposition_outcome(
-            input.csr,
+            &input.csr,
             stars,
             exact.arboricity,
             0,
@@ -365,7 +374,7 @@ impl ExactMatroidEngine {
         let exact = forest_graph::matroid::exact_forest_decomposition(input.graph);
         let mut ledger = RoundLedger::new();
         ledger.charge("centralized matroid partition (non-LOCAL)", 0);
-        decomposition_outcome(input.csr, exact.decomposition, exact.arboricity, 0, ledger)
+        decomposition_outcome(&input.csr, exact.decomposition, exact.arboricity, 0, ledger)
     }
 }
 
@@ -387,7 +396,7 @@ impl DecompositionEngine for ExactMatroidEngine {
     ) -> Result<EngineOutcome, FdError> {
         match request.problem {
             ProblemKind::Forest => Ok(self.forest(input)),
-            ProblemKind::Orientation => Ok(orient_outcome(input.csr, self.forest(input))),
+            ProblemKind::Orientation => Ok(orient_outcome(&input.csr, self.forest(input))),
             other => Err(unsupported(other, self.engine())),
         }
     }

@@ -1,0 +1,214 @@
+//! The [`GraphInput`] conversion layer: every representation a
+//! [`Decomposer`](super::Decomposer) accepts, funneled into one type.
+//!
+//! The facade used to take `&MultiGraph` only; `GraphInput` generalizes the
+//! entrypoints without breaking them — `run(&graph)` still compiles via
+//! `From<&MultiGraph>` — while opening three new front doors:
+//!
+//! * [`GraphInput::from_mmap`] — an on-disk CSR file
+//!   ([`MmapCsr`](forest_graph::MmapCsr)): engines run straight over the
+//!   mapped arrays through a zero-copy
+//!   [`CsrRef`](forest_graph::CsrRef), and the run's
+//!   [`canonical_bytes`](super::DecompositionReport::canonical_bytes) are
+//!   byte-identical to the owned-storage run of the same request.
+//! * [`GraphInput::from_shard`] — one shard of a
+//!   [`CsrPartition`](forest_graph::CsrPartition), for driving a single
+//!   shard manually (the facade's
+//!   [`run_sharded`](super::Decomposer::run_sharded) does the whole
+//!   partition-decompose-stitch dance itself).
+//! * `From<FrozenGraph>` / `From<&FrozenGraph>` — pre-frozen graphs, owned
+//!   or borrowed.
+
+use super::engines::FrozenInput;
+use super::FrozenGraph;
+use crate::error::FdError;
+use forest_graph::{CsrGraph, CsrPartition, MmapCsr, MultiGraph, OwnedCsr};
+use std::path::Path;
+
+/// Any graph a [`Decomposer`](super::Decomposer) can run on.
+///
+/// Construct one with the `From` conversions (`&MultiGraph`, `MultiGraph`,
+/// `&FrozenGraph`, `FrozenGraph`) or the named constructors
+/// ([`from_mmap`](GraphInput::from_mmap),
+/// [`from_shard`](GraphInput::from_shard)); the `run*` entrypoints take
+/// `impl Into<GraphInput>`, so call sites usually never name this type.
+#[derive(Debug)]
+pub enum GraphInput<'a> {
+    /// A borrowed multigraph, frozen once per run.
+    Borrowed(&'a MultiGraph),
+    /// An owned multigraph, frozen once per run.
+    Owned(Box<MultiGraph>),
+    /// A borrowed pre-frozen graph (no conversion at run time).
+    Frozen(&'a FrozenGraph),
+    /// An owned pre-frozen graph (no conversion at run time).
+    OwnedFrozen(Box<FrozenGraph>),
+    /// An mmap-backed CSR plus its thawed multigraph: engines consume the
+    /// mapped arrays directly (zero-copy view), while centralized baselines
+    /// use the thawed adjacency lists.
+    Mmap(Box<MmapInput>),
+}
+
+/// The mmap variant's payload: the mapped topology and its thawed
+/// adjacency-list twin (the exact `to_multigraph` round-trip, so outputs are
+/// identical to an owned-storage run).
+#[derive(Debug)]
+pub struct MmapInput {
+    graph: MultiGraph,
+    csr: MmapCsr,
+}
+
+impl<'a> GraphInput<'a> {
+    /// Loads the on-disk CSR file at `path` (see
+    /// [`MmapCsr::load_mmap`](forest_graph::MmapCsr::load_mmap) for the
+    /// format).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FdError::Io`] for I/O failures or a malformed file.
+    pub fn from_mmap<P: AsRef<Path>>(path: P) -> Result<GraphInput<'static>, FdError> {
+        let path = path.as_ref();
+        let csr = MmapCsr::load_mmap(path).map_err(|err| FdError::Io {
+            context: format!("loading CSR file {}: {err}", path.display()),
+        })?;
+        let graph = csr.to_multigraph();
+        Ok(GraphInput::Mmap(Box::new(MmapInput { graph, csr })))
+    }
+
+    /// Materializes shard `shard` of `partition` as a standalone input
+    /// (local vertex/edge ids — map results back through
+    /// [`CsrPartition::global_edge`](forest_graph::CsrPartition::global_edge)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FdError::ShardOutOfRange`] if `shard >= num_shards`.
+    pub fn from_shard(
+        partition: &CsrPartition,
+        shard: usize,
+    ) -> Result<GraphInput<'static>, FdError> {
+        if shard >= partition.num_shards() {
+            return Err(FdError::ShardOutOfRange {
+                shard,
+                num_shards: partition.num_shards(),
+            });
+        }
+        let view = partition.shard(shard);
+        // The partition already holds this shard's CSR: thaw the adjacency
+        // form and detach the arrays (memcpy), instead of re-freezing.
+        let frozen = FrozenGraph::from_parts(view.to_multigraph(), view.to_owned_storage());
+        Ok(GraphInput::OwnedFrozen(Box::new(frozen)))
+    }
+
+    /// The adjacency-list form of the input (thawed already for mmap inputs).
+    pub fn graph(&self) -> &MultiGraph {
+        match self {
+            GraphInput::Borrowed(g) => g,
+            GraphInput::Owned(g) => g,
+            GraphInput::Frozen(f) => f.graph(),
+            GraphInput::OwnedFrozen(f) => f.graph(),
+            GraphInput::Mmap(m) => &m.graph,
+        }
+    }
+
+    /// Number of edges of the input.
+    pub fn num_edges(&self) -> usize {
+        self.graph().num_edges()
+    }
+
+    /// Resolves the input to the `(graph, csr)` pair engines consume,
+    /// freezing into `scratch` when the input arrived unfrozen. Zero-copy
+    /// for every already-frozen variant.
+    pub(super) fn resolve<'s>(&'s self, scratch: &'s mut Option<OwnedCsr>) -> FrozenInput<'s> {
+        match self {
+            GraphInput::Borrowed(g) => {
+                let csr = scratch.insert(CsrGraph::from_multigraph(g));
+                FrozenInput {
+                    graph: g,
+                    csr: csr.view(),
+                }
+            }
+            GraphInput::Owned(g) => {
+                let csr = scratch.insert(CsrGraph::from_multigraph(g));
+                FrozenInput {
+                    graph: g,
+                    csr: csr.view(),
+                }
+            }
+            GraphInput::Frozen(f) => f.input(),
+            GraphInput::OwnedFrozen(f) => f.input(),
+            GraphInput::Mmap(m) => FrozenInput {
+                graph: &m.graph,
+                csr: m.csr.view(),
+            },
+        }
+    }
+}
+
+impl<'a> From<&'a MultiGraph> for GraphInput<'a> {
+    fn from(g: &'a MultiGraph) -> Self {
+        GraphInput::Borrowed(g)
+    }
+}
+
+impl From<MultiGraph> for GraphInput<'static> {
+    fn from(g: MultiGraph) -> Self {
+        GraphInput::Owned(Box::new(g))
+    }
+}
+
+impl<'a> From<&'a FrozenGraph> for GraphInput<'a> {
+    fn from(f: &'a FrozenGraph) -> Self {
+        GraphInput::Frozen(f)
+    }
+}
+
+impl From<FrozenGraph> for GraphInput<'static> {
+    fn from(f: FrozenGraph) -> Self {
+        GraphInput::OwnedFrozen(Box::new(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use forest_graph::generators;
+
+    #[test]
+    fn conversions_agree_on_the_graph() {
+        let g = generators::grid(4, 4);
+        let frozen = FrozenGraph::freeze(g.clone());
+        let borrowed: GraphInput<'_> = (&g).into();
+        let owned: GraphInput<'_> = g.clone().into();
+        let fref: GraphInput<'_> = (&frozen).into();
+        let fown: GraphInput<'_> = frozen.clone().into();
+        for input in [&borrowed, &owned, &fref, &fown] {
+            assert_eq!(input.graph(), &g);
+            assert_eq!(input.num_edges(), g.num_edges());
+            let mut scratch = None;
+            let resolved = input.resolve(&mut scratch);
+            assert_eq!(resolved.graph, &g);
+            assert_eq!(resolved.csr, frozen.csr().view());
+        }
+    }
+
+    #[test]
+    fn from_shard_checks_the_range() {
+        let g = generators::path(8);
+        let csr = CsrGraph::from_multigraph(&g);
+        let partition = CsrPartition::split(&csr, 2);
+        assert!(GraphInput::from_shard(&partition, 0).is_ok());
+        assert!(matches!(
+            GraphInput::from_shard(&partition, 5),
+            Err(FdError::ShardOutOfRange {
+                shard: 5,
+                num_shards: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn from_mmap_propagates_bad_files() {
+        let err = GraphInput::from_mmap("/definitely/not/a/file.csr").unwrap_err();
+        assert!(matches!(err, FdError::Io { .. }));
+        assert!(err.to_string().contains("not/a/file.csr"));
+    }
+}

@@ -4,17 +4,38 @@
 //! The Harris–Su–Vu paper is one family of algorithms, and this module makes
 //! it look like one: a [`DecompositionRequest`] says *what* to solve (a
 //! [`ProblemKind`]), *how* (an [`Engine`] plus shared knobs) and *under which
-//! seed*; a [`Decomposer`] executes it on any [`MultiGraph`] and returns one
+//! seed*; a [`Decomposer`] executes it on any [`GraphInput`] and returns one
 //! [`DecompositionReport`] shape regardless of pipeline. Every `(problem,
 //! engine)` pair either runs or fails with the typed
 //! [`FdError::UnsupportedCombination`] — never a panic.
+//!
+//! # Inputs: the [`GraphInput`] conversion layer
+//!
+//! Every `run*` entrypoint takes `impl Into<GraphInput>`, so all of these
+//! work interchangeably and produce byte-identical reports for the same
+//! topology and seed:
+//!
+//! * `&MultiGraph` / `MultiGraph` — frozen to CSR once per run;
+//! * [`&FrozenGraph`](FrozenGraph) / `FrozenGraph` — pre-frozen, zero
+//!   conversions on the hot path;
+//! * [`GraphInput::from_mmap`] — an on-disk CSR file
+//!   ([`MmapCsr`](forest_graph::MmapCsr), versioned little-endian format);
+//!   engines run directly over the mapped arrays through a zero-copy
+//!   [`CsrRef`](forest_graph::CsrRef);
+//! * [`GraphInput::from_shard`] — one shard of a
+//!   [`CsrPartition`](forest_graph::CsrPartition).
+//!
+//! # Scale: batching and sharding
 //!
 //! Reproducibility is first-class: a run derives an owned
 //! [`SmallRng`](rand::rngs::SmallRng) from the request seed, so the same
 //! request on the same graph produces a byte-identical report
 //! ([`DecompositionReport::canonical_bytes`]). Batch throughput is
 //! first-class too: [`Decomposer::run_batch`] fans one request across many
-//! graphs on all cores with per-graph derived seeds ([`derive_seed`]).
+//! graphs on all cores with per-graph derived seeds ([`derive_seed`]), and
+//! [`Decomposer::run_sharded`] decomposes one *large* graph by splitting its
+//! frozen topology into zero-copy shards, decomposing them in parallel, and
+//! stitching the boundary edges through the leftover/augmenting machinery.
 //!
 //! ```
 //! use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, ProblemKind};
@@ -34,15 +55,19 @@
 //! ```
 
 mod engines;
+mod input;
 mod report;
 mod request;
 
 pub use engines::{DecompositionEngine, EngineOutcome, FrozenInput};
+pub use input::{GraphInput, MmapInput};
 pub use report::{Artifact, DecompositionReport, Validate, ValidationStatus};
 pub use request::{DecompositionRequest, Engine, PaletteSpec, ProblemKind};
 
 use crate::error::FdError;
-use forest_graph::{CsrGraph, ListAssignment, MultiGraph};
+use forest_graph::decomposition::max_forest_diameter;
+use forest_graph::{CsrGraph, CsrPartition, ListAssignment, MultiGraph};
+use local_model::RoundLedger;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -69,6 +94,13 @@ impl FrozenGraph {
         FrozenGraph { graph, csr }
     }
 
+    /// Pairs a graph with a CSR that is already known to be its freeze
+    /// (memcpy instead of a second `O(n + m)` conversion). Debug-checked.
+    pub(super) fn from_parts(graph: MultiGraph, csr: CsrGraph) -> Self {
+        debug_assert_eq!(csr, CsrGraph::from_multigraph(&graph));
+        FrozenGraph { graph, csr }
+    }
+
     /// The original multigraph.
     pub fn graph(&self) -> &MultiGraph {
         &self.graph
@@ -83,7 +115,7 @@ impl FrozenGraph {
     pub fn input(&self) -> FrozenInput<'_> {
         FrozenInput {
             graph: &self.graph,
-            csr: &self.csr,
+            csr: self.csr.view(),
         }
     }
 }
@@ -130,22 +162,26 @@ impl Decomposer {
         &self.request
     }
 
-    /// Runs the request on one graph with the request's own seed.
+    /// Runs the request on any [`GraphInput`] — `&MultiGraph`,
+    /// `&FrozenGraph`, [`GraphInput::from_mmap`] /
+    /// [`GraphInput::from_shard`] outputs — with the request's own seed.
+    ///
+    /// The input is frozen at most once (not at all when it arrives frozen),
+    /// and identical topologies produce byte-identical reports regardless of
+    /// which storage backs them.
     ///
     /// # Errors
     ///
     /// Returns [`FdError::UnsupportedCombination`] for an engine that cannot
     /// solve the requested problem, and propagates every pipeline error;
     /// the facade never panics on any `(problem, engine)` pair.
-    pub fn run(&self, g: &MultiGraph) -> Result<DecompositionReport, FdError> {
-        let csr = CsrGraph::from_multigraph(g);
-        self.run_seeded(
-            FrozenInput {
-                graph: g,
-                csr: &csr,
-            },
-            self.request.seed,
-        )
+    pub fn run<'a>(
+        &self,
+        input: impl Into<GraphInput<'a>>,
+    ) -> Result<DecompositionReport, FdError> {
+        let input = input.into();
+        let mut scratch = None;
+        self.run_seeded(input.resolve(&mut scratch), self.request.seed)
     }
 
     /// Runs the request on an already-frozen graph (no per-run conversion).
@@ -177,7 +213,7 @@ impl Decomposer {
                 self.run_seeded(
                     FrozenInput {
                         graph: g,
-                        csr: &csr,
+                        csr: csr.view(),
                     },
                     derive_seed(self.request.seed, *i),
                 )
@@ -218,6 +254,196 @@ impl Decomposer {
             .par_iter()
             .map(|&seed| self.run_seeded(g.input(), seed))
             .collect()
+    }
+
+    /// Decomposes one *large* graph by sharding it: splits the frozen
+    /// topology into `num_shards` zero-copy shards
+    /// ([`CsrPartition`](forest_graph::CsrPartition)), decomposes every
+    /// shard's internal edges in parallel (shard `i` seeded with
+    /// [`derive_seed`]`(seed, i)`), merges the per-shard forests directly
+    /// (shards are vertex-disjoint, so same-colored trees never touch), and
+    /// recolors the explicit boundary-edge list through the augmenting
+    /// machinery — the paper's compose-per-part-partitions-plus-leftover
+    /// shape. The returned report carries the per-shard round ledgers
+    /// (prefixed `shard i:`) and the stitch charge in one
+    /// [`DecompositionReport::ledger`]; `leftover_edges` counts the boundary
+    /// edges plus any per-shard leftovers. The report's `arboricity` is the
+    /// caller's bound when the request fixes one, otherwise a *lower* bound
+    /// on the global arboricity (max per-shard value, floored at the
+    /// Nash-Williams whole-graph bound) — boundary edges can push the true
+    /// value higher, and only an exact full-graph run pins it down.
+    ///
+    /// Deterministic for a fixed `(request, num_shards)`: shard seeds are
+    /// derived, shards are merged in index order, and the stitch is
+    /// sequential.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FdError::ShardingUnsupported`] for problems other than
+    /// [`ProblemKind::Forest`] (per-shard star forests / orientations do not
+    /// merge safely across boundary recoloring),
+    /// [`FdError::UnsupportedCombination`] for an engine that cannot solve
+    /// forests, and propagates any per-shard or stitch failure.
+    pub fn run_sharded<'a>(
+        &self,
+        input: impl Into<GraphInput<'a>>,
+        num_shards: usize,
+    ) -> Result<DecompositionReport, FdError> {
+        let start = Instant::now();
+        let input = input.into();
+        let request = &self.request;
+        if request.problem != ProblemKind::Forest {
+            return Err(FdError::ShardingUnsupported {
+                problem: request.problem,
+            });
+        }
+        let engine = engines::engine_for(request.engine);
+        if !engine.supports(request.problem) {
+            return Err(FdError::UnsupportedCombination {
+                problem: request.problem,
+                engine: request.engine,
+            });
+        }
+        let mut scratch = None;
+        let frozen = input.resolve(&mut scratch);
+        let g = frozen.graph;
+        let m = g.num_edges();
+        let partition = CsrPartition::split(&frozen.csr, num_shards);
+        let k = partition.num_shards();
+        // Decompose every shard in parallel over zero-copy views; results
+        // come back in shard order, so the merge below is deterministic.
+        let shard_ids: Vec<usize> = (0..k).collect();
+        let per_shard: Vec<Result<EngineOutcome, FdError>> = shard_ids
+            .par_iter()
+            .map(|&s| {
+                let shard_graph = partition.shard(s).to_multigraph();
+                let shard_input = FrozenInput {
+                    graph: &shard_graph,
+                    csr: partition.shard(s),
+                };
+                let mut rng = SmallRng::seed_from_u64(derive_seed(request.seed, s as u64));
+                engine.execute(shard_input, request, None, &mut rng)
+            })
+            .collect();
+        // Merge: shards are vertex-disjoint, so reusing the same color space
+        // across shards keeps every class a forest.
+        let mut coloring = forest_graph::decomposition::PartialEdgeColoring::new_uncolored(m);
+        let mut ledger = RoundLedger::new();
+        let mut shard_colors = 0usize;
+        let mut arboricity = 0usize;
+        let boundary = partition.boundary_edges().len();
+        let mut leftover_edges = boundary;
+        for (s, result) in per_shard.into_iter().enumerate() {
+            let outcome = result?;
+            let fd = match outcome.artifact {
+                Artifact::Decomposition(fd) => fd,
+                Artifact::Orientation { .. } => {
+                    unreachable!("forest requests produce decompositions")
+                }
+            };
+            for local in 0..fd.num_edges() {
+                let local_edge = forest_graph::EdgeId::new(local);
+                coloring.set(partition.global_edge(s, local_edge), fd.color(local_edge));
+            }
+            shard_colors = shard_colors.max(outcome.num_colors);
+            arboricity = arboricity.max(outcome.arboricity);
+            leftover_edges += outcome.leftover_edges;
+            ledger.absorb(&format!("shard {s}"), outcome.ledger);
+        }
+        // Stitch the boundary through the leftover/augmenting machinery.
+        // Phase 1 is the augmenting search's single-step fast path (the
+        // shared per-color union-find cache): each boundary edge joins the
+        // first existing forest that keeps its endpoints apart — linear, and
+        // initially almost always successful because per-shard forests of
+        // different shards are disconnected. Phase 2 recolors whatever
+        // remains exactly like Theorem 4.6 recolors the CUT leftover: star
+        // forests with fresh colors via the H-partition toolbox.
+        if boundary > 0 {
+            let mut conn = forest_graph::ColorConnectivity::new(g.num_vertices());
+            let budget = shard_colors;
+            let mut stitched_fast = 0usize;
+            let mut remaining: Vec<forest_graph::EdgeId> = Vec::new();
+            for &e in partition.boundary_edges() {
+                let (u, v) = g.endpoints(e);
+                match conn.first_free_color(&frozen.csr, &coloring, None, budget, u, v) {
+                    Some(c) => {
+                        coloring.set(e, c);
+                        conn.insert(c, u, v);
+                        stitched_fast += 1;
+                    }
+                    None => remaining.push(e),
+                }
+            }
+            if stitched_fast > 0 {
+                ledger.charge(
+                    format!(
+                        "stitch {stitched_fast} of {boundary} boundary edges into existing \
+                         forests (single-step augmentations)"
+                    ),
+                    stitched_fast,
+                );
+            }
+            if !remaining.is_empty() {
+                let mask = crate::cut::dense_mask(m, remaining.iter().copied());
+                let (sub, back) = g.edge_subgraph(|e| mask[e.index()]);
+                let pseudo = forest_graph::orientation::pseudoarboricity(&sub).max(1);
+                let mut stitch_ledger = RoundLedger::new();
+                let hp = crate::hpartition::h_partition(&sub, 0.5, pseudo, &mut stitch_ledger)?;
+                let sub_orientation = crate::hpartition::acyclic_orientation(&sub, &hp);
+                let sfd = crate::hpartition::star_forest_decomposition(
+                    &sub,
+                    &sub_orientation,
+                    &mut stitch_ledger,
+                );
+                for (i, &orig) in back.iter().enumerate() {
+                    coloring.set(
+                        orig,
+                        forest_graph::Color::new(
+                            budget + sfd.color(forest_graph::EdgeId::new(i)).index(),
+                        ),
+                    );
+                }
+                ledger.absorb(
+                    &format!(
+                        "stitch leftover ({} boundary edges recolored as star forests)",
+                        remaining.len()
+                    ),
+                    stitch_ledger,
+                );
+            }
+        }
+        let decomposition = coloring.into_complete()?;
+        let num_colors = decomposition.num_colors_used();
+        let max_diameter = max_forest_diameter(&frozen.csr, &decomposition.to_partial());
+        // The per-shard maxima exclude boundary edges, so they can under-shoot
+        // the global arboricity (e.g. K4 split in two: each shard sees one
+        // edge). Report the caller's bound when given; otherwise at least the
+        // Nash-Williams whole-graph lower bound — still a lower bound on the
+        // true global alpha, which only an exact full-graph partition could
+        // pin down.
+        let arboricity = request
+            .alpha
+            .unwrap_or_else(|| arboricity.max(forest_graph::matroid::arboricity_lower_bound(g)));
+        let mut report = DecompositionReport {
+            problem: request.problem,
+            engine: request.engine,
+            seed: request.seed,
+            num_edges: m,
+            artifact: Artifact::Decomposition(decomposition),
+            lists: None,
+            arboricity,
+            num_colors,
+            max_diameter,
+            leftover_edges,
+            ledger,
+            wall_clock: start.elapsed(),
+            validation: ValidationStatus::Skipped,
+        };
+        if request.validate {
+            report.validate(g)?;
+            report.validation = ValidationStatus::Validated;
+        }
+        Ok(report)
     }
 
     fn run_seeded(
@@ -425,6 +651,63 @@ mod tests {
             report.validate(&other),
             Err(FdError::InvalidOrientation { .. })
         ));
+    }
+
+    #[test]
+    fn run_sharded_produces_a_valid_stitched_forest() {
+        let mut rng = <rand::rngs::StdRng as SeedableRng>::seed_from_u64(31);
+        let g = forest_graph::generators::planted_forest_union(120, 3, &mut rng);
+        for engine in [Engine::HarrisSuVu, Engine::ExactMatroid] {
+            let decomposer = Decomposer::new(
+                DecompositionRequest::new(ProblemKind::Forest)
+                    .with_engine(engine)
+                    .with_alpha(3)
+                    .with_seed(7),
+            );
+            let report = decomposer.run_sharded(&g, 4).unwrap();
+            assert_eq!(report.validation, ValidationStatus::Validated);
+            report.validate(&g).unwrap();
+            assert!(report.num_colors >= 3, "colors: {}", report.num_colors);
+            // Per-shard and stitch charges land in one ledger.
+            assert!(report
+                .ledger
+                .charges()
+                .iter()
+                .any(|c| c.label.starts_with("shard ")));
+            assert!(report
+                .ledger
+                .charges()
+                .iter()
+                .any(|c| c.label.starts_with("stitch ")));
+            // Deterministic: same request + shard count, same bytes.
+            let again = decomposer.run_sharded(&g, 4).unwrap();
+            assert_eq!(report.canonical_bytes(), again.canonical_bytes());
+        }
+    }
+
+    #[test]
+    fn run_sharded_rejects_unsupported_problems() {
+        let g = generators::path(8);
+        let decomposer = Decomposer::new(DecompositionRequest::new(ProblemKind::StarForest));
+        assert!(matches!(
+            decomposer.run_sharded(&g, 2),
+            Err(FdError::ShardingUnsupported {
+                problem: ProblemKind::StarForest
+            })
+        ));
+    }
+
+    #[test]
+    fn run_sharded_single_shard_has_no_boundary() {
+        let g = generators::grid(6, 6);
+        let decomposer = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_engine(Engine::ExactMatroid)
+                .with_seed(3),
+        );
+        let report = decomposer.run_sharded(&g, 1).unwrap();
+        assert_eq!(report.leftover_edges, 0);
+        report.validate(&g).unwrap();
     }
 
     #[test]

@@ -17,8 +17,14 @@
 use crate::error::FdError;
 use forest_graph::decomposition::PartialEdgeColoring;
 use forest_graph::traversal::path_between;
-use forest_graph::{Color, EdgeId, GraphView, ListAssignment, MultiGraph, UnionFind};
-use std::collections::{BTreeMap, VecDeque};
+use forest_graph::{Color, EdgeId, GraphView, ListAssignment, MultiGraph};
+use std::collections::VecDeque;
+
+/// The per-color union-find connectivity cache, now shared workspace-wide
+/// (the matroid partition and shard-boundary stitching use the same
+/// structure). Re-exported here because the augmenting search is its primary
+/// consumer and its original home.
+pub use forest_graph::connectivity::ColorConnectivity;
 
 /// One augmenting sequence: the ordered `(edge, color)` steps.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -72,56 +78,6 @@ impl GrowthState {
 
     fn len(&self) -> usize {
         self.ordered.len()
-    }
-}
-
-/// Incremental per-color connectivity over a partial coloring.
-///
-/// The overwhelmingly common augmentation is the single step `(e, c)` where
-/// `c` is the first palette color whose forest keeps `e`'s endpoints apart.
-/// Detecting that case needs only a connectivity query, not a path — so this
-/// structure maintains one lazily-built [`UnionFind`] per color and answers
-/// it in near-constant time. Coloring an edge is an incremental union;
-/// recolorings (multi-step sequences, CUT removals) invalidate the affected
-/// colors, which rebuild on next use.
-///
-/// The structure is tied to one `(coloring, allowed)` evolution: create it
-/// fresh whenever the edge restriction changes or colors are cleared outside
-/// [`AugmentationContext::augment_edge_connected`].
-pub struct ColorConnectivity {
-    num_vertices: usize,
-    forests: BTreeMap<Color, UnionFind>,
-}
-
-impl ColorConnectivity {
-    /// An empty cache for a graph with `num_vertices` vertices.
-    pub fn new(num_vertices: usize) -> Self {
-        ColorConnectivity {
-            num_vertices,
-            forests: BTreeMap::new(),
-        }
-    }
-
-    /// Drops the cached forest of `c`, forcing a rebuild on next use.
-    pub fn invalidate(&mut self, c: Color) {
-        self.forests.remove(&c);
-    }
-
-    fn forest<G: GraphView>(
-        &mut self,
-        ctx: &AugmentationContext<'_, G>,
-        coloring: &PartialEdgeColoring,
-        c: Color,
-    ) -> &mut UnionFind {
-        self.forests.entry(c).or_insert_with(|| {
-            let mut uf = UnionFind::new(self.num_vertices);
-            for (e, u, v) in ctx.graph.edges() {
-                if coloring.color(e) == Some(c) && ctx.edge_allowed(e) {
-                    uf.union(u.index(), v.index());
-                }
-            }
-            uf
-        })
     }
 }
 
@@ -437,6 +393,8 @@ impl<'a, G: GraphView> AugmentationContext<'a, G> {
             "augmenting sequences start at an uncolored edge"
         );
         let (u, v) = self.graph.endpoints(start);
+        let allowed = |e: EdgeId| self.edge_allowed(e);
+        let filter: Option<&dyn Fn(EdgeId) -> bool> = Some(&allowed);
         // Fast path: the slow search's first growth iteration returns the
         // single step (start, c) for the first palette color c with no path
         // between the endpoints — exactly the first disconnected forest.
@@ -444,12 +402,9 @@ impl<'a, G: GraphView> AugmentationContext<'a, G> {
             if coloring.color(start) == Some(c) {
                 continue;
             }
-            if !conn
-                .forest(self, coloring, c)
-                .connected(u.index(), v.index())
-            {
+            if !conn.connected(self.graph, coloring, filter, c, u, v) {
                 coloring.set(start, c);
-                conn.forest(self, coloring, c).union(u.index(), v.index());
+                conn.insert(c, u, v);
                 return Ok(AugmentingSequence {
                     steps: vec![(start, c)],
                 });

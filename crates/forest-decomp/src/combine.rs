@@ -25,7 +25,7 @@ use forest_graph::decomposition::{
     max_forest_diameter, merge_disjoint_colorings, validate_list_coloring,
     validate_partial_forest_decomposition, PartialEdgeColoring,
 };
-use forest_graph::{Color, CsrGraph, EdgeId, ForestDecomposition, ListAssignment, MultiGraph};
+use forest_graph::{Color, EdgeId, ForestDecomposition, GraphView, ListAssignment, MultiGraph};
 use local_model::RoundLedger;
 use rand::Rng;
 use std::collections::HashSet;
@@ -101,16 +101,17 @@ pub struct FdResult {
 }
 
 /// Theorem 4.6: `(1+O(ε))α`-forest decomposition of a multigraph, over the
-/// frozen topology `csr` (which must equal `CsrGraph::from_multigraph(g)`;
-/// the `Decomposer` facade freezes once per request and threads the pair
-/// through every phase).
+/// frozen topology `csr` (which must be topology-identical to
+/// `CsrGraph::from_multigraph(g)` — any [`CsrStorage`](forest_graph::CsrStorage)
+/// qualifies; the `Decomposer` facade freezes once per request and threads
+/// the pair through every phase).
 ///
 /// # Errors
 ///
 /// Returns an error for invalid parameters or if an internal phase fails.
-pub(crate) fn forest_decomposition<R: Rng + ?Sized>(
+pub(crate) fn forest_decomposition<C: GraphView, R: Rng + ?Sized>(
     g: &MultiGraph,
-    csr: &CsrGraph,
+    csr: &C,
     options: &FdOptions,
     rng: &mut R,
 ) -> Result<FdResult, FdError> {
@@ -201,9 +202,9 @@ pub struct LfdResult {
 ///
 /// Returns an error if the palettes are too small, the splitting repeatedly
 /// fails to leave a large enough main side, or an internal phase fails.
-pub(crate) fn list_forest_decomposition<R: Rng + ?Sized>(
+pub(crate) fn list_forest_decomposition<C: GraphView, R: Rng + ?Sized>(
     g: &MultiGraph,
-    csr: &CsrGraph,
+    csr: &C,
     lists: &ListAssignment,
     options: &FdOptions,
     rng: &mut R,
@@ -348,7 +349,7 @@ pub(crate) fn list_forest_decomposition<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use forest_graph::decomposition::validate_forest_decomposition;
-    use forest_graph::generators;
+    use forest_graph::{generators, CsrGraph};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

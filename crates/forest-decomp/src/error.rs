@@ -75,6 +75,24 @@ pub enum FdError {
         /// The list problem that was requested.
         problem: ProblemKind,
     },
+    /// An I/O failure while loading or saving a graph (mmap inputs).
+    Io {
+        /// What was being done, including the underlying error text.
+        context: String,
+    },
+    /// `run_sharded` only composes problems whose per-shard artifacts merge
+    /// safely across vertex-disjoint shards (currently: `Forest`).
+    ShardingUnsupported {
+        /// The problem that was requested.
+        problem: ProblemKind,
+    },
+    /// A shard index beyond the partition's shard count.
+    ShardOutOfRange {
+        /// The requested shard.
+        shard: usize,
+        /// How many shards the partition has.
+        num_shards: usize,
+    },
 }
 
 impl fmt::Display for FdError {
@@ -123,6 +141,16 @@ impl fmt::Display for FdError {
                 f,
                 "the {problem} problem requires palettes; run it through the Decomposer \
                  or pass lists to the engine"
+            ),
+            FdError::Io { context } => write!(f, "graph I/O failed: {context}"),
+            FdError::ShardingUnsupported { problem } => write!(
+                f,
+                "run_sharded does not support the {problem} problem (per-shard artifacts \
+                 only merge safely for forest decomposition)"
+            ),
+            FdError::ShardOutOfRange { shard, num_shards } => write!(
+                f,
+                "shard {shard} out of range: the partition has {num_shards} shards"
             ),
         }
     }

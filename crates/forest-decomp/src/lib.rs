@@ -65,16 +65,23 @@
 //! * [`baselines`] — Barenboim–Elkin `(2+ε)α`-FD, the folklore `2α`-SFD and
 //!   the exact centralized decomposition.
 //!
-//! # Frozen topology
+//! # Frozen topology, on any storage
 //!
 //! Every end-to-end pipeline runs over a frozen
 //! [`CsrGraph`](forest_graph::CsrGraph): [`api::Decomposer::run`] freezes the
-//! input once per request and threads the `(MultiGraph, CsrGraph)` pair
+//! input once per request and threads the `(MultiGraph, CsrRef)` pair
 //! through the engine phases, and [`api::Decomposer::run_batch_shared`]
-//! shares one [`api::FrozenGraph`] across a whole seed sweep. Phase-level
-//! entrypoints ([`algorithm2`], [`augmenting`], [`cut`], [`hpartition`]) are
-//! generic over [`forest_graph::GraphView`], so they accept either
-//! representation and produce identical output on both.
+//! shares one [`api::FrozenGraph`] across a whole seed sweep. The CSR side
+//! is storage-generic ([`forest_graph::CsrStorage`]): engines consume a
+//! type-erased zero-copy [`CsrRef`](forest_graph::CsrRef), so the same code
+//! runs over owned arrays, an mmap-backed on-disk graph
+//! ([`api::GraphInput::from_mmap`]) or one shard of a
+//! [`CsrPartition`](forest_graph::CsrPartition) —
+//! [`api::Decomposer::run_sharded`] decomposes shards in parallel and
+//! stitches the boundary through the leftover/augmenting machinery.
+//! Phase-level entrypoints ([`algorithm2`], [`augmenting`], [`cut`],
+//! [`hpartition`]) are generic over [`forest_graph::GraphView`], so they
+//! accept any representation and produce identical output on all of them.
 //!
 //! # The pre-facade entrypoints
 //!
@@ -119,7 +126,8 @@ pub mod orientation;
 pub mod star_forest;
 
 pub use api::{
-    Decomposer, DecompositionReport, DecompositionRequest, Engine, ProblemKind, Validate,
+    Decomposer, DecompositionReport, DecompositionRequest, Engine, GraphInput, ProblemKind,
+    Validate,
 };
 
 pub use algorithm2::{algorithm2, Algorithm2Config, Algorithm2Output, CutStrategyKind};

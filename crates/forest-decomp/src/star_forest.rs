@@ -22,8 +22,8 @@ use crate::matching::maximum_bipartite_matching;
 use forest_graph::decomposition::PartialEdgeColoring;
 use forest_graph::orientation::bounded_outdegree_orientation;
 use forest_graph::{
-    Color, CsrGraph, EdgeId, ForestDecomposition, GraphView, ListAssignment, Orientation,
-    SimpleGraph, VertexId,
+    Color, EdgeId, ForestDecomposition, GraphView, ListAssignment, Orientation, SimpleGraph,
+    VertexId,
 };
 use local_model::rounds::costs;
 use local_model::RoundLedger;
@@ -183,9 +183,9 @@ fn star_forest_by_matching<G: GraphView, R: Rng + ?Sized>(
 /// # Errors
 ///
 /// Returns an error for invalid `ε` or if the leftover recoloring fails.
-pub(crate) fn star_forest_decomposition_simple<R: Rng + ?Sized>(
+pub(crate) fn star_forest_decomposition_simple<C: GraphView, R: Rng + ?Sized>(
     g: &SimpleGraph,
-    csr: &CsrGraph,
+    csr: &C,
     config: &SfdConfig,
     rng: &mut R,
 ) -> Result<StarForestResult, FdError> {
@@ -278,9 +278,9 @@ pub(crate) fn star_forest_decomposition_simple<R: Rng + ?Sized>(
 /// Returns an error for invalid `ε`, or [`FdError::NotConverged`] if some
 /// vertex never obtains a perfect matching and its unmatched edges cannot be
 /// finished greedily from their palettes.
-pub(crate) fn list_star_forest_decomposition_simple<R: Rng + ?Sized>(
+pub(crate) fn list_star_forest_decomposition_simple<C: GraphView, R: Rng + ?Sized>(
     g: &SimpleGraph,
-    csr: &CsrGraph,
+    csr: &C,
     lists: &ListAssignment,
     config: &SfdConfig,
     rng: &mut R,
@@ -349,10 +349,9 @@ pub(crate) fn list_star_forest_decomposition_simple<R: Rng + ?Sized>(
     for e in unmatched {
         let (u, v) = csr.endpoints(e);
         let neighbor_colors: HashSet<Color> = csr
-            .edge_slice(u)
-            .iter()
-            .chain(csr.edge_slice(v).iter())
-            .filter_map(|&x| coloring.color(x))
+            .incident_edges(u)
+            .chain(csr.incident_edges(v))
+            .filter_map(|x| coloring.color(x))
             .collect();
         let choice = lists
             .palette(e)
@@ -388,7 +387,7 @@ pub(crate) fn list_star_forest_decomposition_simple<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use forest_graph::decomposition::{validate_list_coloring, validate_star_forest_decomposition};
-    use forest_graph::generators;
+    use forest_graph::{generators, CsrGraph};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -1,0 +1,262 @@
+//! Incremental per-color connectivity over a partial edge coloring: one
+//! structure shared by every consumer that used to roll its own.
+//!
+//! Both the augmenting-sequence search (`forest-decomp::augmenting`) and the
+//! matroid partition ([`crate::matroid`]) repeatedly ask the same question:
+//! *does the color-`c` forest already connect `u` and `v`?* The answer gates
+//! the overwhelmingly common fast path (place the edge directly) against the
+//! rare slow path (search for an augmenting/exchange sequence). This module
+//! provides the one cache both use — and that shard-boundary stitching uses
+//! too: one lazily-built [`UnionFind`] per color, with an **optional edge
+//! filter** restricting which edges count (the augmenting search's
+//! cluster-view restriction).
+//!
+//! Coloring an edge is an incremental union ([`ColorConnectivity::insert`]);
+//! recolorings invalidate the affected colors, which rebuild on next use
+//! ([`ColorConnectivity::invalidate`]), or in one bulk pass
+//! ([`ColorConnectivity::rebuild`]) when many colors changed at once. A
+//! future upgrade to real dynamic connectivity (Holm–de Lichtenberg–Thorup)
+//! would replace the rebuilds without changing this API.
+
+use crate::decomposition::PartialEdgeColoring;
+use crate::ids::{Color, EdgeId, VertexId};
+use crate::union_find::UnionFind;
+use crate::view::GraphView;
+use std::collections::BTreeMap;
+
+/// Incremental per-color connectivity over a partial coloring.
+///
+/// The structure is tied to one `(coloring, filter)` evolution: the lazily
+/// built forests are snapshots of the coloring at build time plus the
+/// [`insert`](ColorConnectivity::insert)s applied since. Create it fresh (or
+/// [`rebuild`](ColorConnectivity::rebuild) /
+/// [`invalidate_all`](ColorConnectivity::invalidate_all)) whenever the edge
+/// filter changes or colors are cleared behind its back.
+///
+/// ```
+/// use forest_graph::{ColorConnectivity, Color, EdgeId, GraphView, MultiGraph};
+/// use forest_graph::decomposition::PartialEdgeColoring;
+/// let g = MultiGraph::from_pairs(3, &[(0, 1), (1, 2)])?;
+/// let mut coloring = PartialEdgeColoring::new_uncolored(2);
+/// coloring.set(EdgeId::new(0), Color::new(0));
+/// let mut conn = ColorConnectivity::new(g.num_vertices());
+/// assert!(conn.connected(&g, &coloring, None, Color::new(0), 0.into(), 1.into()));
+/// assert!(!conn.connected(&g, &coloring, None, Color::new(0), 1.into(), 2.into()));
+/// # Ok::<(), forest_graph::GraphError>(())
+/// ```
+pub struct ColorConnectivity {
+    num_vertices: usize,
+    forests: BTreeMap<Color, UnionFind>,
+}
+
+impl ColorConnectivity {
+    /// An empty cache for a graph with `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        ColorConnectivity {
+            num_vertices,
+            forests: BTreeMap::new(),
+        }
+    }
+
+    /// Number of vertices the per-color forests span.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Drops the cached forest of `c`, forcing a rebuild on next use.
+    pub fn invalidate(&mut self, c: Color) {
+        self.forests.remove(&c);
+    }
+
+    /// Drops every cached forest (bulk recoloring with unknown touch set).
+    pub fn invalidate_all(&mut self) {
+        self.forests.clear();
+    }
+
+    /// The color-`c` forest, built on first use by scanning `g` for edges
+    /// colored `c` that pass `filter` (`None` = every edge counts).
+    pub fn forest<G: GraphView>(
+        &mut self,
+        g: &G,
+        coloring: &PartialEdgeColoring,
+        filter: Option<&dyn Fn(EdgeId) -> bool>,
+        c: Color,
+    ) -> &mut UnionFind {
+        self.forests.entry(c).or_insert_with(|| {
+            let mut uf = UnionFind::new(self.num_vertices);
+            for (e, u, v) in g.edges() {
+                if coloring.color(e) == Some(c) && filter.is_none_or(|keep| keep(e)) {
+                    uf.union(u.index(), v.index());
+                }
+            }
+            uf
+        })
+    }
+
+    /// Whether the color-`c` forest (under `filter`) connects `u` and `v`.
+    pub fn connected<G: GraphView>(
+        &mut self,
+        g: &G,
+        coloring: &PartialEdgeColoring,
+        filter: Option<&dyn Fn(EdgeId) -> bool>,
+        c: Color,
+        u: VertexId,
+        v: VertexId,
+    ) -> bool {
+        self.forest(g, coloring, filter, c)
+            .connected(u.index(), v.index())
+    }
+
+    /// Records that an edge `{u, v}` was just colored `c`: an incremental
+    /// union when the forest is cached, a no-op otherwise (the lazy build
+    /// will see the edge in the coloring).
+    pub fn insert(&mut self, c: Color, u: VertexId, v: VertexId) {
+        if let Some(uf) = self.forests.get_mut(&c) {
+            uf.union(u.index(), v.index());
+        }
+    }
+
+    /// First color in `0..k` whose forest keeps `u` and `v` apart — the fast
+    /// path of both the matroid partition and the augmenting search.
+    pub fn first_free_color<G: GraphView>(
+        &mut self,
+        g: &G,
+        coloring: &PartialEdgeColoring,
+        filter: Option<&dyn Fn(EdgeId) -> bool>,
+        k: usize,
+        u: VertexId,
+        v: VertexId,
+    ) -> Option<Color> {
+        (0..k)
+            .map(Color::new)
+            .find(|&c| !self.connected(g, coloring, filter, c, u, v))
+    }
+
+    /// Rebuilds the forests of colors `0..num_colors` eagerly in one edge
+    /// scan (cheaper than `num_colors` lazy builds after an exchange that
+    /// touched many colors). Colors outside the range are dropped.
+    pub fn rebuild<G: GraphView>(
+        &mut self,
+        g: &G,
+        coloring: &PartialEdgeColoring,
+        filter: Option<&dyn Fn(EdgeId) -> bool>,
+        num_colors: usize,
+    ) {
+        self.forests.clear();
+        for c in 0..num_colors {
+            self.forests
+                .insert(Color::new(c), UnionFind::new(self.num_vertices));
+        }
+        for (e, u, v) in g.edges() {
+            if let Some(c) = coloring.color(e) {
+                if c.index() < num_colors && filter.is_none_or(|keep| keep(e)) {
+                    if let Some(uf) = self.forests.get_mut(&c) {
+                        uf.union(u.index(), v.index());
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::multigraph::MultiGraph;
+
+    fn e(i: usize) -> EdgeId {
+        EdgeId::new(i)
+    }
+
+    fn c(i: usize) -> Color {
+        Color::new(i)
+    }
+
+    fn v(i: usize) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn lazy_build_reflects_the_coloring() {
+        let g = generators::path(4); // edges 0-1, 1-2, 2-3
+        let mut coloring = PartialEdgeColoring::new_uncolored(3);
+        coloring.set(e(0), c(0));
+        coloring.set(e(1), c(0));
+        coloring.set(e(2), c(1));
+        let mut conn = ColorConnectivity::new(4);
+        assert!(conn.connected(&g, &coloring, None, c(0), v(0), v(2)));
+        assert!(!conn.connected(&g, &coloring, None, c(0), v(0), v(3)));
+        assert!(conn.connected(&g, &coloring, None, c(1), v(2), v(3)));
+    }
+
+    #[test]
+    fn filter_restricts_which_edges_count() {
+        let g = generators::path(4);
+        let mut coloring = PartialEdgeColoring::new_uncolored(3);
+        for i in 0..3 {
+            coloring.set(e(i), c(0));
+        }
+        let keep = |x: EdgeId| x.index() != 1;
+        let mut conn = ColorConnectivity::new(4);
+        assert!(!conn.connected(&g, &coloring, Some(&keep), c(0), v(0), v(3)));
+        assert!(conn.connected(&g, &coloring, Some(&keep), c(0), v(0), v(1)));
+    }
+
+    #[test]
+    fn insert_is_incremental_and_invalidate_rebuilds() {
+        let g = generators::path(4);
+        let mut coloring = PartialEdgeColoring::new_uncolored(3);
+        let mut conn = ColorConnectivity::new(4);
+        // Build the empty forest first, then color through insert.
+        assert!(!conn.connected(&g, &coloring, None, c(0), v(0), v(1)));
+        coloring.set(e(0), c(0));
+        conn.insert(c(0), v(0), v(1));
+        assert!(conn.connected(&g, &coloring, None, c(0), v(0), v(1)));
+        // A recolor behind the cache's back must be surfaced by invalidate.
+        coloring.clear(e(0));
+        conn.invalidate(c(0));
+        assert!(!conn.connected(&g, &coloring, None, c(0), v(0), v(1)));
+    }
+
+    #[test]
+    fn first_free_color_matches_linear_scan() {
+        let g = MultiGraph::from_pairs(3, &[(0, 1), (0, 1), (0, 1)]).unwrap();
+        let mut coloring = PartialEdgeColoring::new_uncolored(3);
+        coloring.set(e(0), c(0));
+        coloring.set(e(1), c(1));
+        let mut conn = ColorConnectivity::new(3);
+        assert_eq!(
+            conn.first_free_color(&g, &coloring, None, 3, v(0), v(1)),
+            Some(c(2))
+        );
+        coloring.set(e(2), c(2));
+        conn.insert(c(2), v(0), v(1));
+        assert_eq!(
+            conn.first_free_color(&g, &coloring, None, 3, v(0), v(1)),
+            None
+        );
+    }
+
+    #[test]
+    fn bulk_rebuild_equals_fresh_cache() {
+        let g = generators::grid(3, 3);
+        let mut coloring = PartialEdgeColoring::new_uncolored(g.num_edges());
+        for (i, edge) in g.edge_ids().enumerate() {
+            coloring.set(edge, c(i % 2));
+        }
+        let mut rebuilt = ColorConnectivity::new(g.num_vertices());
+        rebuilt.rebuild(&g, &coloring, None, 2);
+        let mut fresh = ColorConnectivity::new(g.num_vertices());
+        for color in [c(0), c(1)] {
+            for a in g.vertices() {
+                for b in g.vertices() {
+                    assert_eq!(
+                        rebuilt.connected(&g, &coloring, None, color, a, b),
+                        fresh.connected(&g, &coloring, None, color, a, b)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,14 +1,41 @@
-//! A frozen compressed-sparse-row graph: the cache-friendly topology every
-//! decomposition pipeline runs on.
+//! A frozen compressed-sparse-row graph, generic over where its arrays live:
+//! the cache-friendly topology every decomposition pipeline runs on.
 //!
 //! [`CsrGraph`] stores the incidence structure of a
-//! [`MultiGraph`](crate::MultiGraph) in three flat arrays (`offsets`,
-//! `neighbors`, `edge_ids`): neighborhood iteration is a contiguous slice
-//! scan instead of a pointer chase through per-vertex `Vec`s, degrees are
-//! O(1) offset differences, and iteration order is fixed by construction.
-//! The topology is *frozen* — there is no `add_edge` — which is exactly what
-//! the Harris–Su–Vu algorithms need: they are round-synchronous scans over
-//! static topology.
+//! [`MultiGraph`](crate::MultiGraph) in four flat `u32` arrays (`offsets`,
+//! `neighbors`, `edge_ids`, interleaved `endpoints`): neighborhood iteration
+//! is a contiguous slice scan instead of a pointer chase through per-vertex
+//! `Vec`s, degrees are O(1) offset differences, and iteration order is fixed
+//! by construction. The topology is *frozen* — there is no `add_edge` —
+//! which is exactly what the Harris–Su–Vu algorithms need: they are
+//! round-synchronous scans over static topology.
+//!
+//! # Storage genericity
+//!
+//! The arrays are abstracted behind the sealed [`CsrStorage`] trait, so the
+//! same graph type works over three homes without any algorithm noticing:
+//!
+//! * [`OwnedCsr`] (`CsrGraph<Vec<u32>>`, the default) — heap-owned arrays,
+//!   what [`CsrGraph::from_multigraph`] builds.
+//! * [`CsrRef`] (`CsrGraph<&[u32]>`) — borrowed slices. Every storage can
+//!   produce one with [`CsrGraph::view`] at zero cost, and
+//!   [`CsrPartition`](crate::CsrPartition) hands out per-shard `CsrRef`s
+//!   without copying.
+//! * [`MmapCsr`] (`CsrGraph<MmapStorage>`) — arrays backed by a
+//!   memory-mapped file ([`MmapCsr::load_mmap`]), sharing one buffer across
+//!   clones so batch workers share pages.
+//!
+//! All [`GraphView`] methods are allocation-free on every storage, so every
+//! decomposition pipeline runs unchanged on any of them.
+//!
+//! # On-disk format
+//!
+//! [`CsrGraph::save`] / [`MmapCsr::load_mmap`] speak a versioned
+//! little-endian format (see [`FORMAT_VERSION`]): a 32-byte header
+//! (`magic`, `version`, `n`, `m` as `u64` LE) followed by the four arrays as
+//! `u32` LE words — `offsets` (`n + 1`), `neighbors` (`2m`), `edge_ids`
+//! (`2m`), `endpoints` (`2m`, interleaved `u, v` per edge). Save → load →
+//! save round-trips byte-identically.
 //!
 //! # When to freeze
 //!
@@ -22,8 +49,83 @@
 use crate::ids::{EdgeId, VertexId};
 use crate::multigraph::MultiGraph;
 use crate::view::GraphView;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::Arc;
 
-/// A frozen-topology compressed-sparse-row graph.
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for Vec<u32> {}
+    impl Sealed for &[u32] {}
+    impl Sealed for super::MmapStorage {}
+}
+
+/// Where a [`CsrGraph`]'s flat arrays live. Sealed: exactly the owned
+/// (`Vec<u32>`), borrowed (`&[u32]`) and mmap-backed ([`MmapStorage`])
+/// storages are supported, so downstream code can match on behavior instead
+/// of chasing an open-ended abstraction.
+pub trait CsrStorage: sealed::Sealed {
+    /// The stored words as a slice (no allocation, no copy).
+    fn as_u32s(&self) -> &[u32];
+}
+
+impl CsrStorage for Vec<u32> {
+    #[inline]
+    fn as_u32s(&self) -> &[u32] {
+        self
+    }
+}
+
+impl CsrStorage for &[u32] {
+    #[inline]
+    fn as_u32s(&self) -> &[u32] {
+        self
+    }
+}
+
+/// One array of a memory-mapped [`CsrGraph`]: a range of a shared word
+/// buffer decoded once from the mapped file. Clones share the buffer, so a
+/// batch of workers decomposing the same on-disk graph hold one copy of the
+/// topology between them.
+///
+/// (With the vendored `memmap2` stand-in the "mapping" is a private heap
+/// read; swapping in the real crate makes the buffer genuinely page-shared
+/// without touching this type's API.)
+#[derive(Clone)]
+pub struct MmapStorage {
+    words: Arc<Vec<u32>>,
+    start: usize,
+    len: usize,
+}
+
+impl CsrStorage for MmapStorage {
+    #[inline]
+    fn as_u32s(&self) -> &[u32] {
+        &self.words[self.start..self.start + self.len]
+    }
+}
+
+impl std::fmt::Debug for MmapStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MmapStorage")
+            .field("start", &self.start)
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// Magic number opening every on-disk CSR file (`b"FGCSR\0v1"` as LE `u64`).
+const FORMAT_MAGIC: u64 = u64::from_le_bytes(*b"FGCSR\0v1");
+
+/// Current version of the on-disk CSR format.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// Size of the on-disk header: magic, version, `n`, `m`, all `u64` LE.
+const HEADER_BYTES: usize = 32;
+
+/// A frozen-topology compressed-sparse-row graph over storage `S`
+/// (see the [module docs](self) for the storage menu).
 ///
 /// ```
 /// use forest_graph::{CsrGraph, GraphView, MultiGraph};
@@ -31,24 +133,50 @@ use crate::view::GraphView;
 /// let csr = CsrGraph::from_multigraph(&g);
 /// assert_eq!(csr.num_edges(), 3);
 /// assert_eq!(csr.degree(1.into()), 3);
-/// assert_eq!(csr.neighbor_slice(0.into()), &[1.into(), 1.into()]);
+/// assert_eq!(csr.neighbor_slice(0.into()), &[1, 1]);
 /// assert_eq!(csr.to_multigraph(), g);
+/// // A zero-copy borrowed view runs the same algorithms unchanged.
+/// let view = csr.view();
+/// assert_eq!(view.degree(1.into()), 3);
 /// # Ok::<(), forest_graph::GraphError>(())
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct CsrGraph {
+#[derive(Clone, Debug)]
+pub struct CsrGraph<S: CsrStorage = Vec<u32>> {
     /// `offsets[v]..offsets[v + 1]` is vertex `v`'s slice of the incidence
     /// arrays; length `n + 1`.
-    offsets: Vec<u32>,
+    offsets: S,
     /// Neighbor of each incidence slot; length `2m`.
-    neighbors: Vec<VertexId>,
+    neighbors: S,
     /// Edge of each incidence slot; parallel to `neighbors`.
-    edge_ids: Vec<EdgeId>,
-    /// Endpoints of each edge in insertion order; length `m`.
-    endpoints: Vec<(VertexId, VertexId)>,
+    edge_ids: S,
+    /// Endpoints of each edge in insertion order, interleaved
+    /// `(u_0, v_0, u_1, v_1, ...)`; length `2m`.
+    endpoints: S,
 }
 
-impl CsrGraph {
+/// A CSR graph owning its arrays (the default storage).
+pub type OwnedCsr = CsrGraph<Vec<u32>>;
+
+/// A zero-copy borrowed CSR view: what engines and shard workers consume.
+pub type CsrRef<'a> = CsrGraph<&'a [u32]>;
+
+/// A CSR graph whose arrays are backed by a memory-mapped file.
+pub type MmapCsr = CsrGraph<MmapStorage>;
+
+impl<S: CsrStorage + Copy> Copy for CsrGraph<S> {}
+
+impl<S1: CsrStorage, S2: CsrStorage> PartialEq<CsrGraph<S2>> for CsrGraph<S1> {
+    fn eq(&self, other: &CsrGraph<S2>) -> bool {
+        self.offsets.as_u32s() == other.offsets.as_u32s()
+            && self.neighbors.as_u32s() == other.neighbors.as_u32s()
+            && self.edge_ids.as_u32s() == other.edge_ids.as_u32s()
+            && self.endpoints.as_u32s() == other.endpoints.as_u32s()
+    }
+}
+
+impl<S: CsrStorage> Eq for CsrGraph<S> {}
+
+impl OwnedCsr {
     /// Freezes any [`GraphView`] into CSR form, preserving the view's
     /// per-vertex incidence order. `O(n + m)`.
     pub fn from_view<G: GraphView>(g: &G) -> Self {
@@ -60,8 +188,8 @@ impl CsrGraph {
         offsets.push(0);
         for v in g.vertices() {
             for (u, e) in g.incidences(v) {
-                neighbors.push(u);
-                edge_ids.push(e);
+                neighbors.push(u.raw());
+                edge_ids.push(e.raw());
             }
             assert!(
                 neighbors.len() <= u32::MAX as usize,
@@ -69,7 +197,12 @@ impl CsrGraph {
             );
             offsets.push(neighbors.len() as u32);
         }
-        let endpoints = g.edge_ids().map(|e| g.endpoints(e)).collect();
+        let mut endpoints = Vec::with_capacity(2 * m);
+        for e in g.edge_ids() {
+            let (u, v) = g.endpoints(e);
+            endpoints.push(u.raw());
+            endpoints.push(v.raw());
+        }
         CsrGraph {
             offsets,
             neighbors,
@@ -84,62 +217,262 @@ impl CsrGraph {
         Self::from_view(g)
     }
 
+    /// Decodes a graph from the on-disk byte format (see the
+    /// [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::ErrorKind::InvalidData`] for a bad magic/version,
+    /// truncated payload, or structurally invalid arrays.
+    pub fn from_bytes(bytes: &[u8]) -> io::Result<OwnedCsr> {
+        let (n, m) = parse_header(bytes)?;
+        let words: Vec<u32> = bytes[HEADER_BYTES..]
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let bounds = SectionBounds::new(n, m);
+        let csr = CsrGraph {
+            offsets: words[bounds.offsets.clone()].to_vec(),
+            neighbors: words[bounds.neighbors.clone()].to_vec(),
+            edge_ids: words[bounds.edge_ids.clone()].to_vec(),
+            endpoints: words[bounds.endpoints.clone()].to_vec(),
+        };
+        validate_structure(&csr)?;
+        Ok(csr)
+    }
+}
+
+impl MmapCsr {
+    /// Maps the on-disk CSR file at `path` and validates it, yielding a graph
+    /// whose four arrays are ranges of one shared buffer (clones share it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; returns [`io::ErrorKind::InvalidData`] for a
+    /// bad magic/version, truncated payload, or structurally invalid arrays.
+    pub fn load_mmap<P: AsRef<Path>>(path: P) -> io::Result<MmapCsr> {
+        let file = File::open(path)?;
+        let map = memmap2::Mmap::map(&file)?;
+        let (n, m) = parse_header(&map)?;
+        // Decode the payload once into one shared word buffer. With a real
+        // mmap crate this decode disappears on little-endian hardware; the
+        // Arc-shared buffer is the part every consumer relies on.
+        let words: Arc<Vec<u32>> = Arc::new(
+            map[HEADER_BYTES..]
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect(),
+        );
+        let bounds = SectionBounds::new(n, m);
+        let segment = |range: std::ops::Range<usize>| MmapStorage {
+            words: Arc::clone(&words),
+            start: range.start,
+            len: range.len(),
+        };
+        let csr = CsrGraph {
+            offsets: segment(bounds.offsets.clone()),
+            neighbors: segment(bounds.neighbors.clone()),
+            edge_ids: segment(bounds.edge_ids.clone()),
+            endpoints: segment(bounds.endpoints.clone()),
+        };
+        validate_structure(&csr)?;
+        Ok(csr)
+    }
+}
+
+/// Word ranges of the four array sections inside the payload.
+struct SectionBounds {
+    offsets: std::ops::Range<usize>,
+    neighbors: std::ops::Range<usize>,
+    edge_ids: std::ops::Range<usize>,
+    endpoints: std::ops::Range<usize>,
+}
+
+impl SectionBounds {
+    fn new(n: usize, m: usize) -> Self {
+        let o = n + 1;
+        let s = 2 * m;
+        SectionBounds {
+            offsets: 0..o,
+            neighbors: o..o + s,
+            edge_ids: o + s..o + 2 * s,
+            endpoints: o + 2 * s..o + 3 * s,
+        }
+    }
+
+    /// Total payload words for an `(n, m)` graph, or `None` on overflow
+    /// (a crafted header must not panic the decoder).
+    fn total_words_checked(n: u64, m: u64) -> Option<u64> {
+        let vertices = n.checked_add(1)?;
+        let incidences = m.checked_mul(6)?;
+        vertices.checked_add(incidences)
+    }
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Validates the 32-byte header and the payload length, returning `(n, m)`.
+fn parse_header(bytes: &[u8]) -> io::Result<(usize, usize)> {
+    if bytes.len() < HEADER_BYTES {
+        return Err(invalid(format!(
+            "CSR file too short for header: {} bytes",
+            bytes.len()
+        )));
+    }
+    let word64 = |i: usize| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&bytes[8 * i..8 * (i + 1)]);
+        u64::from_le_bytes(b)
+    };
+    if word64(0) != FORMAT_MAGIC {
+        return Err(invalid("not a forest-graph CSR file (bad magic)"));
+    }
+    let version = word64(1);
+    if version != FORMAT_VERSION {
+        return Err(invalid(format!(
+            "unsupported CSR format version {version} (this build reads version {FORMAT_VERSION})"
+        )));
+    }
+    let n = word64(2);
+    let m = word64(3);
+    // Checked arithmetic end to end: header sizes are untrusted input, and a
+    // crafted n/m must yield InvalidData, not an overflow panic or a
+    // wrapped length that slices out of range.
+    let expected = SectionBounds::total_words_checked(n, m)
+        .and_then(|words| words.checked_mul(4))
+        .and_then(|payload| payload.checked_add(HEADER_BYTES as u64))
+        .filter(|&total| total == bytes.len() as u64);
+    if expected.is_none() {
+        return Err(invalid(format!(
+            "CSR payload length mismatch: header says n = {n}, m = {m} but the file has {} bytes",
+            bytes.len()
+        )));
+    }
+    Ok((n as usize, m as usize))
+}
+
+/// Checks the structural invariants a decoded CSR must satisfy before any
+/// algorithm indexes into it.
+fn validate_structure<S: CsrStorage>(csr: &CsrGraph<S>) -> io::Result<()> {
+    let offsets = csr.offsets.as_u32s();
+    let neighbors = csr.neighbors.as_u32s();
+    let edge_ids = csr.edge_ids.as_u32s();
+    let endpoints = csr.endpoints.as_u32s();
+    let n = offsets.len().saturating_sub(1);
+    let m = endpoints.len() / 2;
+    if offsets.is_empty() || offsets[0] != 0 {
+        return Err(invalid("CSR offsets must start at 0"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(invalid("CSR offsets must be non-decreasing"));
+    }
+    if offsets[n] as usize != neighbors.len() {
+        return Err(invalid("CSR offsets must end at the incidence count"));
+    }
+    if neighbors.iter().any(|&v| v as usize >= n) {
+        return Err(invalid("CSR neighbor out of vertex range"));
+    }
+    if edge_ids.iter().any(|&e| e as usize >= m) {
+        return Err(invalid("CSR edge id out of edge range"));
+    }
+    if endpoints.iter().any(|&v| v as usize >= n) {
+        return Err(invalid("CSR endpoint out of vertex range"));
+    }
+    Ok(())
+}
+
+impl<S: CsrStorage> CsrGraph<S> {
+    /// A zero-copy borrowed view of this graph: the type every engine and
+    /// shard worker consumes, erasing where the arrays live.
+    #[inline]
+    pub fn view(&self) -> CsrRef<'_> {
+        CsrGraph {
+            offsets: self.offsets.as_u32s(),
+            neighbors: self.neighbors.as_u32s(),
+            edge_ids: self.edge_ids.as_u32s(),
+            endpoints: self.endpoints.as_u32s(),
+        }
+    }
+
+    /// Copies the arrays into owned storage (a memcpy, not a re-freeze):
+    /// how a borrowed shard view or an mmap-backed graph is detached from
+    /// its backing storage.
+    pub fn to_owned_storage(&self) -> OwnedCsr {
+        CsrGraph {
+            offsets: self.offsets.as_u32s().to_vec(),
+            neighbors: self.neighbors.as_u32s().to_vec(),
+            edge_ids: self.edge_ids.as_u32s().to_vec(),
+            endpoints: self.endpoints.as_u32s().to_vec(),
+        }
+    }
+
     /// Thaws back into a [`MultiGraph`] (edges re-added in id order).
     ///
     /// Round-trips exactly: `CsrGraph::from_multigraph(&g).to_multigraph()`
     /// equals `g`, because `MultiGraph` incidence order is ascending edge id
     /// by construction.
     pub fn to_multigraph(&self) -> MultiGraph {
-        MultiGraph::with_edges(self.num_vertices(), self.endpoints.iter().copied())
-            .expect("CSR endpoints are valid by construction")
+        let endpoints = self.endpoints.as_u32s();
+        MultiGraph::with_edges(
+            self.num_vertices(),
+            endpoints
+                .chunks_exact(2)
+                .map(|uv| (VertexId::new(uv[0] as usize), VertexId::new(uv[1] as usize))),
+        )
+        .expect("CSR endpoints are valid by construction")
     }
 
     /// The contiguous range of incidence-slot indices belonging to `v`.
     #[inline]
     pub fn incidence_range(&self, v: VertexId) -> std::ops::Range<usize> {
-        self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize
+        let offsets = self.offsets.as_u32s();
+        offsets[v.index()] as usize..offsets[v.index() + 1] as usize
     }
 
-    /// The neighbors of `v` as a slice (with multiplicity, incidence order).
+    /// The neighbors of `v` as a raw `u32` slice (with multiplicity,
+    /// incidence order) — the SIMD-friendly view of the adjacency.
     #[inline]
-    pub fn neighbor_slice(&self, v: VertexId) -> &[VertexId] {
-        &self.neighbors[self.incidence_range(v)]
+    pub fn neighbor_slice(&self, v: VertexId) -> &[u32] {
+        &self.neighbors.as_u32s()[self.incidence_range(v)]
     }
 
-    /// The incident edges of `v` as a slice (incidence order).
+    /// The incident edges of `v` as a raw `u32` slice (incidence order).
     #[inline]
-    pub fn edge_slice(&self, v: VertexId) -> &[EdgeId] {
-        &self.edge_ids[self.incidence_range(v)]
+    pub fn edge_slice(&self, v: VertexId) -> &[u32] {
+        &self.edge_ids.as_u32s()[self.incidence_range(v)]
     }
 
     /// Total number of incidence slots, i.e. `2m`.
     #[inline]
     pub fn num_incidences(&self) -> usize {
-        self.neighbors.len()
+        self.neighbors.as_u32s().len()
     }
 
     /// The neighbor stored at incidence slot `slot`.
     #[inline]
     pub fn slot_neighbor(&self, slot: usize) -> VertexId {
-        self.neighbors[slot]
+        VertexId::new(self.neighbors.as_u32s()[slot] as usize)
     }
 
     /// The edge stored at incidence slot `slot`.
     #[inline]
     pub fn slot_edge(&self, slot: usize) -> EdgeId {
-        self.edge_ids[slot]
+        EdgeId::new(self.edge_ids.as_u32s()[slot] as usize)
     }
 
     /// For every incidence slot, the slot of the *same edge* at the other
     /// endpoint: a permutation of `0..2m` that message-passing simulators use
     /// to exchange per-edge messages without any per-vertex allocation.
     pub fn mirror_slots(&self) -> Vec<u32> {
-        let slots = self.num_incidences();
+        let edge_ids = self.edge_ids.as_u32s();
+        let slots = edge_ids.len();
         // First slot seen for each edge, then matched by its partner.
         let mut first = vec![u32::MAX; self.num_edges()];
         let mut mirror = vec![0u32; slots];
-        for (slot, &e) in self.edge_ids.iter().enumerate() {
-            let other = &mut first[e.index()];
+        for (slot, &e) in edge_ids.iter().enumerate() {
+            let other = &mut first[e as usize];
             if *other == u32::MAX {
                 *other = slot as u32;
             } else {
@@ -149,9 +482,45 @@ impl CsrGraph {
         }
         mirror
     }
+
+    /// Encodes the graph in the versioned on-disk byte format (see the
+    /// [module docs](self)). Identical graphs produce identical bytes
+    /// regardless of storage, so save → load → save round-trips exactly.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let n = self.num_vertices() as u64;
+        let m = self.num_edges() as u64;
+        let sections = [
+            self.offsets.as_u32s(),
+            self.neighbors.as_u32s(),
+            self.edge_ids.as_u32s(),
+            self.endpoints.as_u32s(),
+        ];
+        let words: usize = sections.iter().map(|s| s.len()).sum();
+        let mut bytes = Vec::with_capacity(HEADER_BYTES + 4 * words);
+        for header_word in [FORMAT_MAGIC, FORMAT_VERSION, n, m] {
+            bytes.extend_from_slice(&header_word.to_le_bytes());
+        }
+        for section in sections {
+            for &w in section {
+                bytes.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        bytes
+    }
+
+    /// Writes the on-disk format to `path` (atomically enough for tests:
+    /// a single `write_all`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error.
+    pub fn save<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        let mut file = File::create(path)?;
+        file.write_all(&self.to_bytes())
+    }
 }
 
-impl Default for CsrGraph {
+impl Default for OwnedCsr {
     /// The frozen empty graph (0 vertices, 0 edges). A manual impl because
     /// the `offsets` invariant (`offsets.len() == n + 1`, starting at 0)
     /// must hold even for the default value.
@@ -165,40 +534,45 @@ impl Default for CsrGraph {
     }
 }
 
-impl From<&MultiGraph> for CsrGraph {
+impl From<&MultiGraph> for OwnedCsr {
     fn from(g: &MultiGraph) -> Self {
         CsrGraph::from_multigraph(g)
     }
 }
 
-impl GraphView for CsrGraph {
+impl<S: CsrStorage> GraphView for CsrGraph<S> {
     #[inline]
     fn num_vertices(&self) -> usize {
-        self.offsets.len() - 1
+        self.offsets.as_u32s().len() - 1
     }
 
     #[inline]
     fn num_edges(&self) -> usize {
-        self.endpoints.len()
+        self.endpoints.as_u32s().len() / 2
     }
 
     #[inline]
     fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
-        self.endpoints[e.index()]
+        let endpoints = self.endpoints.as_u32s();
+        (
+            VertexId::new(endpoints[2 * e.index()] as usize),
+            VertexId::new(endpoints[2 * e.index() + 1] as usize),
+        )
     }
 
     #[inline]
     fn degree(&self, v: VertexId) -> usize {
-        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+        let offsets = self.offsets.as_u32s();
+        (offsets[v.index() + 1] - offsets[v.index()]) as usize
     }
 
     #[inline]
     fn incidences(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
         let range = self.incidence_range(v);
-        self.neighbors[range.clone()]
+        self.neighbors.as_u32s()[range.clone()]
             .iter()
-            .copied()
-            .zip(self.edge_ids[range].iter().copied())
+            .zip(self.edge_ids.as_u32s()[range].iter())
+            .map(|(&u, &e)| (VertexId::new(u as usize), EdgeId::new(e as usize)))
     }
 }
 
@@ -208,6 +582,10 @@ mod tests {
 
     fn v(i: usize) -> VertexId {
         VertexId::new(i)
+    }
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("forest-graph-csr-{tag}-{}.csr", std::process::id()))
     }
 
     #[test]
@@ -266,7 +644,7 @@ mod tests {
 
     #[test]
     fn default_is_the_valid_empty_graph() {
-        let d = CsrGraph::default();
+        let d = OwnedCsr::default();
         assert_eq!(d.num_vertices(), 0);
         assert_eq!(d.num_edges(), 0);
         assert!(d.vertices().next().is_none());
@@ -287,8 +665,135 @@ mod tests {
         let r = csr.incidence_range(v(2));
         assert_eq!(r.len(), 2);
         for slot in r {
-            assert!(csr.neighbor_slice(v(2)).contains(&csr.slot_neighbor(slot)));
-            assert!(csr.edge_slice(v(2)).contains(&csr.slot_edge(slot)));
+            assert!(csr
+                .neighbor_slice(v(2))
+                .contains(&csr.slot_neighbor(slot).raw()));
+            assert!(csr.edge_slice(v(2)).contains(&csr.slot_edge(slot).raw()));
         }
+    }
+
+    #[test]
+    fn borrowed_view_is_equal_and_copy() {
+        let g = MultiGraph::from_pairs(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let csr = CsrGraph::from_multigraph(&g);
+        let view = csr.view();
+        let copy = view; // CsrRef is Copy
+        assert_eq!(view, csr);
+        assert_eq!(copy.to_multigraph(), g);
+        assert_eq!(copy.mirror_slots(), csr.mirror_slots());
+        for x in g.vertices() {
+            let a: Vec<_> = csr.incidences(x).collect();
+            let b: Vec<_> = view.incidences(x).collect();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn byte_format_roundtrips_exactly() {
+        let g = MultiGraph::from_pairs(6, &[(0, 1), (2, 3), (0, 1), (4, 5), (1, 4)]).unwrap();
+        let csr = CsrGraph::from_multigraph(&g);
+        let bytes = csr.to_bytes();
+        let back = OwnedCsr::from_bytes(&bytes).unwrap();
+        assert_eq!(back, csr);
+        assert_eq!(
+            back.to_bytes(),
+            bytes,
+            "save -> load -> save is byte-identical"
+        );
+    }
+
+    #[test]
+    fn mmap_load_shares_one_buffer_and_matches_owned() {
+        let g = MultiGraph::from_pairs(5, &[(0, 1), (1, 2), (3, 4), (2, 3), (0, 4)]).unwrap();
+        let csr = CsrGraph::from_multigraph(&g);
+        let path = temp_path("share");
+        csr.save(&path).unwrap();
+        let mapped = MmapCsr::load_mmap(&path).unwrap();
+        assert_eq!(mapped, csr);
+        assert_eq!(mapped.to_multigraph(), g);
+        assert_eq!(mapped.to_bytes(), csr.to_bytes());
+        let clone = mapped.clone();
+        assert_eq!(clone, mapped);
+        // The GraphView surface works straight off the mapped storage.
+        assert_eq!(GraphView::max_degree(&mapped), GraphView::max_degree(&g));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_graph_survives_the_format() {
+        let csr = OwnedCsr::default();
+        let path = temp_path("empty");
+        csr.save(&path).unwrap();
+        let mapped = MmapCsr::load_mmap(&path).unwrap();
+        assert_eq!(mapped.num_vertices(), 0);
+        assert_eq!(mapped.num_edges(), 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn format_rejects_garbage() {
+        assert!(OwnedCsr::from_bytes(b"short").is_err());
+        // Right length, wrong magic.
+        let g = MultiGraph::from_pairs(2, &[(0, 1)]).unwrap();
+        let mut bytes = CsrGraph::from_multigraph(&g).to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(OwnedCsr::from_bytes(&bytes).is_err());
+        // Wrong version.
+        let mut bytes = CsrGraph::from_multigraph(&g).to_bytes();
+        bytes[8] = 99;
+        assert!(OwnedCsr::from_bytes(&bytes).is_err());
+        // Truncated payload.
+        let bytes = CsrGraph::from_multigraph(&g).to_bytes();
+        assert!(OwnedCsr::from_bytes(&bytes[..bytes.len() - 4]).is_err());
+        // Structurally broken: neighbor out of range.
+        let mut bytes = CsrGraph::from_multigraph(&g).to_bytes();
+        let neighbors_start = HEADER_BYTES + 4 * 3; // offsets has n + 1 = 3 words
+        bytes[neighbors_start] = 7;
+        assert!(OwnedCsr::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn crafted_headers_cannot_panic_the_decoder() {
+        // Valid magic/version but adversarial n/m: the size computation must
+        // fail closed (InvalidData), never overflow or slice out of range.
+        for (n, m) in [
+            (u64::MAX, 0u64),
+            (0, u64::MAX),
+            (u64::MAX, u64::MAX),
+            (u64::MAX / 4, u64::MAX / 24),
+            (1 << 60, 1),
+        ] {
+            let mut bytes = Vec::new();
+            for w in [FORMAT_MAGIC, FORMAT_VERSION, n, m] {
+                bytes.extend_from_slice(&w.to_le_bytes());
+            }
+            let err = OwnedCsr::from_bytes(&bytes).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "n={n}, m={m}");
+            // Same with a little padding, in case a wrapped size lands on it.
+            bytes.extend_from_slice(&[0u8; 64]);
+            assert!(OwnedCsr::from_bytes(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn to_owned_storage_detaches_views() {
+        let g = MultiGraph::from_pairs(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let csr = CsrGraph::from_multigraph(&g);
+        let detached = csr.view().to_owned_storage();
+        assert_eq!(detached, csr);
+        let path = temp_path("detach");
+        csr.save(&path).unwrap();
+        let mapped = MmapCsr::load_mmap(&path).unwrap();
+        assert_eq!(mapped.to_owned_storage(), csr);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_mmap_rejects_non_csr_files() {
+        let path = temp_path("garbage");
+        std::fs::write(&path, b"not a csr file at all").unwrap();
+        let err = MmapCsr::load_mmap(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).unwrap();
     }
 }

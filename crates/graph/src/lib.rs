@@ -7,12 +7,23 @@
 //! * [`MultiGraph`] / [`SimpleGraph`] — undirected (multi-)graph containers
 //!   with dense [`VertexId`] / [`EdgeId`] identifiers.
 //! * [`GraphView`] / [`CsrGraph`] — the read-only topology abstraction and
-//!   its frozen compressed-sparse-row instantiation. Build mutably as a
+//!   its frozen compressed-sparse-row instantiation, generic over storage
+//!   via the sealed [`CsrStorage`] trait: [`OwnedCsr`] (heap `Vec<u32>`),
+//!   [`CsrRef`] (zero-copy borrowed slices) and [`MmapCsr`] (arrays backed
+//!   by a memory-mapped file in a versioned little-endian on-disk format —
+//!   `save` / `load_mmap` round-trip byte-identically). Build mutably as a
 //!   `MultiGraph`, freeze once with [`CsrGraph::from_multigraph`] at the
 //!   point where algorithms start, and run every phase over the flat CSR
 //!   arrays; conversion preserves incidence order, so outputs are identical
-//!   on both representations. All traversal, orientation, density and
+//!   on every representation. All traversal, orientation, density and
 //!   validation helpers in this crate are generic over `GraphView`.
+//! * [`CsrPartition`] — zero-copy sharding of one frozen graph: per-shard
+//!   [`CsrRef`] views (local renumbering kept as two small index arrays)
+//!   plus the explicit boundary-edge list shard-parallel decomposition
+//!   stitches through.
+//! * [`connectivity`] — the per-color union-find cache (with optional edge
+//!   filter) shared by the augmenting search, the matroid partition and
+//!   shard-boundary stitching.
 //! * [`decomposition`] — forest / star-forest decompositions and their
 //!   validators, the central result types of the whole workspace.
 //! * [`palette`] — per-edge color lists for list-forest decompositions.
@@ -43,6 +54,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod connectivity;
 mod csr;
 pub mod decomposition;
 pub mod density;
@@ -54,11 +66,13 @@ pub mod matroid;
 mod multigraph;
 pub mod orientation;
 pub mod palette;
+mod partition;
 pub mod traversal;
 pub mod union_find;
 mod view;
 
-pub use csr::CsrGraph;
+pub use connectivity::ColorConnectivity;
+pub use csr::{CsrGraph, CsrRef, CsrStorage, MmapCsr, MmapStorage, OwnedCsr};
 pub use decomposition::{DecompositionStats, ForestDecomposition, PartialEdgeColoring};
 pub use error::{GraphError, ValidationError};
 pub use flow::FlowNetwork;
@@ -66,5 +80,6 @@ pub use ids::{Color, EdgeId, VertexId};
 pub use multigraph::{InducedSubgraph, MultiGraph, SimpleGraph};
 pub use orientation::Orientation;
 pub use palette::ListAssignment;
+pub use partition::CsrPartition;
 pub use union_find::UnionFind;
 pub use view::GraphView;

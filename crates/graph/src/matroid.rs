@@ -11,61 +11,12 @@
 //! baseline, and [`arboricity`] (the minimum number of forests) serves as the
 //! ground-truth `α` for every experiment.
 
+use crate::connectivity::ColorConnectivity;
 use crate::decomposition::{ForestDecomposition, PartialEdgeColoring};
 use crate::ids::{Color, EdgeId, VertexId};
 use crate::multigraph::MultiGraph;
 use crate::traversal::path_between;
-use crate::union_find::UnionFind;
 use std::collections::VecDeque;
-
-/// Per-color incremental connectivity over the partial partition: `forests[i]`
-/// is a union-find over the color-`i` forest. Insertions (the common case —
-/// most edges are placed without any exchange) are `O(α(n))` unions; only an
-/// actual exchange, which moves edges *out* of forests, forces a rebuild.
-struct ForestConnectivity {
-    forests: Vec<UnionFind>,
-    num_vertices: usize,
-}
-
-impl ForestConnectivity {
-    fn new(n: usize, k: usize) -> Self {
-        ForestConnectivity {
-            forests: (0..k).map(|_| UnionFind::new(n)).collect(),
-            num_vertices: n,
-        }
-    }
-
-    fn ensure_colors(&mut self, k: usize) {
-        while self.forests.len() < k {
-            self.forests.push(UnionFind::new(self.num_vertices));
-        }
-    }
-
-    /// First color in `0..k` whose forest does not connect `u` and `v`.
-    fn first_free_color(&mut self, k: usize, u: VertexId, v: VertexId) -> Option<Color> {
-        self.ensure_colors(k);
-        (0..k)
-            .find(|&i| !self.forests[i].connected(u.index(), v.index()))
-            .map(Color::new)
-    }
-
-    fn insert(&mut self, c: Color, u: VertexId, v: VertexId) {
-        self.forests[c.index()].union(u.index(), v.index());
-    }
-
-    /// Recomputes every forest from scratch (after an exchange).
-    fn rebuild(&mut self, g: &MultiGraph, coloring: &PartialEdgeColoring) {
-        for uf in &mut self.forests {
-            uf.reset();
-        }
-        for (e, u, v) in g.edges() {
-            if let Some(c) = coloring.color(e) {
-                self.ensure_colors(c.index() + 1);
-                self.forests[c.index()].union(u.index(), v.index());
-            }
-        }
-    }
-}
 
 /// Attempts to color `edge` in the partial `k`-forest partition `coloring` by
 /// finding a shortest augmenting sequence in the exchange graph.
@@ -144,10 +95,10 @@ pub fn forest_partition_with(g: &MultiGraph, k: usize) -> Option<ForestDecomposi
         return None;
     }
     let mut coloring = PartialEdgeColoring::new_uncolored(g.num_edges());
-    let mut connectivity = ForestConnectivity::new(g.num_vertices(), k);
+    let mut connectivity = ColorConnectivity::new(g.num_vertices());
     for (e, u, v) in g.edges() {
         // Fast path: some forest keeps u and v apart, so e slots right in.
-        if let Some(c) = connectivity.first_free_color(k, u, v) {
+        if let Some(c) = connectivity.first_free_color(g, &coloring, None, k, u, v) {
             coloring.set(e, c);
             connectivity.insert(c, u, v);
             continue;
@@ -155,7 +106,7 @@ pub fn forest_partition_with(g: &MultiGraph, k: usize) -> Option<ForestDecomposi
         if !try_augment(g, &mut coloring, e, k) {
             return None;
         }
-        connectivity.rebuild(g, &coloring);
+        connectivity.rebuild(g, &coloring, None, k);
     }
     Some(
         coloring
@@ -192,10 +143,10 @@ pub fn exact_forest_decomposition(g: &MultiGraph) -> ExactForestDecomposition {
     // larger, but the incremental loop below will simply bump k when needed.)
     let mut k = m.div_ceil(n.saturating_sub(1).max(1)).max(1);
     let mut coloring = PartialEdgeColoring::new_uncolored(m);
-    let mut connectivity = ForestConnectivity::new(n, k);
+    let mut connectivity = ColorConnectivity::new(n);
     for (e, u, v) in g.edges() {
         // Fast path: some forest keeps u and v apart, so e slots right in.
-        if let Some(c) = connectivity.first_free_color(k, u, v) {
+        if let Some(c) = connectivity.first_free_color(g, &coloring, None, k, u, v) {
             coloring.set(e, c);
             connectivity.insert(c, u, v);
             continue;
@@ -204,7 +155,7 @@ pub fn exact_forest_decomposition(g: &MultiGraph) -> ExactForestDecomposition {
             // Certified: the colored edges plus e need more than k forests.
             k += 1;
         }
-        connectivity.rebuild(g, &coloring);
+        connectivity.rebuild(g, &coloring, None, k);
     }
     let decomposition = coloring
         .into_complete()

@@ -191,42 +191,61 @@ where
     F: FnMut(EdgeId) -> bool,
 {
     // Standard trick: within each tree, the farthest vertex from any vertex is
-    // an endpoint of a diameter. Compute, per component, the two BFS sweeps
-    // that identify a diameter path, then every vertex's eccentricity is the
-    // max of its distances to the two diameter endpoints.
+    // an endpoint of a diameter, so two BFS sweeps identify a diameter path
+    // and a third gives every vertex's eccentricity as the max distance to
+    // the two endpoints. Every sweep is restricted to the component's own
+    // vertices (shared scratch arrays, reset per component), so the whole
+    // computation is `O(n + m)` even when the forest has thousands of tiny
+    // trees — star-forest classes are exactly that shape.
     let n = g.num_vertices();
     let accepted: Vec<bool> = g.edge_ids().map(&mut edge_filter).collect();
     debug_assert!(is_forest(g, |e| accepted[e.index()]));
-    let filter = |e: EdgeId| accepted[e.index()];
-    let (comp, num_comp) = connected_components(g, filter);
-    let mut ecc = vec![0usize; n];
-    let mut comp_repr: Vec<Option<VertexId>> = vec![None; num_comp];
+    let (comp, num_comp) = connected_components(g, |e| accepted[e.index()]);
+    let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); num_comp];
     for v in g.vertices() {
-        if comp_repr[comp[v.index()]].is_none() {
-            comp_repr[comp[v.index()]] = Some(v);
-        }
+        members[comp[v.index()]].push(v);
     }
-    for (c, slot) in comp_repr.iter().enumerate() {
-        let repr = slot.expect("every component has a representative");
-        // First sweep: find one endpoint `a` of a diameter of this tree.
-        let d0 = bfs_distances(g, repr, filter);
-        let a = g
-            .vertices()
-            .filter(|v| comp[v.index()] == c)
-            .max_by_key(|v| d0[v.index()])
-            .unwrap_or(repr);
-        // Second sweep from `a` finds the other endpoint `b`.
-        let da = bfs_distances(g, a, filter);
-        let b = g
-            .vertices()
-            .filter(|v| comp[v.index()] == c)
-            .max_by_key(|v| da[v.index()])
-            .unwrap_or(a);
-        let db = bfs_distances(g, b, filter);
-        for v in g.vertices() {
-            if comp[v.index()] == c {
-                ecc[v.index()] = da[v.index()].max(db[v.index()]);
+    let mut ecc = vec![0usize; n];
+    let mut dist_a = vec![UNREACHABLE; n];
+    let mut dist_b = vec![UNREACHABLE; n];
+    let mut queue = VecDeque::new();
+    // One BFS sweep touching only the source's component; returns the
+    // farthest vertex found. `dist` entries must be reset by the caller.
+    let sweep = |source: VertexId, dist: &mut Vec<usize>, queue: &mut VecDeque<VertexId>| {
+        dist[source.index()] = 0;
+        queue.push_back(source);
+        let mut farthest = source;
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u.index()];
+            if du > dist[farthest.index()] {
+                farthest = u;
             }
+            for (w, e) in g.incidences(u) {
+                if dist[w.index()] == UNREACHABLE && accepted[e.index()] {
+                    dist[w.index()] = du + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        farthest
+    };
+    for component in &members {
+        let repr = component[0];
+        if component.len() == 1 {
+            continue; // isolated vertex: eccentricity 0
+        }
+        // First sweep: find one endpoint `a` of a diameter of this tree.
+        let a = sweep(repr, &mut dist_a, &mut queue);
+        for &v in component {
+            dist_a[v.index()] = UNREACHABLE;
+        }
+        // Second sweep from `a` finds the other endpoint `b`.
+        let b = sweep(a, &mut dist_a, &mut queue);
+        let _ = sweep(b, &mut dist_b, &mut queue);
+        for &v in component {
+            ecc[v.index()] = dist_a[v.index()].max(dist_b[v.index()]);
+            dist_a[v.index()] = UNREACHABLE;
+            dist_b[v.index()] = UNREACHABLE;
         }
     }
     ecc

@@ -21,7 +21,7 @@
 //! per-vertex functions evaluated in the same slot order, its results are
 //! bit-identical to the sequential [`SyncNetwork::round`].
 
-use forest_graph::{CsrGraph, EdgeId, GraphView, VertexId};
+use forest_graph::{CsrGraph, CsrStorage, EdgeId, GraphView, VertexId};
 use rayon::prelude::*;
 
 /// Identifier material available to a vertex: its id and a globally unique
@@ -39,12 +39,15 @@ pub struct NodeInfo {
 
 /// A synchronous network simulator over a frozen [`CsrGraph`] topology.
 ///
-/// `S` is the per-node state. The caller drives the simulation with
-/// [`SyncNetwork::round`] (or [`SyncNetwork::round_parallel`]); the number of
-/// executed rounds is available from [`SyncNetwork::rounds_executed`].
+/// `S` is the per-node state; `St` is where the frozen topology's arrays
+/// live ([`CsrStorage`]: owned by default, but a borrowed shard view or an
+/// mmap-backed graph freezes just as well via [`SyncNetwork::from_csr`]).
+/// The caller drives the simulation with [`SyncNetwork::round`] (or
+/// [`SyncNetwork::round_parallel`]); the number of executed rounds is
+/// available from [`SyncNetwork::rounds_executed`].
 #[derive(Debug)]
-pub struct SyncNetwork<S> {
-    csr: CsrGraph,
+pub struct SyncNetwork<S, St: CsrStorage = Vec<u32>> {
+    csr: CsrGraph<St>,
     /// Delivery permutation: slot `i` (sender side) lands in slot
     /// `mirror[i]` (receiver side).
     mirror: Vec<u32>,
@@ -53,8 +56,8 @@ pub struct SyncNetwork<S> {
 }
 
 impl<S> SyncNetwork<S> {
-    /// Creates a network over any graph view, freezing the topology to CSR;
-    /// each vertex state is produced by `init`.
+    /// Creates a network over any graph view, freezing the topology to an
+    /// owned CSR; each vertex state is produced by `init`.
     pub fn new<G, F>(graph: &G, init: F) -> Self
     where
         G: GraphView,
@@ -62,9 +65,12 @@ impl<S> SyncNetwork<S> {
     {
         Self::from_csr(CsrGraph::from_view(graph), init)
     }
+}
 
-    /// Creates a network over an already-frozen topology.
-    pub fn from_csr<F>(csr: CsrGraph, mut init: F) -> Self
+impl<S, St: CsrStorage> SyncNetwork<S, St> {
+    /// Creates a network over an already-frozen topology on any storage
+    /// (owned, borrowed shard view, or mmap-backed).
+    pub fn from_csr<F>(csr: CsrGraph<St>, mut init: F) -> Self
     where
         F: FnMut(NodeInfo) -> S,
     {
@@ -88,7 +94,7 @@ impl<S> SyncNetwork<S> {
     }
 
     /// The frozen communication topology.
-    pub fn graph(&self) -> &CsrGraph {
+    pub fn graph(&self) -> &CsrGraph<St> {
         &self.csr
     }
 
@@ -156,6 +162,7 @@ impl<S> SyncNetwork<S> {
     pub fn round_parallel<M, FCompose, FUpdate>(&mut self, compose: FCompose, update: FUpdate)
     where
         S: Clone + Send + Sync,
+        St: Sync,
         M: Clone + Send + Sync,
         FCompose: Fn(VertexId, &S, EdgeId, VertexId) -> M + Sync,
         FUpdate: Fn(VertexId, &mut S, &[(EdgeId, VertexId, M)]) + Sync,
@@ -389,5 +396,35 @@ mod tests {
         let a = SyncNetwork::new(&g, |info| info.degree);
         let b = SyncNetwork::from_csr(csr, |info| info.degree);
         assert_eq!(a.states(), b.states());
+    }
+
+    #[test]
+    fn borrowed_storage_runs_bit_identically() {
+        // The freeze path accepts any CsrStorage: a zero-copy borrowed view
+        // produces the same rounds as the owned topology.
+        let g = generators::grid(5, 4);
+        let csr = CsrGraph::from_multigraph(&g);
+        let mut owned = SyncNetwork::from_csr(csr.clone(), |info| info.unique_id);
+        let mut borrowed = SyncNetwork::from_csr(csr.view(), |info| info.unique_id);
+        for _ in 0..4 {
+            gossip_round(&mut owned, false);
+            let compose = |v: VertexId, state: &u64, e: EdgeId, u: VertexId| {
+                state
+                    .wrapping_mul(31)
+                    .wrapping_add(e.index() as u64)
+                    .wrapping_add((v.index() as u64) << 8)
+                    .wrapping_add((u.index() as u64) << 4)
+            };
+            let update = |_: VertexId, state: &mut u64, inbox: &[(EdgeId, VertexId, u64)]| {
+                for (e, u, m) in inbox {
+                    *state = state
+                        .wrapping_mul(1_000_003)
+                        .wrapping_add(*m)
+                        .wrapping_add(e.index() as u64 ^ ((u.index() as u64) << 16));
+                }
+            };
+            borrowed.round(compose, update);
+            assert_eq!(owned.states(), borrowed.states());
+        }
     }
 }

@@ -1,13 +1,17 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_pr2.json: the performance snapshot of the Decomposer
-# facade (graph sizes x engines x wall-clock, plus the 64-graph
-# decomposer_batch workload with its pre-refactor baseline).
+# Regenerates BENCH_pr3.json: the performance snapshot of the Decomposer
+# facade (graph sizes x engines x wall-clock, the 64-graph decomposer_batch
+# workload with its BENCH_pr2 baseline, the sharded-vs-unsharded large-graph
+# run, and the on-disk CSR save -> load_mmap -> decompose round-trip).
+#
+# Snapshots are appended as new BENCH_pr<N>.json files per PR, never
+# overwritten — the history of numbers lives in git alongside the code.
 #
 # Usage: scripts/bench_snapshot.sh [output-file]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr2.json}"
+out="${1:-BENCH_pr3.json}"
 
 cargo build --release -p bench --bin bench_snapshot
 ./target/release/bench_snapshot > "$out"

@@ -1,0 +1,234 @@
+//! Storage-generic input contract tests: `CsrPartition::split` preserves
+//! every edge exactly once, the on-disk CSR format round-trips
+//! byte-identically through `save` → `load_mmap`, an mmap-loaded graph
+//! decomposes to a byte-identical report for every `(problem, engine)`
+//! combination, and `run_sharded` produces validated, deterministic
+//! stitched decompositions.
+
+use forest_decomp::api::{
+    Decomposer, DecompositionRequest, Engine, FrozenGraph, GraphInput, ProblemKind, Validate,
+    ValidationStatus,
+};
+use forest_decomp::FdError;
+use forest_graph::{
+    generators, CsrGraph, CsrPartition, GraphView, MmapCsr, MultiGraph, OwnedCsr, VertexId,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// Strategy: a random multigraph with up to `max_n` vertices and `max_m`
+/// edges (self-loops excluded by construction).
+fn arb_multigraph(max_n: usize, max_m: usize) -> impl Strategy<Value = MultiGraph> {
+    (2..max_n, 0..max_m).prop_flat_map(|(n, m)| {
+        proptest::collection::vec((0..n, 0..n), m).prop_map(move |pairs| {
+            let mut g = MultiGraph::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    g.add_edge(VertexId::new(u), VertexId::new(v)).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+/// A unique temp-file path for on-disk round-trip tests.
+fn temp_csr_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "nash-williams-{tag}-{}-{:?}.csr",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every edge of the input appears exactly once in a split: in exactly
+    /// one shard's internal edge list (with consistently mapped endpoints)
+    /// or in the boundary list (with endpoints in different shards).
+    #[test]
+    fn split_preserves_every_edge_exactly_once(
+        (g, k) in (arb_multigraph(24, 80), 1usize..7)
+    ) {
+        let csr = CsrGraph::from_multigraph(&g);
+        let part = CsrPartition::split(&csr, k);
+        let mut seen = vec![0usize; g.num_edges()];
+        for s in 0..part.num_shards() {
+            let shard = part.shard(s);
+            for (local, lu, lv) in shard.edges() {
+                let e = part.global_edge(s, local);
+                seen[e.index()] += 1;
+                let (gu, gv) = g.endpoints(e);
+                prop_assert_eq!(part.global_vertex(s, lu), gu);
+                prop_assert_eq!(part.global_vertex(s, lv), gv);
+                prop_assert_eq!(part.shard_of(gu), s);
+                prop_assert_eq!(part.shard_of(gv), s);
+            }
+        }
+        for &e in part.boundary_edges() {
+            seen[e.index()] += 1;
+            let (u, v) = g.endpoints(e);
+            prop_assert!(part.shard_of(u) != part.shard_of(v));
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "shard-local U boundary must cover each edge once");
+    }
+
+    /// The on-disk format round-trips byte-identically: the saved file is
+    /// exactly `to_bytes()`, and re-saving the mmap-loaded graph reproduces
+    /// it bit for bit.
+    #[test]
+    fn save_load_mmap_roundtrips_byte_identically(g in arb_multigraph(20, 60)) {
+        let csr = CsrGraph::from_multigraph(&g);
+        let path = temp_csr_path("prop-roundtrip");
+        csr.save(&path).unwrap();
+        let on_disk = std::fs::read(&path).unwrap();
+        prop_assert_eq!(&on_disk, &csr.to_bytes());
+        let mapped = MmapCsr::load_mmap(&path).unwrap();
+        prop_assert_eq!(&mapped.to_bytes(), &on_disk);
+        prop_assert_eq!(mapped.to_multigraph(), g.clone());
+        prop_assert_eq!(OwnedCsr::from_bytes(&on_disk).unwrap(), csr);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+/// save → `load_mmap` → decompose is byte-identical (`canonical_bytes`) to
+/// the owned-storage report for every problem × engine combination: storage
+/// is a representation choice, never an algorithmic one.
+#[test]
+fn mmap_runs_match_owned_runs_for_every_problem_and_engine() {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(5);
+    let g = generators::planted_forest_union(36, 3, &mut rng);
+    let csr = CsrGraph::from_multigraph(&g);
+    let path = temp_csr_path("matrix");
+    csr.save(&path).unwrap();
+    for &problem in &ProblemKind::ALL {
+        for &engine in &Engine::ALL {
+            let decomposer = Decomposer::new(
+                DecompositionRequest::new(problem)
+                    .with_engine(engine)
+                    .with_epsilon(0.5)
+                    .with_seed(914),
+            );
+            let owned = decomposer.run(&g);
+            let mapped_input = GraphInput::from_mmap(&path).unwrap();
+            let mapped = decomposer.run(mapped_input);
+            match (owned, mapped) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(
+                        a.canonical_bytes(),
+                        b.canonical_bytes(),
+                        "{problem}/{engine}: mmap run diverged from owned run"
+                    );
+                    b.validate(&g).unwrap();
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!(
+                    "{problem}/{engine}: storages disagree on failure: owned ok = {}, mmap ok = {}",
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            }
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// `run_sharded` validates its stitched decomposition against the full
+/// graph, is deterministic for a fixed shard count, and accounts for every
+/// boundary edge in `leftover_edges`.
+#[test]
+fn run_sharded_validates_and_is_deterministic() {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(8);
+    let g = generators::planted_forest_union(160, 3, &mut rng);
+    let csr = CsrGraph::from_multigraph(&g);
+    let decomposer = Decomposer::new(
+        DecompositionRequest::new(ProblemKind::Forest)
+            .with_engine(Engine::HarrisSuVu)
+            .with_alpha(3)
+            .with_seed(77),
+    );
+    let unsharded = decomposer.run(&g).unwrap();
+    for k in [2usize, 4, 8] {
+        let part = CsrPartition::split(&csr, k);
+        let report = decomposer.run_sharded(&g, k).unwrap();
+        assert_eq!(report.validation, ValidationStatus::Validated);
+        report.validate(&g).unwrap();
+        assert!(
+            report.leftover_edges >= part.boundary_edges().len(),
+            "leftover must count every boundary edge"
+        );
+        assert!(report.num_colors >= unsharded.arboricity);
+        let again = decomposer.run_sharded(&g, k).unwrap();
+        assert_eq!(
+            report.canonical_bytes(),
+            again.canonical_bytes(),
+            "sharded runs must be deterministic (k = {k})"
+        );
+    }
+}
+
+/// An mmap input drives the sharded path end to end: load from disk, split,
+/// decompose per shard, stitch, validate — no owned CSR anywhere upstream.
+#[test]
+fn run_sharded_works_from_an_mmap_input() {
+    let g = generators::grid(12, 9);
+    let path = temp_csr_path("sharded-mmap");
+    CsrGraph::from_multigraph(&g).save(&path).unwrap();
+    let decomposer = Decomposer::new(
+        DecompositionRequest::new(ProblemKind::Forest)
+            .with_engine(Engine::ExactMatroid)
+            .with_seed(13),
+    );
+    let input = GraphInput::from_mmap(&path).unwrap();
+    let sharded = decomposer.run_sharded(input, 3).unwrap();
+    sharded.validate(&g).unwrap();
+    let direct = decomposer.run_sharded(&g, 3).unwrap();
+    assert_eq!(sharded.canonical_bytes(), direct.canonical_bytes());
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// `GraphInput::from_shard` yields a standalone, runnable input whose
+/// report validates against the thawed shard graph.
+#[test]
+fn from_shard_inputs_decompose_standalone() {
+    let g = generators::fat_path(60, 2);
+    let csr = CsrGraph::from_multigraph(&g);
+    let part = CsrPartition::split(&csr, 3);
+    let decomposer = Decomposer::new(
+        DecompositionRequest::new(ProblemKind::Forest)
+            .with_engine(Engine::ExactMatroid)
+            .with_seed(4),
+    );
+    for s in 0..part.num_shards() {
+        let shard_graph = part.shard(s).to_multigraph();
+        let input = GraphInput::from_shard(&part, s).unwrap();
+        let report = decomposer.run(input).unwrap();
+        report.validate(&shard_graph).unwrap();
+        // The shard input is byte-identical to freezing the thawed shard.
+        let via_frozen = decomposer
+            .run(FrozenGraph::freeze(shard_graph.clone()))
+            .unwrap();
+        assert_eq!(report.canonical_bytes(), via_frozen.canonical_bytes());
+    }
+}
+
+/// Typed failures: non-forest sharding and malformed mmap files.
+#[test]
+fn sharded_and_mmap_failures_are_typed() {
+    let g = generators::path(6);
+    let decomposer = Decomposer::new(DecompositionRequest::new(ProblemKind::Orientation));
+    assert!(matches!(
+        decomposer.run_sharded(&g, 2),
+        Err(FdError::ShardingUnsupported {
+            problem: ProblemKind::Orientation
+        })
+    ));
+    let path = temp_csr_path("bad");
+    std::fs::write(&path, b"definitely not a CSR file").unwrap();
+    assert!(matches!(
+        GraphInput::from_mmap(&path),
+        Err(FdError::Io { .. })
+    ));
+    std::fs::remove_file(&path).unwrap();
+}

@@ -1,0 +1,116 @@
+//! Offline stand-in for the `memmap2` crate (workspace-local vendored
+//! subset, matching the offline-deps pattern of `vendor/rand` & co).
+//!
+//! The real `memmap2` maps a file into the address space with `mmap(2)`, so
+//! pages are loaded lazily by the kernel and shared between processes. This
+//! sandbox has no crates.io access and the workspace forbids `unsafe`, so the
+//! stand-in provides the same *API shape* — [`Mmap::map`] on an open
+//! [`File`], `Deref<Target = [u8]>` — over a private heap buffer read once at
+//! map time. Swapping in the real crate is a one-line `Cargo.toml` change
+//! (plus the `unsafe { ... }` block its `map` requires); no caller code
+//! changes.
+//!
+//! Only the read-only subset used by `forest-graph::csr` is provided.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::ops::Deref;
+
+/// A read-only "mapping" of an entire file.
+///
+/// ```no_run
+/// let file = std::fs::File::open("graph.csr")?;
+/// let map = memmap2::Mmap::map(&file)?;
+/// let bytes: &[u8] = &map;
+/// # let _ = bytes;
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub struct Mmap {
+    data: Vec<u8>,
+}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// The real `memmap2::Mmap::map` is `unsafe` (the mapping's validity
+    /// depends on no other process truncating the file); the stand-in reads
+    /// the contents eagerly instead, so it is safe — and callers migrating to
+    /// the real crate must wrap this call in `unsafe`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from reading the file.
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        let mut data = Vec::new();
+        let mut reader = file;
+        reader.read_to_end(&mut data)?;
+        Ok(Mmap { data })
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` if the mapped file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap")
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_whole_file() {
+        let path = std::env::temp_dir().join(format!("memmap2-standin-{}.bin", std::process::id()));
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(b"hello mapping").unwrap();
+        }
+        let f = File::open(&path).unwrap();
+        let map = Mmap::map(&f).unwrap();
+        assert_eq!(&map[..], b"hello mapping");
+        assert_eq!(map.len(), 13);
+        assert!(!map.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path =
+            std::env::temp_dir().join(format!("memmap2-standin-e-{}.bin", std::process::id()));
+        File::create(&path).unwrap();
+        let f = File::open(&path).unwrap();
+        let map = Mmap::map(&f).unwrap();
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}
