@@ -1,10 +1,11 @@
-//! Emits a machine-readable performance snapshot (`BENCH_pr3.json` via
+//! Emits a machine-readable performance snapshot (`BENCH_pr4.json` via
 //! `scripts/bench_snapshot.sh`): wall-clock of the `Decomposer` facade across
 //! graph sizes × engines, the 64-graph `decomposer_batch` workload the
 //! acceptance criteria track across PRs, a sharded-vs-unsharded large-graph
-//! comparison (`run_sharded`), and an on-disk CSR round-trip
-//! (save → `load_mmap` → decompose on a temp file, asserted byte-identical
-//! to the owned-storage run).
+//! comparison (`run_sharded`, thaw-free, with and without RCM locality
+//! reordering, boundary fractions recorded per row), and an on-disk CSR
+//! round-trip (save → `load_mmap` → decompose on a temp file, asserted
+//! byte-identical to the owned-storage run).
 //!
 //! The `pr2_baseline` block records the medians from `BENCH_pr2.json`
 //! (post-CSR-refactor facade, commit `c2da8ed`) for the identical workload,
@@ -12,7 +13,8 @@
 //! appended as new `BENCH_pr<N>.json` files, never overwritten.
 
 use forest_decomp::api::{
-    Decomposer, DecompositionRequest, Engine, FrozenGraph, GraphInput, ProblemKind,
+    Decomposer, DecompositionRequest, Engine, FrozenGraph, GraphInput, ProblemKind, ReorderKind,
+    ShardedGraph, ShardingSpec,
 };
 use forest_graph::{generators, CsrGraph, MultiGraph};
 use rand::rngs::StdRng;
@@ -54,7 +56,7 @@ fn json_f(x: f64) -> String {
 
 fn main() {
     let mut out = String::from("{\n");
-    out.push_str("  \"snapshot\": \"BENCH_pr3\",\n");
+    out.push_str("  \"snapshot\": \"BENCH_pr4\",\n");
     out.push_str("  \"workload\": \"decomposer_batch: 64 planted multigraphs, n in 48..96, alpha 3, forest problem, validation off\",\n");
     out.push_str("  \"baseline_host_note\": \"pr2_baseline was measured on the PR 2 development container at commit c2da8ed; speedup ratios are machine-specific and only comparable when this snapshot is regenerated on similar hardware\",\n");
 
@@ -117,12 +119,14 @@ fn main() {
     out.push_str("\n  },\n");
 
     // --- sharded vs unsharded on large graphs ---------------------------
-    // The new `run_sharded` path: split the CSR into zero-copy shards,
-    // decompose shards on all cores, stitch the boundary through the
-    // leftover/augmenting machinery. Two workloads: a locality-friendly
-    // grid (contiguous vertex ranges cut few edges) and an adversarial
-    // random graph (most edges cross shards), so the snapshot records how
-    // the boundary fraction governs sharding overhead.
+    // The thaw-free `run_sharded` path: split the CSR into zero-copy shards
+    // (optionally along an RCM locality order), decompose shards straight
+    // over the borrowed views, stitch the boundary through the union-find
+    // fast path plus color-reusing residue recoloring. Two workloads: a
+    // locality-friendly grid (contiguous ids already cut few edges) and an
+    // adversarial random graph (random ids cut most edges unless reordered),
+    // so the snapshot records how the boundary fraction governs sharding
+    // overhead — and how much the RCM reordering claws back.
     let mut rng = StdRng::seed_from_u64(33);
     let workloads: Vec<(&str, &str, Engine, MultiGraph)> = vec![
         (
@@ -139,36 +143,56 @@ fn main() {
         ),
     ];
     out.push_str("  \"sharded_vs_unsharded\": {\n");
-    out.push_str("    \"note\": \"at bench scale the per-shard thaw + global stitch/validate passes dominate, so sharding trades wall-clock for bounded per-shard working sets; the boundary fraction is the governing quantity\",\n");
+    out.push_str("    \"note\": \"thaw-free shards (engines consume zero-copy CsrRef views; no per-shard MultiGraph, no per-shard diameter pass) with a color-reusing two-level stitch; 'rcm' rows split along a reverse Cuthill-McKee order, whose boundary fraction is the governing quantity. median_ms measures run_sharded_prepared on a pre-split ShardedGraph, symmetric to the unsharded run_frozen baseline which likewise excludes the one-time freeze; split_ms is that one-time cost and cold_ms = split + run in one call. Stitched color counts sit at alpha + 1 here (capacity is tight: m ~ alpha * (n - 1)), so identity and rcm tie on colors at this scale while pr3's 8-15 colors are gone\",\n");
     out.push_str("    \"workloads\": [\n");
     let mut workload_blocks = Vec::new();
     for (family, engine_name, engine, big) in workloads {
         let big_frozen = FrozenGraph::freeze(big.clone());
-        let decomposer = Decomposer::new(
-            DecompositionRequest::new(ProblemKind::Forest)
-                .with_engine(engine)
-                .with_epsilon(0.5)
-                .with_alpha(3)
-                .with_seed(17)
-                .without_validation(),
-        );
+        let base_request = DecompositionRequest::new(ProblemKind::Forest)
+            .with_engine(engine)
+            .with_epsilon(0.5)
+            .with_alpha(3)
+            .with_seed(17)
+            .without_validation();
+        let decomposer = Decomposer::new(base_request.clone());
         let unsharded_report = decomposer.run_frozen(&big_frozen).unwrap();
         let unsharded_ms = median_ms(3, || {
             decomposer.run_frozen(&big_frozen).unwrap();
         });
         let mut shard_rows = Vec::new();
-        for k in [2usize, 4, 8] {
-            let report = decomposer.run_sharded(&big_frozen, k).unwrap();
-            let ms = median_ms(3, || {
-                decomposer.run_sharded(&big_frozen, k).unwrap();
-            });
-            shard_rows.push(format!(
-                "          {{\"shards\": {k}, \"median_ms\": {}, \"colors\": {}, \"leftover_edges\": {}, \"ratio_vs_unsharded\": {}}}",
-                json_f(ms),
-                report.num_colors,
-                report.leftover_edges,
-                json_f(ms / unsharded_ms)
-            ));
+        for (reorder_name, reorder) in [
+            ("identity", ReorderKind::Identity),
+            ("rcm", ReorderKind::Rcm),
+        ] {
+            let sharded_decomposer =
+                Decomposer::new(base_request.clone().with_shard_reorder(reorder));
+            for k in [2usize, 4, 8] {
+                let split_ms = median_ms(3, || {
+                    ShardedGraph::split(&big_frozen, k, ShardingSpec::with_reorder(reorder))
+                        .unwrap();
+                });
+                let sharded =
+                    ShardedGraph::split(&big_frozen, k, ShardingSpec::with_reorder(reorder))
+                        .unwrap();
+                let report = sharded_decomposer.run_sharded_prepared(&sharded).unwrap();
+                let ms = median_ms(5, || {
+                    sharded_decomposer.run_sharded_prepared(&sharded).unwrap();
+                });
+                let cold_ms = median_ms(3, || {
+                    sharded_decomposer.run_sharded(&big_frozen, k).unwrap();
+                });
+                shard_rows.push(format!(
+                    "          {{\"shards\": {k}, \"reorder\": \"{reorder_name}\", \"median_ms\": {}, \"split_ms\": {}, \"cold_ms\": {}, \"colors\": {}, \"leftover_edges\": {}, \"boundary_edges\": {}, \"boundary_fraction\": {}, \"ratio_vs_unsharded\": {}}}",
+                    json_f(ms),
+                    json_f(split_ms),
+                    json_f(cold_ms),
+                    report.num_colors,
+                    report.leftover_edges,
+                    sharded.partition().boundary_edges().len(),
+                    json_f(sharded.partition().boundary_fraction()),
+                    json_f(ms / unsharded_ms)
+                ));
+            }
         }
         workload_blocks.push(format!(
             "      {{\n        \"graph\": {{\"n\": {}, \"m\": {}, \"family\": \"{family}\"}},\n        \"engine\": \"{engine_name}\",\n        \"unsharded\": {{\"median_ms\": {}, \"colors\": {}}},\n        \"sharded\": [\n{}\n        ]\n      }}",

@@ -151,20 +151,18 @@ pub fn algorithm2<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Algorithm2Output, FdError> {
     let csr = CsrGraph::from_multigraph(g);
-    algorithm2_frozen(g, &csr, lists, config, rng)
+    algorithm2_frozen(&csr, lists, config, rng)
 }
 
-/// [`algorithm2`] over a pre-frozen topology: `csr` must be
-/// topology-identical to `CsrGraph::from_multigraph(g)` for the same `g` —
-/// any storage (owned, borrowed shard view, mmap-backed) qualifies; the
-/// facade freezes once per request and threads the pair through every
-/// engine phase.
+/// [`algorithm2`] over a pre-frozen topology: any [`GraphView`] qualifies —
+/// an owned CSR, a borrowed shard view, an mmap-backed graph. The facade
+/// freezes once per request and threads the view through every engine
+/// phase; the thaw-free sharded pipeline feeds `CsrRef` shards straight in.
 ///
 /// # Errors
 ///
 /// Same as [`algorithm2`].
 pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
-    g: &MultiGraph,
     csr: &C,
     lists: &ListAssignment,
     config: &Algorithm2Config,
@@ -275,7 +273,7 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
         let count = clusters.len();
         (vec![clusters], count)
     } else {
-        let pg = local_model::power_graph(g, power);
+        let pg = local_model::power_graph(csr, power);
         // Simulating the decomposition on G^power costs a factor `power`.
         ledger.charge(
             format!("simulate G^{power} for the network decomposition"),

@@ -18,11 +18,15 @@
 //!   partition-decompose-stitch dance itself).
 //! * `From<FrozenGraph>` / `From<&FrozenGraph>` — pre-frozen graphs, owned
 //!   or borrowed.
+//!
+//! Mmap and shard inputs are **CSR-only**: no adjacency-list twin is ever
+//! materialized — forest and orientation pipelines are CSR-generic end to
+//! end, and the few simple-graph pipelines thaw on demand inside the run.
 
 use super::engines::FrozenInput;
 use super::FrozenGraph;
 use crate::error::FdError;
-use forest_graph::{CsrGraph, CsrPartition, MmapCsr, MultiGraph, OwnedCsr};
+use forest_graph::{CsrGraph, CsrPartition, GraphView, MmapCsr, MultiGraph, OwnedCsr};
 use std::path::Path;
 
 /// Any graph a [`Decomposer`](super::Decomposer) can run on.
@@ -42,19 +46,11 @@ pub enum GraphInput<'a> {
     Frozen(&'a FrozenGraph),
     /// An owned pre-frozen graph (no conversion at run time).
     OwnedFrozen(Box<FrozenGraph>),
-    /// An mmap-backed CSR plus its thawed multigraph: engines consume the
-    /// mapped arrays directly (zero-copy view), while centralized baselines
-    /// use the thawed adjacency lists.
-    Mmap(Box<MmapInput>),
-}
-
-/// The mmap variant's payload: the mapped topology and its thawed
-/// adjacency-list twin (the exact `to_multigraph` round-trip, so outputs are
-/// identical to an owned-storage run).
-#[derive(Debug)]
-pub struct MmapInput {
-    graph: MultiGraph,
-    csr: MmapCsr,
+    /// An mmap-backed CSR: engines consume the mapped arrays directly
+    /// (zero-copy view); nothing is thawed.
+    Mmap(Box<MmapCsr>),
+    /// A bare owned CSR with no adjacency twin (shard extractions).
+    Csr(Box<OwnedCsr>),
 }
 
 impl<'a> GraphInput<'a> {
@@ -70,8 +66,7 @@ impl<'a> GraphInput<'a> {
         let csr = MmapCsr::load_mmap(path).map_err(|err| FdError::Io {
             context: format!("loading CSR file {}: {err}", path.display()),
         })?;
-        let graph = csr.to_multigraph();
-        Ok(GraphInput::Mmap(Box::new(MmapInput { graph, csr })))
+        Ok(GraphInput::Mmap(Box::new(csr)))
     }
 
     /// Materializes shard `shard` of `partition` as a standalone input
@@ -92,26 +87,33 @@ impl<'a> GraphInput<'a> {
             });
         }
         let view = partition.shard(shard);
-        // The partition already holds this shard's CSR: thaw the adjacency
-        // form and detach the arrays (memcpy), instead of re-freezing.
-        let frozen = FrozenGraph::from_parts(view.to_multigraph(), view.to_owned_storage());
-        Ok(GraphInput::OwnedFrozen(Box::new(frozen)))
+        // The partition already holds this shard's CSR: detach the arrays
+        // (memcpy) and run CSR-only — no thaw, no re-freeze.
+        Ok(GraphInput::Csr(Box::new(view.to_owned_storage())))
     }
 
-    /// The adjacency-list form of the input (thawed already for mmap inputs).
-    pub fn graph(&self) -> &MultiGraph {
+    /// The adjacency-list form of the input, when one exists (`None` for the
+    /// CSR-only mmap/shard variants, which never thaw).
+    pub fn multigraph(&self) -> Option<&MultiGraph> {
         match self {
-            GraphInput::Borrowed(g) => g,
-            GraphInput::Owned(g) => g,
-            GraphInput::Frozen(f) => f.graph(),
-            GraphInput::OwnedFrozen(f) => f.graph(),
-            GraphInput::Mmap(m) => &m.graph,
+            GraphInput::Borrowed(g) => Some(g),
+            GraphInput::Owned(g) => Some(g),
+            GraphInput::Frozen(f) => Some(f.graph()),
+            GraphInput::OwnedFrozen(f) => Some(f.graph()),
+            GraphInput::Mmap(_) | GraphInput::Csr(_) => None,
         }
     }
 
     /// Number of edges of the input.
     pub fn num_edges(&self) -> usize {
-        self.graph().num_edges()
+        match self {
+            GraphInput::Borrowed(g) => g.num_edges(),
+            GraphInput::Owned(g) => g.num_edges(),
+            GraphInput::Frozen(f) => f.csr().num_edges(),
+            GraphInput::OwnedFrozen(f) => f.csr().num_edges(),
+            GraphInput::Mmap(m) => m.num_edges(),
+            GraphInput::Csr(c) => c.num_edges(),
+        }
     }
 
     /// Resolves the input to the `(graph, csr)` pair engines consume,
@@ -121,24 +123,16 @@ impl<'a> GraphInput<'a> {
         match self {
             GraphInput::Borrowed(g) => {
                 let csr = scratch.insert(CsrGraph::from_multigraph(g));
-                FrozenInput {
-                    graph: g,
-                    csr: csr.view(),
-                }
+                FrozenInput::new(g, csr.view())
             }
             GraphInput::Owned(g) => {
                 let csr = scratch.insert(CsrGraph::from_multigraph(g));
-                FrozenInput {
-                    graph: g,
-                    csr: csr.view(),
-                }
+                FrozenInput::new(g, csr.view())
             }
             GraphInput::Frozen(f) => f.input(),
             GraphInput::OwnedFrozen(f) => f.input(),
-            GraphInput::Mmap(m) => FrozenInput {
-                graph: &m.graph,
-                csr: m.csr.view(),
-            },
+            GraphInput::Mmap(m) => FrozenInput::from_csr(m.view()),
+            GraphInput::Csr(c) => FrozenInput::from_csr(c.view()),
         }
     }
 }
@@ -181,11 +175,11 @@ mod tests {
         let fref: GraphInput<'_> = (&frozen).into();
         let fown: GraphInput<'_> = frozen.clone().into();
         for input in [&borrowed, &owned, &fref, &fown] {
-            assert_eq!(input.graph(), &g);
+            assert_eq!(input.multigraph(), Some(&g));
             assert_eq!(input.num_edges(), g.num_edges());
             let mut scratch = None;
             let resolved = input.resolve(&mut scratch);
-            assert_eq!(resolved.graph, &g);
+            assert_eq!(resolved.multigraph(), Some(&g));
             assert_eq!(resolved.csr, frozen.csr().view());
         }
     }

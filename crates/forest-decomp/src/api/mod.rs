@@ -25,6 +25,10 @@
 //! * [`GraphInput::from_shard`] — one shard of a
 //!   [`CsrPartition`](forest_graph::CsrPartition).
 //!
+//! Mmap and shard inputs are CSR-only end to end: every forest and
+//! orientation pipeline is `GraphView`-generic, so no adjacency-list twin
+//! is ever materialized for them.
+//!
 //! # Scale: batching and sharding
 //!
 //! Reproducibility is first-class: a run derives an owned
@@ -34,8 +38,14 @@
 //! first-class too: [`Decomposer::run_batch`] fans one request across many
 //! graphs on all cores with per-graph derived seeds ([`derive_seed`]), and
 //! [`Decomposer::run_sharded`] decomposes one *large* graph by splitting its
-//! frozen topology into zero-copy shards, decomposing them in parallel, and
-//! stitching the boundary edges through the leftover/augmenting machinery.
+//! frozen topology into zero-copy shards — along an opt-in BFS/RCM locality
+//! order ([`ShardingSpec`], [`ReorderKind`]) when vertex ids are not already
+//! banded — decomposing them in parallel straight over the borrowed views
+//! (no per-shard thaw), and stitching the boundary through single-step
+//! augmentations plus a color-reusing residue recoloring. Repeated sharded
+//! runs amortize the split through [`ShardedGraph`] and
+//! [`Decomposer::run_sharded_prepared`], exactly like [`FrozenGraph`]
+//! amortizes freezing.
 //!
 //! ```
 //! use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, ProblemKind};
@@ -59,14 +69,18 @@ mod input;
 mod report;
 mod request;
 
-pub use engines::{DecompositionEngine, EngineOutcome, FrozenInput};
-pub use input::{GraphInput, MmapInput};
+pub use engines::{DecompositionEngine, EngineOutcome, FrozenInput, ShardOutcome};
+pub use input::GraphInput;
 pub use report::{Artifact, DecompositionReport, Validate, ValidationStatus};
-pub use request::{DecompositionRequest, Engine, PaletteSpec, ProblemKind};
+pub use request::{DecompositionRequest, Engine, PaletteSpec, ProblemKind, ShardingSpec};
+
+pub use forest_graph::ReorderKind;
 
 use crate::error::FdError;
 use forest_graph::decomposition::max_forest_diameter;
-use forest_graph::{CsrGraph, CsrPartition, ListAssignment, MultiGraph};
+use forest_graph::{
+    CsrGraph, CsrPartition, CsrRef, GraphView, ListAssignment, MultiGraph, OwnedCsr,
+};
 use local_model::RoundLedger;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -94,13 +108,6 @@ impl FrozenGraph {
         FrozenGraph { graph, csr }
     }
 
-    /// Pairs a graph with a CSR that is already known to be its freeze
-    /// (memcpy instead of a second `O(n + m)` conversion). Debug-checked.
-    pub(super) fn from_parts(graph: MultiGraph, csr: CsrGraph) -> Self {
-        debug_assert_eq!(csr, CsrGraph::from_multigraph(&graph));
-        FrozenGraph { graph, csr }
-    }
-
     /// The original multigraph.
     pub fn graph(&self) -> &MultiGraph {
         &self.graph
@@ -113,16 +120,80 @@ impl FrozenGraph {
 
     /// The borrowed pair handed to engines.
     pub fn input(&self) -> FrozenInput<'_> {
-        FrozenInput {
-            graph: &self.graph,
-            csr: self.csr.view(),
-        }
+        FrozenInput::new(&self.graph, self.csr.view())
     }
 }
 
 impl From<MultiGraph> for FrozenGraph {
     fn from(graph: MultiGraph) -> Self {
         FrozenGraph::freeze(graph)
+    }
+}
+
+/// A graph split once for repeated sharded decomposition: the
+/// [`CsrPartition`] analog of [`FrozenGraph`].
+///
+/// [`Decomposer::run_sharded`] splits internally, so one-off callers never
+/// see this type; split explicitly (and use
+/// [`Decomposer::run_sharded_prepared`]) when the same graph is decomposed
+/// more than once — repeated requests, seed sweeps, engine comparisons — to
+/// pay the `O(n + m)` split (and the optional BFS/RCM reordering pass) a
+/// single time, exactly like freezing amortizes the CSR conversion.
+#[derive(Clone, Debug)]
+pub struct ShardedGraph {
+    csr: OwnedCsr,
+    partition: CsrPartition,
+    reorder: ReorderKind,
+}
+
+impl ShardedGraph {
+    /// Splits `input` into `num_shards` zero-copy shards along
+    /// `spec.reorder` (one `O(n + m)` pass plus the order computation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FdError::InvalidShardCount`] for `num_shards == 0`.
+    pub fn split<'a>(
+        input: impl Into<GraphInput<'a>>,
+        num_shards: usize,
+        spec: ShardingSpec,
+    ) -> Result<ShardedGraph, FdError> {
+        if num_shards == 0 {
+            return Err(FdError::InvalidShardCount { requested: 0 });
+        }
+        let input = input.into();
+        let mut scratch = None;
+        let frozen = input.resolve(&mut scratch);
+        let csr = frozen.csr.to_owned_storage();
+        let partition = match spec.reorder.order(&csr) {
+            None => CsrPartition::split(&csr, num_shards),
+            Some(perm) => CsrPartition::split_ordered(&csr, num_shards, &perm),
+        };
+        Ok(ShardedGraph {
+            csr,
+            partition,
+            reorder: spec.reorder,
+        })
+    }
+
+    /// The frozen full-graph topology the shards were cut from.
+    pub fn csr(&self) -> &OwnedCsr {
+        &self.csr
+    }
+
+    /// The partition: per-shard zero-copy views plus the boundary list.
+    pub fn partition(&self) -> &CsrPartition {
+        &self.partition
+    }
+
+    /// The locality order the split was cut along.
+    pub fn reorder(&self) -> ReorderKind {
+        self.reorder
+    }
+
+    /// Number of shards (after the splitter's documented clamp).
+    pub fn num_shards(&self) -> usize {
+        self.partition.num_shards()
     }
 }
 
@@ -211,10 +282,7 @@ impl Decomposer {
             .map(|(i, g)| {
                 let csr = CsrGraph::from_multigraph(g);
                 self.run_seeded(
-                    FrozenInput {
-                        graph: g,
-                        csr: csr.view(),
-                    },
+                    FrozenInput::new(g, csr.view()),
                     derive_seed(self.request.seed, *i),
                 )
             })
@@ -258,28 +326,47 @@ impl Decomposer {
 
     /// Decomposes one *large* graph by sharding it: splits the frozen
     /// topology into `num_shards` zero-copy shards
-    /// ([`CsrPartition`](forest_graph::CsrPartition)), decomposes every
-    /// shard's internal edges in parallel (shard `i` seeded with
-    /// [`derive_seed`]`(seed, i)`), merges the per-shard forests directly
-    /// (shards are vertex-disjoint, so same-colored trees never touch), and
-    /// recolors the explicit boundary-edge list through the augmenting
-    /// machinery — the paper's compose-per-part-partitions-plus-leftover
-    /// shape. The returned report carries the per-shard round ledgers
-    /// (prefixed `shard i:`) and the stitch charge in one
-    /// [`DecompositionReport::ledger`]; `leftover_edges` counts the boundary
-    /// edges plus any per-shard leftovers. The report's `arboricity` is the
-    /// caller's bound when the request fixes one, otherwise a *lower* bound
-    /// on the global arboricity (max per-shard value, floored at the
-    /// Nash-Williams whole-graph bound) — boundary edges can push the true
-    /// value higher, and only an exact full-graph run pins it down.
+    /// ([`CsrPartition`](forest_graph::CsrPartition)) — along a
+    /// locality-improving BFS/RCM order when the request's [`ShardingSpec`]
+    /// asks for one — decomposes every shard's internal edges in parallel
+    /// straight over the borrowed `CsrRef` views (no per-shard thaw; shard
+    /// `i` seeded with [`derive_seed`]`(seed, i)`), merges the per-shard
+    /// forests directly (shards are vertex-disjoint, so same-colored trees
+    /// never touch), and stitches the explicit boundary-edge list — the
+    /// paper's compose-per-part-partitions-plus-leftover shape.
     ///
-    /// Deterministic for a fixed `(request, num_shards)`: shard seeds are
-    /// derived, shards are merged in index order, and the stitch is
-    /// sequential.
+    /// Stitching is two phases. Phase 1 is the augmenting search's
+    /// single-step fast path (the shared per-color union-find cache): each
+    /// boundary edge joins the first existing forest that keeps its
+    /// endpoints apart — linear, and almost always successful because
+    /// per-shard forests of different shards start out disconnected. Phase 2
+    /// rebuilds the connectivity cache and recolors the residue by the same
+    /// first-free-forest rule over *all* colors allocated so far — existing
+    /// shard colors are retried before a fresh color is opened, and every
+    /// fresh color is reused for later residue edges — so the stitch opens
+    /// only as many colors beyond the shard budget as the residue's own
+    /// density forces (Theorem 4.6-style: the leftover is sparse, so few).
+    ///
+    /// The returned report carries the per-shard round ledgers (prefixed
+    /// `shard i:`) and the stitch charges in one
+    /// [`DecompositionReport::ledger`]. `leftover_edges` counts only edges
+    /// that actually went through a leftover/recoloring phase: per-shard
+    /// leftovers plus the phase-2 residue — boundary edges placed by the
+    /// phase-1 fast path are *not* leftovers, so a cleanly stitched run
+    /// reports 0. The report's `arboricity` is the caller's bound when the
+    /// request fixes one, otherwise a *lower* bound on the global arboricity
+    /// (max per-shard value, floored at the Nash-Williams whole-graph
+    /// bound) — boundary edges can push the true value higher, and only an
+    /// exact full-graph run pins it down.
+    ///
+    /// Deterministic for a fixed `(request, num_shards)`: the split order is
+    /// a deterministic function of the topology, shard seeds are derived,
+    /// shards are merged in index order, and the stitch is sequential.
     ///
     /// # Errors
     ///
-    /// Returns [`FdError::ShardingUnsupported`] for problems other than
+    /// Returns [`FdError::InvalidShardCount`] for `num_shards == 0`,
+    /// [`FdError::ShardingUnsupported`] for problems other than
     /// [`ProblemKind::Forest`] (per-shard star forests / orientations do not
     /// merge safely across boundary recoloring),
     /// [`FdError::UnsupportedCombination`] for an engine that cannot solve
@@ -289,8 +376,30 @@ impl Decomposer {
         input: impl Into<GraphInput<'a>>,
         num_shards: usize,
     ) -> Result<DecompositionReport, FdError> {
+        if self.request.problem != ProblemKind::Forest {
+            return Err(FdError::ShardingUnsupported {
+                problem: self.request.problem,
+            });
+        }
+        let sharded = ShardedGraph::split(input, num_shards, self.request.sharding)?;
+        self.run_sharded_prepared(&sharded)
+    }
+
+    /// [`Decomposer::run_sharded`] over a pre-split graph: no split, no
+    /// reordering pass, no conversions at all on the hot path — the sharded
+    /// analog of [`Decomposer::run_frozen`]. The [`ShardedGraph`]'s own
+    /// split (shard count and reorder) is what runs; the request's
+    /// [`ShardingSpec`] only applies when `run_sharded` splits internally.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Decomposer::run_sharded`], minus the shard-count check the
+    /// split already performed.
+    pub fn run_sharded_prepared(
+        &self,
+        sharded: &ShardedGraph,
+    ) -> Result<DecompositionReport, FdError> {
         let start = Instant::now();
-        let input = input.into();
         let request = &self.request;
         if request.problem != ProblemKind::Forest {
             return Err(FdError::ShardingUnsupported {
@@ -304,71 +413,109 @@ impl Decomposer {
                 engine: request.engine,
             });
         }
-        let mut scratch = None;
-        let frozen = input.resolve(&mut scratch);
-        let g = frozen.graph;
-        let m = g.num_edges();
-        let partition = CsrPartition::split(&frozen.csr, num_shards);
+        let csr = &sharded.csr.view();
+        let m = csr.num_edges();
+        let partition = &sharded.partition;
         let k = partition.num_shards();
-        // Decompose every shard in parallel over zero-copy views; results
-        // come back in shard order, so the merge below is deterministic.
+        // Decompose every shard in parallel over zero-copy views — no thaw,
+        // no adjacency twin; results come back in shard order, so the merge
+        // below is deterministic.
         let shard_ids: Vec<usize> = (0..k).collect();
-        let per_shard: Vec<Result<EngineOutcome, FdError>> = shard_ids
+        let per_shard: Vec<Result<ShardOutcome, FdError>> = shard_ids
             .par_iter()
             .map(|&s| {
-                let shard_graph = partition.shard(s).to_multigraph();
-                let shard_input = FrozenInput {
-                    graph: &shard_graph,
-                    csr: partition.shard(s),
-                };
                 let mut rng = SmallRng::seed_from_u64(derive_seed(request.seed, s as u64));
-                engine.execute(shard_input, request, None, &mut rng)
+                engine.decompose_shard(partition.shard(s), request, &mut rng)
             })
             .collect();
         // Merge: shards are vertex-disjoint, so reusing the same color space
-        // across shards keeps every class a forest.
-        let mut coloring = forest_graph::decomposition::PartialEdgeColoring::new_uncolored(m);
-        let mut ledger = RoundLedger::new();
-        let mut shard_colors = 0usize;
-        let mut arboricity = 0usize;
+        // across shards keeps every class a forest. Colors land straight in
+        // the final per-edge array (every edge is written exactly once: the
+        // partition covers internal edges shard-by-shard, the stitch covers
+        // the boundary). Connectivity is two-level: each shard hands back
+        // per-color union-finds over its *local* vertices (built while the
+        // shard was cache-hot), and the stitch works over component
+        // representatives — two vertices are connected in color `c` iff the
+        // stitch forest joins the representatives of their shard-local
+        // components — so no whole-graph union pass ever runs here.
+        let per_shard = per_shard
+            .into_iter()
+            .collect::<Result<Vec<ShardOutcome>, FdError>>()?;
         let boundary = partition.boundary_edges().len();
-        let mut leftover_edges = boundary;
-        for (s, result) in per_shard.into_iter().enumerate() {
-            let outcome = result?;
-            let fd = match outcome.artifact {
-                Artifact::Decomposition(fd) => fd,
-                Artifact::Orientation { .. } => {
-                    unreachable!("forest requests produce decompositions")
-                }
-            };
-            for local in 0..fd.num_edges() {
-                let local_edge = forest_graph::EdgeId::new(local);
-                coloring.set(partition.global_edge(s, local_edge), fd.color(local_edge));
+        // The stitch budget must span every color *index* any shard used —
+        // HSV colorings leave index gaps, so this is the max color span,
+        // not a distinct-color count (gap colors are legal, empty forests).
+        let budget = per_shard.iter().map(|o| o.color_span).max().unwrap_or(0);
+        let mut colors = vec![forest_graph::Color::new(0); m];
+        let mut written = 0usize;
+        let mut ledger = RoundLedger::new();
+        let mut arboricity = 0usize;
+        // Only edges that actually go through a leftover/recoloring phase
+        // count: per-shard leftovers now, the phase-2 stitch residue below.
+        let mut leftover_edges = 0usize;
+        let mut shard_conns = Vec::with_capacity(per_shard.len());
+        for (s, outcome) in per_shard.into_iter().enumerate() {
+            let fd = outcome.decomposition;
+            for (&global, &color) in partition.global_edges(s).iter().zip(fd.colors()) {
+                colors[global as usize] = color;
+                written += 1;
             }
-            shard_colors = shard_colors.max(outcome.num_colors);
+            shard_conns.push(outcome.connectivity);
             arboricity = arboricity.max(outcome.arboricity);
             leftover_edges += outcome.leftover_edges;
             ledger.absorb(&format!("shard {s}"), outcome.ledger);
         }
-        // Stitch the boundary through the leftover/augmenting machinery.
-        // Phase 1 is the augmenting search's single-step fast path (the
-        // shared per-color union-find cache): each boundary edge joins the
-        // first existing forest that keeps its endpoints apart — linear, and
-        // initially almost always successful because per-shard forests of
-        // different shards are disconnected. Phase 2 recolors whatever
-        // remains exactly like Theorem 4.6 recolors the CUT leftover: star
-        // forests with fresh colors via the H-partition toolbox.
         if boundary > 0 {
-            let mut conn = forest_graph::ColorConnectivity::new(g.num_vertices());
-            let budget = shard_colors;
+            let mut stitch = forest_graph::ColorConnectivity::new(csr.num_vertices());
+            stitch.prime(budget);
+            // The representative of `v`'s component in its shard's color-`c`
+            // forest, as a global vertex id (fresh stitch colors have no
+            // shard edges, so `v` represents itself).
+            let rep = |shard_conns: &mut [forest_graph::ColorConnectivity],
+                       c: usize,
+                       v: forest_graph::VertexId| {
+                if c >= budget {
+                    return v;
+                }
+                let s = partition.shard_of(v);
+                match shard_conns[s].cached_forest(forest_graph::Color::new(c)) {
+                    Some(uf) => {
+                        let root = uf.find(partition.local_vertex(v).index());
+                        partition.global_vertex(s, forest_graph::VertexId::new(root))
+                    }
+                    // A shard that used fewer colors than the budget has no
+                    // forest for `c`: every vertex is its own component.
+                    None => v,
+                }
+            };
+            // Phase 1: single-step augmentations into the existing shard
+            // forests, queried through component representatives.
             let mut stitched_fast = 0usize;
             let mut remaining: Vec<forest_graph::EdgeId> = Vec::new();
+            let place = |shard_conns: &mut [forest_graph::ColorConnectivity],
+                         stitch: &mut forest_graph::ColorConnectivity,
+                         e: forest_graph::EdgeId,
+                         total: usize|
+             -> Option<forest_graph::Color> {
+                let (u, v) = csr.endpoints(e);
+                for c in 0..total {
+                    let gu = rep(shard_conns, c, u);
+                    let gv = rep(shard_conns, c, v);
+                    let uf = stitch
+                        .cached_forest(forest_graph::Color::new(c))
+                        .expect("stitch forests are primed");
+                    if gu != gv && !uf.connected(gu.index(), gv.index()) {
+                        uf.union(gu.index(), gv.index());
+                        return Some(forest_graph::Color::new(c));
+                    }
+                }
+                None
+            };
             for &e in partition.boundary_edges() {
-                let (u, v) = g.endpoints(e);
-                match conn.first_free_color(&frozen.csr, &coloring, None, budget, u, v) {
+                match place(&mut shard_conns, &mut stitch, e, budget) {
                     Some(c) => {
-                        coloring.set(e, c);
-                        conn.insert(c, u, v);
+                        colors[e.index()] = c;
+                        written += 1;
                         stitched_fast += 1;
                     }
                     None => remaining.push(e),
@@ -383,38 +530,53 @@ impl Decomposer {
                     stitched_fast,
                 );
             }
+            // Phase 2: the residue. Each residue edge retries every existing
+            // color — the shard budget first, then the stitch colors opened
+            // so far — and joins the first forest that keeps its endpoints
+            // apart, opening a fresh color only when every existing forest
+            // connects them. (The two-level connectivity is exact across
+            // both phases — shard forests are final and the stitch forests
+            // grow only through the placements above — which supersedes the
+            // bulk rebuild a lazily-built cache would need before this
+            // retry.) Reusing stitch colors across the residue keeps the
+            // sharded color count near the shard budget instead of paying a
+            // fresh star-forest palette per run.
             if !remaining.is_empty() {
-                let mask = crate::cut::dense_mask(m, remaining.iter().copied());
-                let (sub, back) = g.edge_subgraph(|e| mask[e.index()]);
-                let pseudo = forest_graph::orientation::pseudoarboricity(&sub).max(1);
-                let mut stitch_ledger = RoundLedger::new();
-                let hp = crate::hpartition::h_partition(&sub, 0.5, pseudo, &mut stitch_ledger)?;
-                let sub_orientation = crate::hpartition::acyclic_orientation(&sub, &hp);
-                let sfd = crate::hpartition::star_forest_decomposition(
-                    &sub,
-                    &sub_orientation,
-                    &mut stitch_ledger,
-                );
-                for (i, &orig) in back.iter().enumerate() {
-                    coloring.set(
-                        orig,
-                        forest_graph::Color::new(
-                            budget + sfd.color(forest_graph::EdgeId::new(i)).index(),
-                        ),
-                    );
+                leftover_edges += remaining.len();
+                let mut total_colors = budget;
+                for &e in &remaining {
+                    let c = match place(&mut shard_conns, &mut stitch, e, total_colors) {
+                        Some(c) => c,
+                        None => {
+                            let fresh = forest_graph::Color::new(total_colors);
+                            total_colors += 1;
+                            stitch.prime(total_colors);
+                            let (u, v) = csr.endpoints(e);
+                            stitch
+                                .cached_forest(fresh)
+                                .expect("freshly primed")
+                                .union(u.index(), v.index());
+                            fresh
+                        }
+                    };
+                    colors[e.index()] = c;
+                    written += 1;
                 }
-                ledger.absorb(
-                    &format!(
-                        "stitch leftover ({} boundary edges recolored as star forests)",
-                        remaining.len()
+                ledger.charge(
+                    format!(
+                        "stitch leftover ({} residue boundary edges recolored, {} fresh \
+                         colors beyond the shard budget)",
+                        remaining.len(),
+                        total_colors - budget
                     ),
-                    stitch_ledger,
+                    remaining.len(),
                 );
             }
         }
-        let decomposition = coloring.into_complete()?;
+        debug_assert_eq!(written, m, "every edge colored exactly once");
+        let decomposition = forest_graph::ForestDecomposition::from_colors(colors);
         let num_colors = decomposition.num_colors_used();
-        let max_diameter = max_forest_diameter(&frozen.csr, &decomposition.to_partial());
+        let max_diameter = max_forest_diameter(csr, &decomposition.to_partial());
         // The per-shard maxima exclude boundary edges, so they can under-shoot
         // the global arboricity (e.g. K4 split in two: each shard sees one
         // edge). Report the caller's bound when given; otherwise at least the
@@ -423,7 +585,7 @@ impl Decomposer {
         // pin down.
         let arboricity = request
             .alpha
-            .unwrap_or_else(|| arboricity.max(forest_graph::matroid::arboricity_lower_bound(g)));
+            .unwrap_or_else(|| arboricity.max(forest_graph::matroid::arboricity_lower_bound(csr)));
         let mut report = DecompositionReport {
             problem: request.problem,
             engine: request.engine,
@@ -440,7 +602,7 @@ impl Decomposer {
             validation: ValidationStatus::Skipped,
         };
         if request.validate {
-            report.validate(g)?;
+            report.validate(csr)?;
             report.validation = ValidationStatus::Validated;
         }
         Ok(report)
@@ -452,7 +614,6 @@ impl Decomposer {
         seed: u64,
     ) -> Result<DecompositionReport, FdError> {
         let start = Instant::now();
-        let g = input.graph;
         let request = &self.request;
         let engine = engines::engine_for(request.engine);
         if !engine.supports(request.problem) {
@@ -462,7 +623,7 @@ impl Decomposer {
             });
         }
         let mut rng = SmallRng::seed_from_u64(seed);
-        let (lists, resolved_alpha) = self.resolve_lists(g, &mut rng)?;
+        let (lists, resolved_alpha) = self.resolve_lists(&input.csr, &mut rng)?;
         // If palette resolution already paid for the exact arboricity, hand
         // the value to the engine instead of letting it recompute it.
         let effective;
@@ -478,7 +639,7 @@ impl Decomposer {
             problem: request.problem,
             engine: request.engine,
             seed,
-            num_edges: g.num_edges(),
+            num_edges: input.csr.num_edges(),
             artifact: outcome.artifact,
             lists,
             arboricity: outcome.arboricity,
@@ -490,7 +651,7 @@ impl Decomposer {
             validation: ValidationStatus::Skipped,
         };
         if request.validate {
-            report.validate(g)?;
+            report.validate(&input.csr)?;
             report.validation = ValidationStatus::Validated;
         }
         Ok(report)
@@ -502,19 +663,19 @@ impl Decomposer {
     #[allow(clippy::type_complexity)]
     fn resolve_lists(
         &self,
-        g: &MultiGraph,
+        csr: &CsrRef<'_>,
         rng: &mut SmallRng,
     ) -> Result<(Option<ListAssignment>, Option<usize>), FdError> {
         let request = &self.request;
         if !request.problem.is_list() {
             return Ok((None, None));
         }
-        let m = g.num_edges();
+        let m = csr.num_edges();
         let mut computed_alpha = None;
         let lists = match &request.palettes {
             PaletteSpec::Auto => {
                 let alpha = request.alpha.unwrap_or_else(|| {
-                    let exact = forest_graph::matroid::arboricity(g);
+                    let exact = forest_graph::matroid::arboricity(csr);
                     computed_alpha = Some(exact.max(1));
                     exact
                 });

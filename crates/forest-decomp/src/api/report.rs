@@ -7,7 +7,7 @@ use forest_graph::decomposition::{
     max_forest_diameter, validate_forest_decomposition, validate_list_coloring,
     validate_star_forest_decomposition,
 };
-use forest_graph::{ForestDecomposition, ListAssignment, MultiGraph, Orientation};
+use forest_graph::{ForestDecomposition, GraphView, ListAssignment, Orientation};
 use local_model::RoundLedger;
 use std::time::Duration;
 
@@ -166,7 +166,7 @@ impl DecompositionReport {
 
     /// Recomputes the maximum tree diameter from the artifact (0 for
     /// orientations, whose trees were already measured before orienting).
-    pub fn recompute_max_diameter(&self, g: &MultiGraph) -> usize {
+    pub fn recompute_max_diameter<G: GraphView>(&self, g: &G) -> usize {
         match &self.artifact {
             Artifact::Decomposition(fd) => max_forest_diameter(g, &fd.to_partial()),
             Artifact::Orientation { .. } => self.max_diameter,
@@ -177,13 +177,13 @@ impl DecompositionReport {
 /// Artifacts (and reports) that can be checked against the graph they were
 /// computed from, using the `forest_graph::decomposition` validators.
 pub trait Validate {
-    /// Validates the artifact; returns the typed validation failure if it is
-    /// not what it claims to be.
-    fn validate(&self, g: &MultiGraph) -> Result<(), FdError>;
+    /// Validates the artifact against any topology view; returns the typed
+    /// validation failure if it is not what it claims to be.
+    fn validate<G: GraphView>(&self, g: &G) -> Result<(), FdError>;
 }
 
 impl Validate for DecompositionReport {
-    fn validate(&self, g: &MultiGraph) -> Result<(), FdError> {
+    fn validate<G: GraphView>(&self, g: &G) -> Result<(), FdError> {
         if self.num_edges != g.num_edges() {
             return Err(FdError::GraphMismatch {
                 expected_edges: self.num_edges,

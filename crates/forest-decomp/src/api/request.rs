@@ -3,7 +3,7 @@
 
 use crate::algorithm2::CutStrategyKind;
 use crate::diameter_reduction::DiameterTarget;
-use forest_graph::ListAssignment;
+use forest_graph::{ListAssignment, ReorderKind};
 use std::fmt;
 
 /// Which decomposition problem a [`DecompositionRequest`] asks for.
@@ -114,6 +114,29 @@ pub enum PaletteSpec {
     Explicit(ListAssignment),
 }
 
+/// How [`Decomposer::run_sharded`](super::Decomposer::run_sharded) cuts the
+/// graph into shards.
+///
+/// The default splits contiguous vertex-id ranges (optimal for banded ids
+/// like row-major grids). When vertex ids carry no locality — random
+/// labelings, hashed ids — set [`ShardingSpec::reorder`] to
+/// [`ReorderKind::Bfs`] or [`ReorderKind::Rcm`] to split along a cheap
+/// locality-improving order instead, which shrinks the boundary fraction
+/// (the quantity that governs stitch cost and sharded color quality).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardingSpec {
+    /// The locality-improving order to split along
+    /// ([`ReorderKind::Identity`] = raw vertex ids, the default).
+    pub reorder: ReorderKind,
+}
+
+impl ShardingSpec {
+    /// A spec splitting along `reorder`.
+    pub fn with_reorder(reorder: ReorderKind) -> Self {
+        ShardingSpec { reorder }
+    }
+}
+
 /// A complete, self-contained description of one decomposition run.
 ///
 /// Requests are plain data: build one with [`DecompositionRequest::new`] plus
@@ -137,6 +160,8 @@ pub struct DecompositionRequest {
     pub radii: Option<(usize, usize)>,
     /// Palette source for list problems (ignored otherwise).
     pub palettes: PaletteSpec,
+    /// How `run_sharded` cuts the graph (ignored by unsharded runs).
+    pub sharding: ShardingSpec,
     /// Deterministic seed; two runs of the same request on the same graph
     /// produce identical reports (modulo wall-clock).
     pub seed: u64,
@@ -158,6 +183,7 @@ impl DecompositionRequest {
             diameter_target: None,
             radii: None,
             palettes: PaletteSpec::Auto,
+            sharding: ShardingSpec::default(),
             seed: 0,
             validate: true,
         }
@@ -202,6 +228,20 @@ impl DecompositionRequest {
     /// Sets the palette source for list problems.
     pub fn with_palettes(mut self, palettes: PaletteSpec) -> Self {
         self.palettes = palettes;
+        self
+    }
+
+    /// Sets how `run_sharded` cuts the graph into shards.
+    pub fn with_sharding(mut self, sharding: ShardingSpec) -> Self {
+        self.sharding = sharding;
+        self
+    }
+
+    /// Shorthand: `run_sharded` splits along the given locality-improving
+    /// order ([`ReorderKind::Rcm`] is the right default for graphs whose
+    /// vertex ids carry no locality).
+    pub fn with_shard_reorder(mut self, reorder: ReorderKind) -> Self {
+        self.sharding.reorder = reorder;
         self
     }
 

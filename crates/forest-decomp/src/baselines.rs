@@ -12,7 +12,7 @@
 use crate::error::FdError;
 use crate::hpartition::{acyclic_orientation, h_partition, out_edge_labels};
 use forest_graph::traversal::root_forest;
-use forest_graph::{Color, ForestDecomposition, GraphView, MultiGraph};
+use forest_graph::{Color, ForestDecomposition, GraphView};
 use local_model::RoundLedger;
 
 /// Result of the Barenboim–Elkin baseline.
@@ -84,8 +84,9 @@ pub fn two_color_star_forests<G: GraphView>(
 }
 
 /// The exact centralized `α`-forest decomposition (matroid partition); a thin
-/// convenience re-export so benchmark code only needs this crate.
-pub fn exact_centralized_decomposition(g: &MultiGraph) -> (ForestDecomposition, usize) {
+/// convenience re-export so benchmark code only needs this crate. Generic
+/// over [`GraphView`], so it runs directly on CSR and zero-copy shard views.
+pub fn exact_centralized_decomposition<G: GraphView>(g: &G) -> (ForestDecomposition, usize) {
     let exact = forest_graph::matroid::exact_forest_decomposition(g);
     (exact.decomposition, exact.arboricity)
 }

@@ -100,23 +100,42 @@ pub struct FdResult {
     pub ledger: RoundLedger,
 }
 
-/// Theorem 4.6: `(1+O(ε))α`-forest decomposition of a multigraph, over the
-/// frozen topology `csr` (which must be topology-identical to
-/// `CsrGraph::from_multigraph(g)` — any [`CsrStorage`](forest_graph::CsrStorage)
-/// qualifies; the `Decomposer` facade freezes once per request and threads
-/// the pair through every phase).
+/// Theorem 4.6: `(1+O(ε))α`-forest decomposition over any frozen topology
+/// view — an owned CSR, an mmap-backed graph, or a zero-copy `CsrRef` shard
+/// (the `Decomposer` facade freezes once per request; the thaw-free sharded
+/// pipeline feeds shard views straight in).
 ///
 /// # Errors
 ///
 /// Returns an error for invalid parameters or if an internal phase fails.
 pub(crate) fn forest_decomposition<C: GraphView, R: Rng + ?Sized>(
-    g: &MultiGraph,
     csr: &C,
     options: &FdOptions,
     rng: &mut R,
 ) -> Result<FdResult, FdError> {
+    forest_decomposition_impl(csr, options, rng, true)
+}
+
+/// [`forest_decomposition`] without the final diameter measurement
+/// (`max_diameter` reported as 0) — the shard fast path: `run_sharded`
+/// measures the diameter once globally after stitching, so per-shard
+/// measurement would only duplicate a whole-graph BFS pass.
+pub(crate) fn forest_decomposition_shard<C: GraphView, R: Rng + ?Sized>(
+    csr: &C,
+    options: &FdOptions,
+    rng: &mut R,
+) -> Result<FdResult, FdError> {
+    forest_decomposition_impl(csr, options, rng, false)
+}
+
+fn forest_decomposition_impl<C: GraphView, R: Rng + ?Sized>(
+    csr: &C,
+    options: &FdOptions,
+    rng: &mut R,
+    measure_diameter: bool,
+) -> Result<FdResult, FdError> {
     check_epsilon(options.epsilon)?;
-    if g.num_edges() == 0 {
+    if csr.num_edges() == 0 {
         return Ok(FdResult {
             decomposition: ForestDecomposition::from_colors(Vec::new()),
             num_colors: 0,
@@ -128,22 +147,22 @@ pub(crate) fn forest_decomposition<C: GraphView, R: Rng + ?Sized>(
     }
     let alpha = options
         .alpha
-        .unwrap_or_else(|| forest_graph::matroid::arboricity(g))
+        .unwrap_or_else(|| forest_graph::matroid::arboricity(csr))
         .max(1);
     let primary_colors = ((1.0 + options.epsilon) * alpha as f64).ceil() as usize;
-    let lists = ListAssignment::uniform(g.num_edges(), primary_colors);
+    let lists = ListAssignment::uniform(csr.num_edges(), primary_colors);
     let mut config = Algorithm2Config::new(options.epsilon, alpha);
     config.cut = options.cut;
     if let Some((r, rp)) = options.radii {
         config = config.with_radii(r, rp);
     }
-    let out = algorithm2_frozen(g, csr, &lists, &config, rng)?;
+    let out = algorithm2_frozen(csr, &lists, &config, rng)?;
     let mut ledger = out.ledger.clone();
     let mut coloring = out.coloring.clone();
     // Recolor the leftover as star forests with fresh colors (Theorem 2.1(3)).
     if !out.leftover.is_empty() {
-        let leftover_mask = crate::cut::dense_mask(g.num_edges(), out.leftover.iter().copied());
-        let (sub, back) = g.edge_subgraph(|e| leftover_mask[e.index()]);
+        let leftover_mask = crate::cut::dense_mask(csr.num_edges(), out.leftover.iter().copied());
+        let (sub, back) = forest_graph::edge_subgraph(csr, |e| leftover_mask[e.index()]);
         let pseudo = forest_graph::orientation::pseudoarboricity(&sub).max(1);
         let hp = h_partition(&sub, 0.5, pseudo, &mut ledger)?;
         let sub_orientation = acyclic_orientation(&sub, &hp);
@@ -157,13 +176,17 @@ pub(crate) fn forest_decomposition<C: GraphView, R: Rng + ?Sized>(
     }
     // Optional diameter reduction (Corollary 2.5).
     if let Some(target) = options.diameter_target {
-        let reduced = reduce_diameter(g, &coloring, options.epsilon, target, rng, &mut ledger)?;
+        let reduced = reduce_diameter(csr, &coloring, options.epsilon, target, rng, &mut ledger)?;
         coloring = reduced.coloring;
     }
     let decomposition = coloring.into_complete()?;
     validate_partial_forest_decomposition(csr, &decomposition.to_partial())?;
     let num_colors = decomposition.num_colors_used();
-    let max_diameter = max_forest_diameter(csr, &decomposition.to_partial());
+    let max_diameter = if measure_diameter {
+        max_forest_diameter(csr, &decomposition.to_partial())
+    } else {
+        0
+    };
     Ok(FdResult {
         decomposition,
         num_colors,
@@ -267,7 +290,7 @@ pub(crate) fn list_forest_decomposition<C: GraphView, R: Rng + ?Sized>(
     if let Some((r, rp)) = options.radii {
         config = config.with_radii(r, rp);
     }
-    let out = algorithm2_frozen(g, csr, &q0, &config, rng)?;
+    let out = algorithm2_frozen(csr, &q0, &config, rng)?;
     ledger.absorb("algorithm2", out.ledger.clone());
     let phi0 = out.coloring.clone();
 
@@ -359,7 +382,7 @@ mod tests {
         let g = generators::planted_forest_union(60, 4, &mut rng);
         let options = FdOptions::new(0.5);
         let csr = CsrGraph::from_multigraph(&g);
-        let result = forest_decomposition(&g, &csr, &options, &mut rng).unwrap();
+        let result = forest_decomposition(&csr, &options, &mut rng).unwrap();
         validate_forest_decomposition(&g, &result.decomposition, Some(result.num_colors))
             .expect("valid FD");
         // (1 + O(eps)) alpha colors: with eps = 0.5 and the leftover budget,
@@ -382,7 +405,7 @@ mod tests {
             .with_alpha(3)
             .with_diameter_target(DiameterTarget::OneOverEpsilon);
         let csr = CsrGraph::from_multigraph(&g);
-        let result = forest_decomposition(&g, &csr, &options, &mut rng).unwrap();
+        let result = forest_decomposition(&csr, &options, &mut rng).unwrap();
         validate_forest_decomposition(&g, &result.decomposition, Some(result.num_colors))
             .expect("valid FD");
         // Diameter O(1/eps): z = ceil(2/0.4) = 5, so at most 2z = 10.
@@ -402,7 +425,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let options = FdOptions::new(0.5).with_alpha(2).with_radii(8, 4);
         let csr = CsrGraph::from_multigraph(&g);
-        let result = forest_decomposition(&g, &csr, &options, &mut rng).unwrap();
+        let result = forest_decomposition(&csr, &options, &mut rng).unwrap();
         validate_forest_decomposition(&g, &result.decomposition, Some(result.num_colors))
             .expect("valid FD");
         assert!(result.num_colors >= 2);
@@ -455,7 +478,7 @@ mod tests {
         let g = MultiGraph::new(3);
         let csr = CsrGraph::from_multigraph(&g);
         let options = FdOptions::new(0.5);
-        let fd = forest_decomposition(&g, &csr, &options, &mut rng).unwrap();
+        let fd = forest_decomposition(&csr, &options, &mut rng).unwrap();
         assert_eq!(fd.num_colors, 0);
         let lists = ListAssignment::uniform(0, 1);
         let lfd = list_forest_decomposition(&g, &csr, &lists, &options, &mut rng).unwrap();

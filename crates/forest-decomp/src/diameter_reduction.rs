@@ -19,7 +19,7 @@ use crate::error::{check_epsilon, FdError};
 use crate::hpartition::{acyclic_orientation, h_partition, star_forest_decomposition};
 use forest_graph::decomposition::{max_forest_diameter, PartialEdgeColoring};
 use forest_graph::traversal::root_forest;
-use forest_graph::{Color, EdgeId, MultiGraph};
+use forest_graph::{Color, EdgeId, GraphView};
 use local_model::rounds::costs;
 use local_model::RoundLedger;
 use rand::Rng;
@@ -62,8 +62,8 @@ pub struct DiameterReductionOutcome {
 ///
 /// Returns an error for invalid `ε` or if the internal recoloring of the
 /// deleted edges fails.
-pub fn reduce_diameter<R: Rng + ?Sized>(
-    g: &MultiGraph,
+pub fn reduce_diameter<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
     coloring: &PartialEdgeColoring,
     epsilon: f64,
     target: DiameterTarget,
@@ -117,7 +117,7 @@ pub fn reduce_diameter<R: Rng + ?Sized>(
     let removed_set: HashSet<EdgeId> = removed.iter().copied().collect();
     let mut num_new_colors = 0usize;
     if !removed.is_empty() {
-        let (sub, back) = g.edge_subgraph(|e| removed_set.contains(&e));
+        let (sub, back) = forest_graph::edge_subgraph(g, |e| removed_set.contains(&e));
         let pseudo = forest_graph::orientation::pseudoarboricity(&sub).max(1);
         let hp = h_partition(&sub, 0.5, pseudo, ledger)?;
         let orientation = acyclic_orientation(&sub, &hp);
@@ -147,6 +147,7 @@ mod tests {
     use super::*;
     use forest_graph::decomposition::{validate_partial_forest_decomposition, ForestDecomposition};
     use forest_graph::generators;
+    use forest_graph::MultiGraph;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 

@@ -86,6 +86,13 @@ pub enum FdError {
         /// The problem that was requested.
         problem: ProblemKind,
     },
+    /// `run_sharded` was asked for zero shards. (The low-level
+    /// `CsrPartition::split` clamps instead, documented; the facade rejects
+    /// so a misconfigured caller hears about it.)
+    InvalidShardCount {
+        /// The shard count that was requested.
+        requested: usize,
+    },
     /// A shard index beyond the partition's shard count.
     ShardOutOfRange {
         /// The requested shard.
@@ -147,6 +154,10 @@ impl fmt::Display for FdError {
                 f,
                 "run_sharded does not support the {problem} problem (per-shard artifacts \
                  only merge safely for forest decomposition)"
+            ),
+            FdError::InvalidShardCount { requested } => write!(
+                f,
+                "run_sharded requires at least one shard (got {requested})"
             ),
             FdError::ShardOutOfRange { shard, num_shards } => write!(
                 f,

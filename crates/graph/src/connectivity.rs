@@ -44,6 +44,7 @@ use std::collections::BTreeMap;
 /// assert!(!conn.connected(&g, &coloring, None, Color::new(0), 1.into(), 2.into()));
 /// # Ok::<(), forest_graph::GraphError>(())
 /// ```
+#[derive(Clone, Debug)]
 pub struct ColorConnectivity {
     num_vertices: usize,
     forests: BTreeMap<Color, UnionFind>,
@@ -93,6 +94,14 @@ impl ColorConnectivity {
         })
     }
 
+    /// The already-cached forest of `c`, if any — the no-graph-in-hand
+    /// accessor for callers that maintain the cache purely through
+    /// [`ColorConnectivity::prime`] + [`ColorConnectivity::insert`]
+    /// (shard stitching), where a lazy build could never trigger.
+    pub fn cached_forest(&mut self, c: Color) -> Option<&mut UnionFind> {
+        self.forests.get_mut(&c)
+    }
+
     /// Whether the color-`c` forest (under `filter`) connects `u` and `v`.
     pub fn connected<G: GraphView>(
         &mut self,
@@ -105,6 +114,19 @@ impl ColorConnectivity {
     ) -> bool {
         self.forest(g, coloring, filter, c)
             .connected(u.index(), v.index())
+    }
+
+    /// Creates empty cached forests for colors `0..num_colors` so that
+    /// subsequent [`ColorConnectivity::insert`]s build them incrementally —
+    /// the bulk-merge fast path, which avoids the `O(colors x m)` lazy
+    /// rebuild scans entirely when the caller replays every colored edge
+    /// through `insert`.
+    pub fn prime(&mut self, num_colors: usize) {
+        for c in 0..num_colors {
+            self.forests
+                .entry(Color::new(c))
+                .or_insert_with(|| UnionFind::new(self.num_vertices));
+        }
     }
 
     /// Records that an edge `{u, v}` was just colored `c`: an incremental

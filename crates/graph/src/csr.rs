@@ -217,6 +217,29 @@ impl OwnedCsr {
         Self::from_view(g)
     }
 
+    /// Assembles a CSR directly from pre-built arrays (the shard splitter's
+    /// zero-intermediate construction path). The caller guarantees the same
+    /// layout [`CsrGraph::from_view`] would produce; debug builds verify the
+    /// structural invariants.
+    pub(crate) fn from_raw_parts(
+        offsets: Vec<u32>,
+        neighbors: Vec<u32>,
+        edge_ids: Vec<u32>,
+        endpoints: Vec<u32>,
+    ) -> Self {
+        debug_assert!(!offsets.is_empty());
+        debug_assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        debug_assert_eq!(neighbors.len(), edge_ids.len());
+        debug_assert_eq!(neighbors.len(), endpoints.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        CsrGraph {
+            offsets,
+            neighbors,
+            edge_ids,
+            endpoints,
+        }
+    }
+
     /// Decodes a graph from the on-disk byte format (see the
     /// [module docs](self)).
     ///
@@ -422,6 +445,12 @@ impl<S: CsrStorage> CsrGraph<S> {
                 .map(|uv| (VertexId::new(uv[0] as usize), VertexId::new(uv[1] as usize))),
         )
         .expect("CSR endpoints are valid by construction")
+    }
+
+    /// The raw interleaved endpoints array (`u_0, v_0, u_1, v_1, ...`):
+    /// the shard splitter's allocation-free edge scan.
+    pub(crate) fn endpoint_words(&self) -> &[u32] {
+        self.endpoints.as_u32s()
     }
 
     /// The contiguous range of incidence-slot indices belonging to `v`.

@@ -162,9 +162,17 @@ impl ForestDecomposition {
         self.colors.iter().copied().collect()
     }
 
-    /// Number of distinct colors in use.
+    /// Number of distinct colors in use. Two linear scans over a dense
+    /// bitmap — color ids are small — instead of an ordered-set build.
     pub fn num_colors_used(&self) -> usize {
-        self.colors_used().len()
+        let Some(max) = self.colors.iter().map(|c| c.index()).max() else {
+            return 0;
+        };
+        let mut seen = vec![false; max + 1];
+        for c in &self.colors {
+            seen[c.index()] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
     }
 
     /// Edges assigned color `c`.
@@ -175,6 +183,12 @@ impl ForestDecomposition {
             .filter(|(_, x)| **x == c)
             .map(|(i, _)| EdgeId::new(i))
             .collect()
+    }
+
+    /// The per-edge color array (index = edge id) — the bulk-merge fast
+    /// path over [`ForestDecomposition::color`].
+    pub fn colors(&self) -> &[Color] {
+        &self.colors
     }
 
     /// View as a partial coloring (every edge colored).

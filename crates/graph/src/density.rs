@@ -8,7 +8,6 @@
 
 use crate::flow::{FlowNetwork, INF_CAPACITY};
 use crate::ids::VertexId;
-use crate::multigraph::MultiGraph;
 use crate::view::GraphView;
 
 /// Result of an exact densest-subgraph computation.
@@ -129,7 +128,7 @@ pub fn pseudoarboricity<G: GraphView>(g: &G) -> usize {
 }
 
 /// Exact arboricity (delegates to the matroid-partition baseline).
-pub fn arboricity(g: &MultiGraph) -> usize {
+pub fn arboricity<G: GraphView>(g: &G) -> usize {
     crate::matroid::arboricity(g)
 }
 
@@ -152,7 +151,7 @@ pub struct SparsityProfile {
 }
 
 /// Computes a [`SparsityProfile`] (exact; intended for bench-scale graphs).
-pub fn sparsity_profile(g: &MultiGraph) -> SparsityProfile {
+pub fn sparsity_profile<G: GraphView>(g: &G) -> SparsityProfile {
     SparsityProfile {
         num_vertices: g.num_vertices(),
         num_edges: g.num_edges(),
@@ -166,6 +165,7 @@ pub fn sparsity_profile(g: &MultiGraph) -> SparsityProfile {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::multigraph::MultiGraph;
 
     fn complete_graph(n: usize) -> MultiGraph {
         let mut pairs = Vec::new();

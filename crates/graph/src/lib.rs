@@ -20,7 +20,10 @@
 //! * [`CsrPartition`] — zero-copy sharding of one frozen graph: per-shard
 //!   [`CsrRef`] views (local renumbering kept as two small index arrays)
 //!   plus the explicit boundary-edge list shard-parallel decomposition
-//!   stitches through.
+//!   stitches through. [`reorder`] supplies the locality-improving vertex
+//!   orders (BFS / reverse Cuthill–McKee as [`VertexPermutation`]s) that
+//!   [`CsrPartition::split_ordered`] cuts along when vertex ids are not
+//!   already banded.
 //! * [`connectivity`] — the per-color union-find cache (with optional edge
 //!   filter) shared by the augmenting search, the matroid partition and
 //!   shard-boundary stitching.
@@ -67,6 +70,7 @@ mod multigraph;
 pub mod orientation;
 pub mod palette;
 mod partition;
+pub mod reorder;
 pub mod traversal;
 pub mod union_find;
 mod view;
@@ -77,9 +81,10 @@ pub use decomposition::{DecompositionStats, ForestDecomposition, PartialEdgeColo
 pub use error::{GraphError, ValidationError};
 pub use flow::FlowNetwork;
 pub use ids::{Color, EdgeId, VertexId};
-pub use multigraph::{InducedSubgraph, MultiGraph, SimpleGraph};
+pub use multigraph::{edge_subgraph, InducedSubgraph, MultiGraph, SimpleGraph};
 pub use orientation::Orientation;
 pub use palette::ListAssignment;
 pub use partition::CsrPartition;
+pub use reorder::{ReorderKind, VertexPermutation};
 pub use union_find::UnionFind;
 pub use view::GraphView;

@@ -9,13 +9,17 @@
 //!
 //! The paper's distributed algorithms are benchmarked against this exact
 //! baseline, and [`arboricity`] (the minimum number of forests) serves as the
-//! ground-truth `α` for every experiment.
+//! ground-truth `α` for every experiment. Everything here is generic over
+//! [`GraphView`], so the same code runs on a mutable
+//! [`MultiGraph`](crate::MultiGraph), an owned CSR, or a zero-copy
+//! [`CsrRef`](crate::CsrRef) shard view — the thaw-free sharded pipeline
+//! feeds shard views straight in.
 
 use crate::connectivity::ColorConnectivity;
 use crate::decomposition::{ForestDecomposition, PartialEdgeColoring};
 use crate::ids::{Color, EdgeId, VertexId};
-use crate::multigraph::MultiGraph;
 use crate::traversal::path_between;
+use crate::view::GraphView;
 use std::collections::VecDeque;
 
 /// Attempts to color `edge` in the partial `k`-forest partition `coloring` by
@@ -25,7 +29,12 @@ use std::collections::VecDeque;
 /// valid partial forest partition) and `false` if no augmenting sequence
 /// exists, which certifies that the already-colored edges plus `edge` cannot
 /// be partitioned into `k` forests.
-fn try_augment(g: &MultiGraph, coloring: &mut PartialEdgeColoring, edge: EdgeId, k: usize) -> bool {
+pub(crate) fn try_augment<G: GraphView>(
+    g: &G,
+    coloring: &mut PartialEdgeColoring,
+    edge: EdgeId,
+    k: usize,
+) -> bool {
     // BFS over edges of the exchange graph. `prev[e]` records the edge from
     // which `e` was reached.
     let m = g.num_edges();
@@ -87,7 +96,7 @@ fn try_augment(g: &MultiGraph, coloring: &mut PartialEdgeColoring, edge: EdgeId,
 ///
 /// Returns `None` if no such partition exists (i.e. `k < α(G)`), otherwise a
 /// complete forest decomposition using colors `0..k`.
-pub fn forest_partition_with(g: &MultiGraph, k: usize) -> Option<ForestDecomposition> {
+pub fn forest_partition_with<G: GraphView>(g: &G, k: usize) -> Option<ForestDecomposition> {
     if g.num_edges() == 0 {
         return Some(ForestDecomposition::from_colors(Vec::new()));
     }
@@ -122,6 +131,11 @@ pub struct ExactForestDecomposition {
     pub decomposition: ForestDecomposition,
     /// The arboricity `α(G)` (number of forests used).
     pub arboricity: usize,
+    /// Per-color union-finds exactly covering
+    /// [`ExactForestDecomposition::decomposition`] — the partition's own
+    /// working cache, completed and handed back so shard pipelines stitch
+    /// through it instead of re-unioning every edge.
+    pub connectivity: ColorConnectivity,
 }
 
 /// Computes the exact arboricity `α(G)` and an `α(G)`-forest decomposition
@@ -130,13 +144,14 @@ pub struct ExactForestDecomposition {
 /// The search starts from the Nash-Williams lower bound `⌈m/(n-1)⌉` and
 /// increases `k` only when an edge provably cannot be accommodated, so the
 /// number of restarts is at most `α` minus the lower bound.
-pub fn exact_forest_decomposition(g: &MultiGraph) -> ExactForestDecomposition {
+pub fn exact_forest_decomposition<G: GraphView>(g: &G) -> ExactForestDecomposition {
     let m = g.num_edges();
     let n = g.num_vertices();
     if m == 0 {
         return ExactForestDecomposition {
             decomposition: ForestDecomposition::from_colors(Vec::new()),
             arboricity: 0,
+            connectivity: ColorConnectivity::new(n),
         };
     }
     // Whole-graph Nash-Williams lower bound. (The max over subgraphs can be
@@ -157,12 +172,18 @@ pub fn exact_forest_decomposition(g: &MultiGraph) -> ExactForestDecomposition {
         }
         connectivity.rebuild(g, &coloring, None, k);
     }
+    // Complete the cache: colors the fast path never queried are built now,
+    // so the returned forests exactly cover the final coloring.
+    for c in 0..k {
+        connectivity.forest(g, &coloring, None, Color::new(c));
+    }
     let decomposition = coloring
         .into_complete()
         .expect("all edges colored by construction");
     ExactForestDecomposition {
         decomposition,
         arboricity: k,
+        connectivity,
     }
 }
 
@@ -171,12 +192,12 @@ pub fn exact_forest_decomposition(g: &MultiGraph) -> ExactForestDecomposition {
 /// By Nash-Williams, `α(G) = max_H ⌈|E(H)| / (|V(H)|-1)⌉` over subgraphs with
 /// at least two vertices; this function computes it constructively via matroid
 /// partition.
-pub fn arboricity(g: &MultiGraph) -> usize {
+pub fn arboricity<G: GraphView>(g: &G) -> usize {
     exact_forest_decomposition(g).arboricity
 }
 
 /// Nash-Williams whole-graph lower bound `⌈m/(n-1)⌉` (0 when `m = 0`).
-pub fn arboricity_lower_bound(g: &MultiGraph) -> usize {
+pub fn arboricity_lower_bound<G: GraphView>(g: &G) -> usize {
     let m = g.num_edges();
     let n = g.num_vertices();
     if m == 0 || n < 2 {
@@ -188,7 +209,7 @@ pub fn arboricity_lower_bound(g: &MultiGraph) -> usize {
 
 /// Decomposes the graph into the minimum number of forests and reports how
 /// many vertices each rooted tree spans. Convenience wrapper used by examples.
-pub fn minimum_forest_count(g: &MultiGraph) -> usize {
+pub fn minimum_forest_count<G: GraphView>(g: &G) -> usize {
     arboricity(g)
 }
 
@@ -199,7 +220,7 @@ pub fn minimum_forest_count(g: &MultiGraph) -> usize {
 /// checks the whole graph and each connected component — enough for the
 /// planted workloads used in tests. Returns `None` when no witness is found
 /// at this granularity.
-pub fn density_witness(g: &MultiGraph, bound: usize) -> Option<Vec<VertexId>> {
+pub fn density_witness<G: GraphView>(g: &G, bound: usize) -> Option<Vec<VertexId>> {
     if bound == 0 {
         return Some(g.vertices().collect());
     }
@@ -232,6 +253,7 @@ pub fn density_witness(g: &MultiGraph, bound: usize) -> Option<Vec<VertexId>> {
 mod tests {
     use super::*;
     use crate::decomposition::validate_forest_decomposition;
+    use crate::multigraph::MultiGraph;
 
     fn complete_graph(n: usize) -> MultiGraph {
         let mut pairs = Vec::new();

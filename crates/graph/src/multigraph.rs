@@ -215,19 +215,11 @@ impl MultiGraph {
     /// Returns the subgraph induced by keeping only the edges for which
     /// `keep` returns `true`. Vertex identifiers are preserved; the returned
     /// vector maps new edge identifiers back to the original ones.
-    pub fn edge_subgraph<F>(&self, mut keep: F) -> (MultiGraph, Vec<EdgeId>)
+    pub fn edge_subgraph<F>(&self, keep: F) -> (MultiGraph, Vec<EdgeId>)
     where
         F: FnMut(EdgeId) -> bool,
     {
-        let mut g = MultiGraph::new(self.num_vertices());
-        let mut back = Vec::new();
-        for (e, u, v) in self.edges() {
-            if keep(e) {
-                g.add_edge(u, v).expect("endpoints already validated");
-                back.push(e);
-            }
-        }
-        (g, back)
+        edge_subgraph(self, keep)
     }
 
     /// Returns the subgraph induced by the given vertex set.
@@ -312,6 +304,26 @@ impl GraphView for MultiGraph {
     fn incidences(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
         MultiGraph::incidences(self, v)
     }
+}
+
+/// The subgraph of any [`GraphView`] keeping only the edges for which `keep`
+/// returns `true`, as a fresh [`MultiGraph`] (vertex identifiers preserved)
+/// plus the map from new edge ids back to the original ones. This is the
+/// leftover/residue extraction step every recoloring phase uses; taking a
+/// view means it works on CSR and shard inputs without a thaw.
+pub fn edge_subgraph<G: GraphView, F>(g: &G, mut keep: F) -> (MultiGraph, Vec<EdgeId>)
+where
+    F: FnMut(EdgeId) -> bool,
+{
+    let mut sub = MultiGraph::new(g.num_vertices());
+    let mut back = Vec::new();
+    for (e, u, v) in g.edges() {
+        if keep(e) {
+            sub.add_edge(u, v).expect("endpoints already validated");
+            back.push(e);
+        }
+    }
+    (sub, back)
 }
 
 /// Result of [`MultiGraph::induced_subgraph`]: the subgraph plus id mappings

@@ -17,16 +17,26 @@
 /// ```
 #[derive(Clone, Debug)]
 pub struct UnionFind {
-    parent: Vec<usize>,
+    /// Compact `u32` parents: half the memory traffic of `usize` — these
+    /// arrays are the hot working set of the matroid fast path and shard
+    /// stitching, so cache residency matters more than headroom (graphs are
+    /// `u32`-indexed throughout the workspace anyway).
+    parent: Vec<u32>,
     rank: Vec<u8>,
     components: usize,
 }
 
 impl UnionFind {
     /// Creates a structure with `n` singleton sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds `u32::MAX` (the workspace's graphs are
+    /// `u32`-indexed everywhere).
     pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "UnionFind is u32-indexed");
         UnionFind {
-            parent: (0..n).collect(),
+            parent: (0..n as u32).collect(),
             rank: vec![0; n],
             components: n,
         }
@@ -44,17 +54,17 @@ impl UnionFind {
 
     /// Finds the representative of `x` (with path compression).
     pub fn find(&mut self, x: usize) -> usize {
-        let mut root = x;
-        while self.parent[root] != root {
-            root = self.parent[root];
+        let mut root = x as u32;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
         }
-        let mut cur = x;
-        while self.parent[cur] != root {
-            let next = self.parent[cur];
-            self.parent[cur] = root;
+        let mut cur = x as u32;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
             cur = next;
         }
-        root
+        root as usize
     }
 
     /// Merges the sets containing `x` and `y`.
@@ -71,7 +81,7 @@ impl UnionFind {
         } else {
             (ry, rx)
         };
-        self.parent[lo] = hi;
+        self.parent[lo] = hi as u32;
         if self.rank[hi] == self.rank[lo] {
             self.rank[hi] += 1;
         }
@@ -92,7 +102,7 @@ impl UnionFind {
     /// Resets the structure to `n` singletons, reusing allocations.
     pub fn reset(&mut self) {
         for (i, p) in self.parent.iter_mut().enumerate() {
-            *p = i;
+            *p = i as u32;
         }
         self.rank.fill(0);
         self.components = self.parent.len();

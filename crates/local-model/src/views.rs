@@ -7,7 +7,7 @@
 
 use crate::rounds::RoundLedger;
 use forest_graph::traversal::{multi_source_bfs, UNREACHABLE};
-use forest_graph::{EdgeId, MultiGraph, VertexId};
+use forest_graph::{EdgeId, GraphView, MultiGraph, VertexId};
 
 /// The radius-`r` view around a set of center vertices: the vertices within
 /// distance `r` and the edges with both endpoints in that ball.
@@ -81,7 +81,7 @@ pub fn collect_view(
 ///
 /// Simulating one round of `G^r` costs `O(r)` rounds of `G`; callers charge
 /// that separately when they run algorithms on the power graph.
-pub fn power_graph(g: &MultiGraph, r: usize) -> MultiGraph {
+pub fn power_graph<G: GraphView>(g: &G, r: usize) -> MultiGraph {
     let n = g.num_vertices();
     let mut pg = MultiGraph::new(n);
     if r == 0 {

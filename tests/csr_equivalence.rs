@@ -194,5 +194,8 @@ fn frozen_graph_accessors_are_consistent() {
     assert_eq!(frozen.graph(), &g);
     assert_eq!(frozen.csr(), &CsrGraph::from_multigraph(&g));
     let input = frozen.input();
-    assert_eq!(input.graph.num_edges(), input.csr.num_edges());
+    assert_eq!(
+        input.multigraph().map(forest_graph::MultiGraph::num_edges),
+        Some(input.csr.num_edges())
+    );
 }

@@ -1,0 +1,195 @@
+//! Locality-reordered sharding contract tests: BFS/RCM orders are valid
+//! permutations, a permuted run is equivalent to the unpermuted run modulo
+//! relabeling (edge ids round-trip untouched), sharded color counts stay
+//! within the Theorem 4.6-style budget and are non-increasing in locality,
+//! and the pre-split [`ShardedGraph`] path is byte-identical to the one-call
+//! `run_sharded` path.
+
+use forest_decomp::api::{
+    Decomposer, DecompositionRequest, Engine, FrozenGraph, ProblemKind, ReorderKind, ShardedGraph,
+    ShardingSpec, Validate,
+};
+use forest_decomp::FdError;
+use forest_graph::reorder::{bfs_order, permute, rcm_order};
+use forest_graph::{generators, CsrGraph, GraphView, MultiGraph, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: a random multigraph with up to `max_n` vertices and `max_m`
+/// edges (self-loops excluded by construction).
+fn arb_multigraph(max_n: usize, max_m: usize) -> impl Strategy<Value = MultiGraph> {
+    (2..max_n, 0..max_m).prop_flat_map(|(n, m)| {
+        proptest::collection::vec((0..n, 0..n), m).prop_map(move |pairs| {
+            let mut g = MultiGraph::new(n);
+            for (u, v) in pairs {
+                if u != v {
+                    g.add_edge(VertexId::new(u), VertexId::new(v)).unwrap();
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// BFS and RCM orders are valid permutations: every vertex appears at
+    /// exactly one position, and the two directions invert each other.
+    #[test]
+    fn bfs_and_rcm_orders_are_valid_permutations(g in arb_multigraph(40, 120)) {
+        let csr = CsrGraph::from_multigraph(&g);
+        for perm in [bfs_order(&csr), rcm_order(&csr)] {
+            prop_assert_eq!(perm.len(), g.num_vertices());
+            let mut hit = vec![false; g.num_vertices()];
+            for v in g.vertices() {
+                let new = perm.new_id(v);
+                prop_assert!(!hit[new.index()], "two vertices mapped to {new}");
+                hit[new.index()] = true;
+                prop_assert_eq!(perm.old_id(new), v);
+            }
+            prop_assert!(hit.iter().all(|&h| h));
+        }
+    }
+
+    /// A reordered run is the unreordered run modulo relabeling: `permute`
+    /// keeps edge ids fixed while relabeling endpoints, so the exact-matroid
+    /// run on the permuted graph produces the *same per-edge colors*, the
+    /// same color count, and a decomposition that validates — and the edge
+    /// multiset maps back through the permutation.
+    #[test]
+    fn permuted_run_is_equivalent_modulo_relabeling(g in arb_multigraph(28, 90)) {
+        let csr = CsrGraph::from_multigraph(&g);
+        let perm = rcm_order(&csr);
+        let permuted_csr = permute(&csr, &perm);
+        let permuted = permuted_csr.to_multigraph();
+        // Edge multiset preserved: edge e's endpoints map exactly through
+        // the permutation (edge ids round-trip as the identity).
+        for (e, u, v) in csr.edges() {
+            let (pu, pv) = permuted.endpoints(e);
+            prop_assert_eq!((pu, pv), (perm.new_id(u), perm.new_id(v)));
+        }
+        let decomposer = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_engine(Engine::ExactMatroid)
+                .with_seed(3),
+        );
+        let original = decomposer.run(&g).unwrap();
+        let relabeled = decomposer.run(&permuted).unwrap();
+        original.validate(&g).unwrap();
+        relabeled.validate(&permuted).unwrap();
+        prop_assert_eq!(original.num_colors, relabeled.num_colors);
+        let a = original.artifact.decomposition().unwrap();
+        let b = relabeled.artifact.decomposition().unwrap();
+        prop_assert_eq!(a.colors(), b.colors());
+    }
+
+    /// `run_sharded` with a BFS/RCM `ShardingSpec` still produces a valid,
+    /// deterministic stitched decomposition on arbitrary graphs.
+    #[test]
+    fn reordered_sharded_runs_validate(
+        (g, k) in (arb_multigraph(32, 100), 2usize..5)
+    ) {
+        for reorder in [ReorderKind::Bfs, ReorderKind::Rcm] {
+            let decomposer = Decomposer::new(
+                DecompositionRequest::new(ProblemKind::Forest)
+                    .with_engine(Engine::ExactMatroid)
+                    .with_seed(11)
+                    .with_shard_reorder(reorder),
+            );
+            let report = decomposer.run_sharded(&g, k).unwrap();
+            report.validate(&g).unwrap();
+            let again = decomposer.run_sharded(&g, k).unwrap();
+            prop_assert_eq!(report.canonical_bytes(), again.canonical_bytes());
+        }
+    }
+}
+
+/// Sharded color counts stay within the Theorem 4.6-style budget
+/// (`2α + 2` for `ε = 0.5`) and are non-increasing in locality: the RCM
+/// split never needs more colors than the identity split, and its boundary
+/// fraction is strictly smaller on a randomly-labeled workload.
+#[test]
+fn sharded_colors_bounded_and_non_increasing_in_locality() {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(33);
+    let alpha = 3usize;
+    let g = generators::planted_forest_union(2_000, alpha, &mut rng);
+    let frozen = FrozenGraph::freeze(g);
+    let base = DecompositionRequest::new(ProblemKind::Forest)
+        .with_engine(Engine::HarrisSuVu)
+        .with_epsilon(0.5)
+        .with_alpha(alpha)
+        .with_seed(17);
+    for k in [2usize, 4] {
+        let identity = ShardedGraph::split(
+            &frozen,
+            k,
+            ShardingSpec::with_reorder(ReorderKind::Identity),
+        )
+        .unwrap();
+        let rcm =
+            ShardedGraph::split(&frozen, k, ShardingSpec::with_reorder(ReorderKind::Rcm)).unwrap();
+        assert!(
+            rcm.partition().boundary_fraction() < identity.partition().boundary_fraction(),
+            "k = {k}: rcm boundary fraction {} must beat identity {}",
+            rcm.partition().boundary_fraction(),
+            identity.partition().boundary_fraction()
+        );
+        let decomposer = Decomposer::new(base.clone());
+        let identity_report = decomposer.run_sharded_prepared(&identity).unwrap();
+        let rcm_report = decomposer.run_sharded_prepared(&rcm).unwrap();
+        identity_report.validate(frozen.graph()).unwrap();
+        rcm_report.validate(frozen.graph()).unwrap();
+        assert!(
+            identity_report.num_colors <= 2 * alpha + 2,
+            "k = {k}: identity colors {} beyond the Theorem 4.6-style budget",
+            identity_report.num_colors
+        );
+        assert!(
+            rcm_report.num_colors <= identity_report.num_colors,
+            "k = {k}: colors must be non-increasing in locality ({} vs {})",
+            rcm_report.num_colors,
+            identity_report.num_colors
+        );
+    }
+}
+
+/// The pre-split path is the one-call path: `run_sharded_prepared` over a
+/// `ShardedGraph` built with the request's spec produces byte-identical
+/// reports to `run_sharded`.
+#[test]
+fn prepared_sharded_runs_match_one_call_runs() {
+    let g = generators::grid(20, 14);
+    let frozen = FrozenGraph::freeze(g);
+    for reorder in [ReorderKind::Identity, ReorderKind::Rcm] {
+        let decomposer = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_engine(Engine::ExactMatroid)
+                .with_seed(9)
+                .with_shard_reorder(reorder),
+        );
+        let sharded = ShardedGraph::split(&frozen, 3, ShardingSpec::with_reorder(reorder)).unwrap();
+        assert_eq!(sharded.reorder(), reorder);
+        let prepared = decomposer.run_sharded_prepared(&sharded).unwrap();
+        let one_call = decomposer.run_sharded(&frozen, 3).unwrap();
+        assert_eq!(prepared.canonical_bytes(), one_call.canonical_bytes());
+    }
+}
+
+/// Zero shards is a typed facade error on both front doors, while the
+/// low-level splitter keeps its documented clamp (covered in
+/// `forest_graph`'s partition tests).
+#[test]
+fn zero_shards_is_a_typed_error() {
+    let g = generators::path(8);
+    let decomposer = Decomposer::new(
+        DecompositionRequest::new(ProblemKind::Forest).with_engine(Engine::ExactMatroid),
+    );
+    assert!(matches!(
+        decomposer.run_sharded(&g, 0),
+        Err(FdError::InvalidShardCount { requested: 0 })
+    ));
+    assert!(matches!(
+        ShardedGraph::split(&g, 0, ShardingSpec::default()),
+        Err(FdError::InvalidShardCount { requested: 0 })
+    ));
+}
