@@ -42,10 +42,23 @@
 //! order ([`ShardingSpec`], [`ReorderKind`]) when vertex ids are not already
 //! banded — decomposing them in parallel straight over the borrowed views
 //! (no per-shard thaw), and stitching the boundary through single-step
-//! augmentations plus a color-reusing residue recoloring. Repeated sharded
+//! augmentations plus a color-reusing residue recoloring (optionally
+//! finished by the [`StitchPolicy::ExactAlpha`] exchange pass, which closes
+//! the `α + 1` gap on capacity-tight workloads). Repeated sharded
 //! runs amortize the split through [`ShardedGraph`] and
 //! [`Decomposer::run_sharded_prepared`], exactly like [`FrozenGraph`]
 //! amortizes freezing.
+//!
+//! # Streams: the [`DynamicDecomposer`]
+//!
+//! Graphs that mutate between queries don't re-freeze: the
+//! [`dynamic`] module's [`DynamicDecomposer`] ingests [`EdgeUpdate`]s and
+//! keeps a valid forest coloring alive after every update — per-color
+//! connectivity riding on `forest_graph`'s Holm–de Lichtenberg–Thorup
+//! subsystem, repairs confined to one augmenting exchange, color budget
+//! tracking the stream's arboricity in both directions — while
+//! [`DynamicDecomposer::snapshot`] reproduces the cold pipeline
+//! byte-identically on the surviving edges.
 //!
 //! ```
 //! use forest_decomp::api::{Decomposer, DecompositionRequest, Engine, ProblemKind};
@@ -64,15 +77,19 @@
 //! # Ok::<(), forest_decomp::FdError>(())
 //! ```
 
+pub mod dynamic;
 mod engines;
 mod input;
 mod report;
 mod request;
 
+pub use dynamic::{DeltaReport, DynamicDecomposer, DynamicStats, EdgeUpdate, UpdatePath};
 pub use engines::{DecompositionEngine, EngineOutcome, FrozenInput, ShardOutcome};
 pub use input::GraphInput;
 pub use report::{Artifact, DecompositionReport, Validate, ValidationStatus};
-pub use request::{DecompositionRequest, Engine, PaletteSpec, ProblemKind, ShardingSpec};
+pub use request::{
+    DecompositionRequest, Engine, PaletteSpec, ProblemKind, ShardingSpec, StitchPolicy,
+};
 
 pub use forest_graph::ReorderKind;
 
@@ -149,6 +166,10 @@ pub struct ShardedGraph {
 impl ShardedGraph {
     /// Splits `input` into `num_shards` zero-copy shards along
     /// `spec.reorder` (one `O(n + m)` pass plus the order computation).
+    /// Only the reorder half of the spec matters here: the
+    /// [`StitchPolicy`] never affects how the graph is cut and is read
+    /// from the *request* at run time
+    /// ([`Decomposer::run_sharded_prepared`]).
     ///
     /// # Errors
     ///
@@ -195,6 +216,89 @@ impl ShardedGraph {
     pub fn num_shards(&self) -> usize {
         self.partition.num_shards()
     }
+}
+
+/// BFS pop bound per overflow-edge exchange in the exact-α stitch: the pass
+/// is *bounded* — an exchange that trips the bound leaves its edge on the
+/// overflow color instead of stalling the stitch.
+const EXACT_STITCH_POP_LIMIT: usize = 4096;
+
+/// The [`StitchPolicy::ExactAlpha`] finishing pass: move every edge colored
+/// outside `0..target` back inside the budget through bounded augmenting
+/// exchanges, with per-color connectivity riding on the dynamic subsystem
+/// ([`DynamicColorConnectivity`](forest_graph::DynamicColorConnectivity))
+/// so each recoloring is a cut-and-link edit instead of a cache rebuild.
+/// Edges whose exchange fails (a genuinely denser-than-`target` residue, or
+/// the pop bound) keep their overflow color — the pass improves, never
+/// breaks.
+fn exact_alpha_stitch(
+    csr: &CsrRef<'_>,
+    colors: &mut [forest_graph::Color],
+    target: usize,
+    ledger: &mut RoundLedger,
+) {
+    let overflow: Vec<forest_graph::EdgeId> = colors
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.index() >= target)
+        .map(|(i, _)| forest_graph::EdgeId::new(i))
+        .collect();
+    let total = overflow.len();
+    let (mut moved, mut stuck) = (0usize, 0usize);
+    if total > 0 && target > 0 {
+        let mut coloring = forest_graph::decomposition::PartialEdgeColoring::from_colors(
+            colors.iter().map(|&c| Some(c)).collect(),
+        );
+        let mut conn = forest_graph::DynamicColorConnectivity::from_coloring(csr, &coloring, None);
+        for e in overflow {
+            let (u, v) = csr.endpoints(e);
+            let old = coloring.color(e).expect("stitched colorings are complete");
+            coloring.clear(e);
+            conn.remove(e);
+            // The cheap query first; the bounded exchange only when every
+            // in-budget forest already connects the endpoints.
+            if let Some(c) = conn.first_free_color(target, u, v) {
+                coloring.set(e, c);
+                conn.insert(e, c, u, v);
+                moved += 1;
+                continue;
+            }
+            match forest_graph::matroid::try_augment_traced(
+                csr,
+                &mut coloring,
+                e,
+                target,
+                EXACT_STITCH_POP_LIMIT,
+            ) {
+                Some(steps) => {
+                    for (f, _, new) in steps {
+                        let (fu, fv) = csr.endpoints(f);
+                        conn.recolor(f, new, fu, fv);
+                    }
+                    moved += 1;
+                }
+                None => {
+                    coloring.set(e, old);
+                    conn.insert(e, old, u, v);
+                    stuck += 1;
+                }
+            }
+        }
+        for (i, c) in colors.iter_mut().enumerate() {
+            *c = coloring
+                .color(forest_graph::EdgeId::new(i))
+                .expect("exchanges keep the coloring complete");
+        }
+    }
+    // Always charged, so the pass is observable even when the greedy stitch
+    // already landed inside the budget.
+    ledger.charge(
+        format!(
+            "exact-alpha stitch: {moved} of {total} overflow edges exchanged into the \
+             alpha={target} budget ({stuck} kept an overflow color)"
+        ),
+        moved,
+    );
 }
 
 /// Derives the seed used for graph `index` of a batch run with base seed
@@ -388,8 +492,10 @@ impl Decomposer {
     /// [`Decomposer::run_sharded`] over a pre-split graph: no split, no
     /// reordering pass, no conversions at all on the hot path — the sharded
     /// analog of [`Decomposer::run_frozen`]. The [`ShardedGraph`]'s own
-    /// split (shard count and reorder) is what runs; the request's
-    /// [`ShardingSpec`] only applies when `run_sharded` splits internally.
+    /// split (shard count and reorder) is what runs — the request's
+    /// `reorder` only applies when `run_sharded` splits internally — while
+    /// the [`StitchPolicy`] is a run-time knob that always comes from the
+    /// request (it does not affect how the graph was cut).
     ///
     /// # Errors
     ///
@@ -574,9 +680,6 @@ impl Decomposer {
             }
         }
         debug_assert_eq!(written, m, "every edge colored exactly once");
-        let decomposition = forest_graph::ForestDecomposition::from_colors(colors);
-        let num_colors = decomposition.num_colors_used();
-        let max_diameter = max_forest_diameter(csr, &decomposition.to_partial());
         // The per-shard maxima exclude boundary edges, so they can under-shoot
         // the global arboricity (e.g. K4 split in two: each shard sees one
         // edge). Report the caller's bound when given; otherwise at least the
@@ -586,6 +689,12 @@ impl Decomposer {
         let arboricity = request
             .alpha
             .unwrap_or_else(|| arboricity.max(forest_graph::matroid::arboricity_lower_bound(csr)));
+        if request.sharding.stitch == StitchPolicy::ExactAlpha {
+            exact_alpha_stitch(csr, &mut colors, arboricity, &mut ledger);
+        }
+        let decomposition = forest_graph::ForestDecomposition::from_colors(colors);
+        let num_colors = decomposition.num_colors_used();
+        let max_diameter = max_forest_diameter(csr, &decomposition.to_partial());
         let mut report = DecompositionReport {
             problem: request.problem,
             engine: request.engine,

@@ -114,8 +114,26 @@ pub enum PaletteSpec {
     Explicit(ListAssignment),
 }
 
+/// How the sharded stitch finishes once every boundary edge is colored.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum StitchPolicy {
+    /// Keep whatever the greedy residue recoloring produced (the default):
+    /// on capacity-tight workloads (`m ≈ α(n−1)`) this settles at `α + 1`
+    /// colors, because the greedy pass never undoes a shard's choices.
+    #[default]
+    Greedy,
+    /// After the greedy phases, run bounded augmenting exchanges over the
+    /// stitched coloring — per-color connectivity riding on the dynamic
+    /// subsystem, so each recoloring is a cheap cut-and-link edit — to move
+    /// the overflow colors' edges back inside the `α` budget. Closes the
+    /// `α + 1` gap on capacity-tight workloads (the grid stitches to
+    /// exactly `α`) at a bounded wall-clock cost; when an exchange bound
+    /// trips, the extra color simply survives (never an error).
+    ExactAlpha,
+}
+
 /// How [`Decomposer::run_sharded`](super::Decomposer::run_sharded) cuts the
-/// graph into shards.
+/// graph into shards and finishes the stitch.
 ///
 /// The default splits contiguous vertex-id ranges (optimal for banded ids
 /// like row-major grids). When vertex ids carry no locality — random
@@ -123,17 +141,30 @@ pub enum PaletteSpec {
 /// [`ReorderKind::Bfs`] or [`ReorderKind::Rcm`] to split along a cheap
 /// locality-improving order instead, which shrinks the boundary fraction
 /// (the quantity that governs stitch cost and sharded color quality).
+/// [`ShardingSpec::stitch`] picks between the greedy finish and the
+/// exact-α exchange pass.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct ShardingSpec {
     /// The locality-improving order to split along
     /// ([`ReorderKind::Identity`] = raw vertex ids, the default).
     pub reorder: ReorderKind,
+    /// How the stitch finishes ([`StitchPolicy::Greedy`] by default).
+    pub stitch: StitchPolicy,
 }
 
 impl ShardingSpec {
-    /// A spec splitting along `reorder`.
+    /// A spec splitting along `reorder` (greedy stitch).
     pub fn with_reorder(reorder: ReorderKind) -> Self {
-        ShardingSpec { reorder }
+        ShardingSpec {
+            reorder,
+            ..ShardingSpec::default()
+        }
+    }
+
+    /// Sets the stitch policy.
+    pub fn with_stitch(mut self, stitch: StitchPolicy) -> Self {
+        self.stitch = stitch;
+        self
     }
 }
 
@@ -242,6 +273,14 @@ impl DecompositionRequest {
     /// vertex ids carry no locality).
     pub fn with_shard_reorder(mut self, reorder: ReorderKind) -> Self {
         self.sharding.reorder = reorder;
+        self
+    }
+
+    /// Shorthand: sets how the sharded stitch finishes
+    /// ([`StitchPolicy::ExactAlpha`] closes the `α + 1` gap on
+    /// capacity-tight workloads).
+    pub fn with_stitch_policy(mut self, stitch: StitchPolicy) -> Self {
+        self.sharding.stitch = stitch;
         self
     }
 

@@ -1,7 +1,7 @@
 //! Error type for the decomposition algorithms.
 
 use crate::api::{Engine, ProblemKind};
-use forest_graph::{EdgeId, ValidationError};
+use forest_graph::{EdgeId, GraphError, ValidationError};
 use std::error::Error;
 use std::fmt;
 
@@ -100,6 +100,21 @@ pub enum FdError {
         /// How many shards the partition has.
         num_shards: usize,
     },
+    /// The `DynamicDecomposer` only maintains problems whose coloring stays
+    /// valid under edge-local recoloring (currently: `Forest`).
+    DynamicUnsupported {
+        /// The problem that was requested.
+        problem: ProblemKind,
+    },
+    /// An update named an edge id that is not live (never inserted, or
+    /// already deleted — dynamic edge ids are retired, not reused).
+    UnknownEdge {
+        /// The offending edge id.
+        edge: EdgeId,
+    },
+    /// An update was structurally invalid at the graph layer (endpoint out
+    /// of range, self-loop).
+    Graph(GraphError),
 }
 
 impl fmt::Display for FdError {
@@ -163,6 +178,18 @@ impl fmt::Display for FdError {
                 f,
                 "shard {shard} out of range: the partition has {num_shards} shards"
             ),
+            FdError::DynamicUnsupported { problem } => write!(
+                f,
+                "the DynamicDecomposer does not maintain the {problem} problem (recoloring \
+                 an update's neighborhood only preserves plain forest colorings)"
+            ),
+            FdError::UnknownEdge { edge } => {
+                write!(
+                    f,
+                    "edge {edge} is not live (never inserted or already deleted)"
+                )
+            }
+            FdError::Graph(err) => write!(f, "invalid update: {err}"),
         }
     }
 }
@@ -171,8 +198,15 @@ impl Error for FdError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             FdError::InvalidDecomposition(err) => Some(err),
+            FdError::Graph(err) => Some(err),
             _ => None,
         }
+    }
+}
+
+impl From<GraphError> for FdError {
+    fn from(err: GraphError) -> Self {
+        FdError::Graph(err)
     }
 }
 

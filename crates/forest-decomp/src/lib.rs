@@ -38,7 +38,12 @@
 //! byte-identical [`api::DecompositionReport::canonical_bytes`]), batchable
 //! ([`api::Decomposer::run_batch`] fans one request across many graphs on all
 //! cores) and uniformly validated (the [`api::Validate`] trait wires every
-//! artifact to the `forest_graph::decomposition` validators).
+//! artifact to the `forest_graph::decomposition` validators). Graphs that
+//! mutate between queries stream through the [`api::DynamicDecomposer`]
+//! instead: every [`api::EdgeUpdate`] repairs the live coloring in
+//! amortized polylog time (per-color connectivity on the
+//! Holm–de Lichtenberg–Thorup subsystem), and its `snapshot()` reproduces
+//! the cold pipeline byte-identically on the surviving edges.
 //!
 //! # Algorithm modules
 //!

@@ -52,6 +52,15 @@ impl PartialEdgeColoring {
         self.colors[e.index()]
     }
 
+    /// Extends the coloring with uncolored slots so it covers `m` edges
+    /// (no-op when already that long) — the growth path of streaming graphs
+    /// whose edge-id space only ever extends.
+    pub fn grow_to(&mut self, m: usize) {
+        if m > self.colors.len() {
+            self.colors.resize(m, None);
+        }
+    }
+
     /// Assigns color `c` to edge `e`.
     pub fn set(&mut self, e: EdgeId, c: Color) {
         self.colors[e.index()] = Some(c);

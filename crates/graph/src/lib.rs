@@ -24,9 +24,20 @@
 //!   orders (BFS / reverse Cuthill–McKee as [`VertexPermutation`]s) that
 //!   [`CsrPartition::split_ordered`] cuts along when vertex ids are not
 //!   already banded.
+//! * [`dynamic`] — fully-dynamic connectivity for graphs that *mutate*:
+//!   splay-backed Euler-tour trees ([`DynamicForest`]: `link` / `cut` /
+//!   `connected` / `component_size` in amortized `O(log n)`) and the
+//!   Holm–de Lichtenberg–Thorup level structure ([`DynamicConnectivity`]:
+//!   `insert_edge` / `delete_edge` in amortized `O(log² n)`), plus
+//!   [`DynamicGraph`] — a mutable adjacency container with stable edge ids
+//!   implementing [`GraphView`] over its live edges, the substrate of
+//!   streaming decomposition.
 //! * [`connectivity`] — the per-color union-find cache (with optional edge
-//!   filter) shared by the augmenting search, the matroid partition and
-//!   shard-boundary stitching.
+//!   filter and per-color [`rebuild_colors`](ColorConnectivity::rebuild_colors)
+//!   invalidation) shared by the augmenting search, the matroid partition
+//!   and shard-boundary stitching — and [`DynamicColorConnectivity`], its
+//!   deletion-capable sibling riding each color class on the [`dynamic`]
+//!   subsystem for exchange-heavy and streaming workloads.
 //! * [`decomposition`] — forest / star-forest decompositions and their
 //!   validators, the central result types of the whole workspace.
 //! * [`palette`] — per-edge color lists for list-forest decompositions.
@@ -61,6 +72,7 @@ pub mod connectivity;
 mod csr;
 pub mod decomposition;
 pub mod density;
+pub mod dynamic;
 mod error;
 pub mod flow;
 pub mod generators;
@@ -75,9 +87,10 @@ pub mod traversal;
 pub mod union_find;
 mod view;
 
-pub use connectivity::ColorConnectivity;
+pub use connectivity::{ColorConnectivity, DynamicColorConnectivity};
 pub use csr::{CsrGraph, CsrRef, CsrStorage, MmapCsr, MmapStorage, OwnedCsr};
 pub use decomposition::{DecompositionStats, ForestDecomposition, PartialEdgeColoring};
+pub use dynamic::{DynamicConnectivity, DynamicForest, DynamicGraph};
 pub use error::{GraphError, ValidationError};
 pub use flow::FlowNetwork;
 pub use ids::{Color, EdgeId, VertexId};

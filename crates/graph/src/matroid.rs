@@ -22,19 +22,35 @@ use crate::traversal::path_between;
 use crate::view::GraphView;
 use std::collections::VecDeque;
 
+/// One applied exchange step: `edge` moved from `old` (`None` for the
+/// freshly-inserted root of the search) to `new`.
+pub type ExchangeStep = (EdgeId, Option<Color>, Color);
+
 /// Attempts to color `edge` in the partial `k`-forest partition `coloring` by
-/// finding a shortest augmenting sequence in the exchange graph.
+/// finding a shortest augmenting sequence in the exchange graph, and reports
+/// exactly which edges it recolored.
 ///
-/// Returns `true` on success (the coloring is updated in place and remains a
-/// valid partial forest partition) and `false` if no augmenting sequence
-/// exists, which certifies that the already-colored edges plus `edge` cannot
-/// be partitioned into `k` forests.
-pub(crate) fn try_augment<G: GraphView>(
+/// On success the coloring is updated in place (remaining a valid partial
+/// forest partition) and the applied [`ExchangeStep`]s come back in
+/// application order, `edge` first — callers maintaining per-color
+/// connectivity replay them as cheap edits
+/// ([`DynamicColorConnectivity::recolor`](crate::DynamicColorConnectivity))
+/// or invalidate only the touched colors
+/// ([`ColorConnectivity::rebuild_colors`]).
+///
+/// `max_visited` bounds the BFS (number of dequeued exchange-graph edges);
+/// when the bound trips the search gives up with `None` and the coloring is
+/// untouched, which makes bounded exchange passes (exact-α stitching) safe
+/// to abort mid-workload. Pass `usize::MAX` for the exact search: then
+/// `None` certifies that the colored edges plus `edge` cannot be
+/// partitioned into `k` forests.
+pub fn try_augment_traced<G: GraphView>(
     g: &G,
     coloring: &mut PartialEdgeColoring,
     edge: EdgeId,
     k: usize,
-) -> bool {
+    max_visited: usize,
+) -> Option<Vec<ExchangeStep>> {
     // BFS over edges of the exchange graph. `prev[e]` records the edge from
     // which `e` was reached.
     let m = g.num_edges();
@@ -43,8 +59,13 @@ pub(crate) fn try_augment<G: GraphView>(
     let mut queue = VecDeque::new();
     visited[edge.index()] = true;
     queue.push_back(edge);
+    let mut popped = 0usize;
 
     while let Some(f) = queue.pop_front() {
+        popped += 1;
+        if popped > max_visited {
+            return None;
+        }
         let (u, v) = g.endpoints(f);
         let f_color = coloring.color(f);
         for i in 0..k {
@@ -59,13 +80,18 @@ pub(crate) fn try_augment<G: GraphView>(
                 None => {
                     // Sink: f can be added to forest i directly. Walk the BFS
                     // tree backwards performing the exchanges.
+                    let mut steps = Vec::new();
                     let mut cur = f;
                     let mut target = color;
                     loop {
                         let old = coloring.color(cur);
                         coloring.set(cur, target);
+                        steps.push((cur, old, target));
                         match (cur == edge, old) {
-                            (true, _) => return true,
+                            (true, _) => {
+                                steps.reverse();
+                                return Some(steps);
+                            }
                             (false, Some(old_color)) => {
                                 target = old_color;
                                 cur = prev[cur.index()]
@@ -89,7 +115,26 @@ pub(crate) fn try_augment<G: GraphView>(
             }
         }
     }
-    false
+    None
+}
+
+/// [`try_augment_traced`] without the trace or the bound: returns `true` on
+/// success, `false` certifying that the already-colored edges plus `edge`
+/// cannot be partitioned into `k` forests.
+pub fn try_augment<G: GraphView>(
+    g: &G,
+    coloring: &mut PartialEdgeColoring,
+    edge: EdgeId,
+    k: usize,
+) -> bool {
+    try_augment_traced(g, coloring, edge, k, usize::MAX).is_some()
+}
+
+/// The colors an exchange touched: every old and new color of its steps.
+fn touched_colors(steps: &[ExchangeStep]) -> impl Iterator<Item = Color> + '_ {
+    steps
+        .iter()
+        .flat_map(|&(_, old, new)| old.into_iter().chain(std::iter::once(new)))
 }
 
 /// Attempts to partition all edges of `g` into at most `k` forests.
@@ -112,10 +157,13 @@ pub fn forest_partition_with<G: GraphView>(g: &G, k: usize) -> Option<ForestDeco
             connectivity.insert(c, u, v);
             continue;
         }
-        if !try_augment(g, &mut coloring, e, k) {
-            return None;
+        match try_augment_traced(g, &mut coloring, e, k, usize::MAX) {
+            None => return None,
+            Some(steps) => {
+                // Only the colors the exchange walked through are stale.
+                connectivity.rebuild_colors(g, &coloring, None, touched_colors(&steps));
+            }
         }
-        connectivity.rebuild(g, &coloring, None, k);
     }
     Some(
         coloring
@@ -166,11 +214,18 @@ pub fn exact_forest_decomposition<G: GraphView>(g: &G) -> ExactForestDecompositi
             connectivity.insert(c, u, v);
             continue;
         }
-        while !try_augment(g, &mut coloring, e, k) {
-            // Certified: the colored edges plus e need more than k forests.
-            k += 1;
+        loop {
+            match try_augment_traced(g, &mut coloring, e, k, usize::MAX) {
+                Some(steps) => {
+                    // Only the colors the exchange walked through are stale.
+                    connectivity.rebuild_colors(g, &coloring, None, touched_colors(&steps));
+                    break;
+                }
+                // Certified: the colored edges plus e need more than k
+                // forests.
+                None => k += 1,
+            }
         }
-        connectivity.rebuild(g, &coloring, None, k);
     }
     // Complete the cache: colors the fast path never queried are built now,
     // so the returned forests exactly cover the final coloring.

@@ -42,6 +42,20 @@ impl UnionFind {
         }
     }
 
+    /// Builds a structure over `0..n` with every pair in `edges` unioned —
+    /// the from-scratch ground truth the dynamic-connectivity tests compare
+    /// against, and the one-liner behind per-color forest rebuilds.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut uf = UnionFind::new(n);
+        for (x, y) in edges {
+            uf.union(x, y);
+        }
+        uf
+    }
+
     /// Number of elements.
     pub fn len(&self) -> usize {
         self.parent.len()

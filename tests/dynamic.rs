@@ -1,0 +1,254 @@
+//! Contract tests for the dynamic subsystem: the HDT connectivity structure
+//! agrees with a from-scratch union-find under arbitrary insert/delete
+//! interleavings, the streaming [`DynamicDecomposer`] keeps a valid forest
+//! coloring alive through churn, and its `snapshot()` is byte-identical to
+//! a cold [`Decomposer::run`] on the same final graph — including after the
+//! acceptance-criteria 10k-update stream.
+
+use forest_decomp::api::{
+    Decomposer, DecompositionRequest, DynamicDecomposer, EdgeUpdate, Engine, ProblemKind,
+    UpdatePath, Validate,
+};
+use forest_decomp::FdError;
+use forest_graph::dynamic::{DynamicConnectivity, EdgeKey};
+use forest_graph::{generators, EdgeId, MultiGraph, UnionFind, VertexId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scripted update: endpoints plus a delete bias; deletes resolve
+/// against the currently-live edge list, so every script is applicable to
+/// every state.
+type Script = Vec<(usize, usize, bool)>;
+
+fn arb_script(n: usize, len: usize) -> impl Strategy<Value = (usize, Script)> {
+    (2..n, 1..len).prop_flat_map(move |(verts, m)| {
+        proptest::collection::vec((0..verts, 0..verts, 0..100usize), m).prop_map(move |ops| {
+            (
+                verts,
+                ops.into_iter().map(|(u, v, d)| (u, v, d < 45)).collect(),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A random interleaving of inserts and deletes through
+    /// `DynamicConnectivity` agrees with a from-scratch `UnionFind` on
+    /// `connected` at every step (and on the component count).
+    #[test]
+    fn dynamic_connectivity_agrees_with_union_find((n, script) in arb_script(24, 120)) {
+        let mut dc = DynamicConnectivity::new(n);
+        let mut live: Vec<(usize, usize, EdgeKey)> = Vec::new();
+        for (u, v, delete) in script {
+            if delete && !live.is_empty() {
+                let slot = u % live.len();
+                let (_, _, key) = live.swap_remove(slot);
+                dc.delete_edge(key);
+            } else if u != v {
+                let key = dc.insert_edge(VertexId::new(u), VertexId::new(v));
+                live.push((u, v, key));
+            }
+            let mut uf = UnionFind::from_edges(n, live.iter().map(|&(a, b, _)| (a, b)));
+            prop_assert_eq!(dc.num_components(), uf.num_components());
+            prop_assert_eq!(dc.num_edges(), live.len());
+            for a in 0..n {
+                for b in 0..n {
+                    prop_assert_eq!(
+                        dc.connected(VertexId::new(a), VertexId::new(b)),
+                        uf.connected(a, b)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The decomposer's live coloring stays a valid forest partition under
+    /// the same scripted churn, and the final snapshot is byte-identical to
+    /// the cold run on the independently reconstructed final graph.
+    #[test]
+    fn dynamic_decomposer_stays_valid_and_snapshots_cold((n, script) in arb_script(18, 80)) {
+        let request = DecompositionRequest::new(ProblemKind::Forest)
+            .with_engine(Engine::ExactMatroid)
+            .with_seed(5);
+        let mut dyn_dec = DynamicDecomposer::new(request.clone(), n).unwrap();
+        let mut live: Vec<(EdgeId, usize, usize)> = Vec::new();
+        for (u, v, delete) in script {
+            if delete && !live.is_empty() {
+                let slot = u % live.len();
+                let (e, _, _) = live.swap_remove(slot);
+                dyn_dec.apply(EdgeUpdate::delete(e)).unwrap();
+            } else if u != v {
+                let e = dyn_dec.apply(EdgeUpdate::insert(u, v)).unwrap().edge;
+                live.push((e, u, v));
+            }
+            dyn_dec.validate_live().unwrap();
+        }
+        live.sort_by_key(|&(e, _, _)| e);
+        let mut expected = MultiGraph::new(n);
+        for &(_, u, v) in &live {
+            expected.add_edge(VertexId::new(u), VertexId::new(v)).unwrap();
+        }
+        let cold = Decomposer::new(request).run(&expected).unwrap();
+        let snap = dyn_dec.snapshot().unwrap();
+        prop_assert_eq!(cold.canonical_bytes(), snap.canonical_bytes());
+    }
+}
+
+/// `snapshot()` equals the cold run's `canonical_bytes` for every engine
+/// that can maintain forests; the rest of the problem × engine matrix fails
+/// with the typed errors instead of panicking.
+#[test]
+fn snapshot_matches_cold_run_across_the_matrix() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let n = 32;
+    // One shared churn script so every engine sees the same final graph.
+    let mut inserts: Vec<(usize, usize)> = Vec::new();
+    for _ in 0..160 {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            inserts.push((u, v));
+        }
+    }
+    let delete_slots: Vec<usize> = (0..40).map(|_| rng.gen_range(0..inserts.len())).collect();
+    for engine in [
+        Engine::HarrisSuVu,
+        Engine::BarenboimElkin,
+        Engine::ExactMatroid,
+    ] {
+        let request = DecompositionRequest::new(ProblemKind::Forest)
+            .with_engine(engine)
+            .with_epsilon(0.5)
+            .with_seed(23);
+        let mut dyn_dec = DynamicDecomposer::new(request.clone(), n).unwrap();
+        let mut ids = Vec::new();
+        for &(u, v) in &inserts {
+            ids.push(dyn_dec.apply(EdgeUpdate::insert(u, v)).unwrap().edge);
+        }
+        let mut deleted = vec![false; ids.len()];
+        for &slot in &delete_slots {
+            if !deleted[slot] {
+                dyn_dec.apply(EdgeUpdate::delete(ids[slot])).unwrap();
+                deleted[slot] = true;
+            }
+        }
+        dyn_dec.validate_live().unwrap();
+        let mut expected = MultiGraph::new(n);
+        for (slot, &(u, v)) in inserts.iter().enumerate() {
+            if !deleted[slot] {
+                expected
+                    .add_edge(VertexId::new(u), VertexId::new(v))
+                    .unwrap();
+            }
+        }
+        let cold = Decomposer::new(request).run(&expected).unwrap();
+        let snap = dyn_dec.snapshot().unwrap();
+        assert_eq!(
+            cold.canonical_bytes(),
+            snap.canonical_bytes(),
+            "snapshot != cold for {engine:?}"
+        );
+        snap.validate(&expected).unwrap();
+    }
+    // The unsupported rest of the matrix is typed, not a panic.
+    for problem in [
+        ProblemKind::ListForest,
+        ProblemKind::StarForest,
+        ProblemKind::ListStarForest,
+        ProblemKind::Orientation,
+    ] {
+        assert!(matches!(
+            DynamicDecomposer::new(DecompositionRequest::new(problem), 4),
+            Err(FdError::DynamicUnsupported { .. })
+        ));
+    }
+}
+
+/// The acceptance-criteria stream: ≥ 10k random inserts/deletes, live
+/// coloring valid throughout (spot-checked), snapshot byte-identical to the
+/// cold run on the final graph.
+#[test]
+fn ten_thousand_update_stream_snapshots_byte_identical() {
+    let n = 256;
+    let mut rng = StdRng::seed_from_u64(77);
+    let request = DecompositionRequest::new(ProblemKind::Forest)
+        .with_engine(Engine::ExactMatroid)
+        .with_seed(9);
+    let mut dyn_dec = DynamicDecomposer::new(request.clone(), n).unwrap();
+    let mut live: Vec<(EdgeId, usize, usize)> = Vec::new();
+    let mut applied = 0usize;
+    while applied < 10_000 {
+        let delete = !live.is_empty() && rng.gen_bool(0.45);
+        if delete {
+            let slot = rng.gen_range(0..live.len());
+            let (e, _, _) = live.swap_remove(slot);
+            dyn_dec.apply(EdgeUpdate::delete(e)).unwrap();
+        } else {
+            let u = rng.gen_range(0..n);
+            let v = rng.gen_range(0..n);
+            if u == v {
+                continue;
+            }
+            let e = dyn_dec.apply(EdgeUpdate::insert(u, v)).unwrap().edge;
+            live.push((e, u, v));
+        }
+        applied += 1;
+        if applied.is_multiple_of(1000) {
+            dyn_dec.validate_live().unwrap();
+        }
+    }
+    assert_eq!(dyn_dec.stats().updates, 10_000);
+    dyn_dec.validate_live().unwrap();
+    live.sort_by_key(|&(e, _, _)| e);
+    let mut expected = MultiGraph::new(n);
+    for &(_, u, v) in &live {
+        expected
+            .add_edge(VertexId::new(u), VertexId::new(v))
+            .unwrap();
+    }
+    let cold = Decomposer::new(request).run(&expected).unwrap();
+    let snap = dyn_dec.snapshot().unwrap();
+    assert_eq!(cold.canonical_bytes(), snap.canonical_bytes());
+    // The stream overwhelmingly rides the fast paths; fallbacks are the
+    // exception, not the norm.
+    assert!(
+        dyn_dec.stats().fallback_rate() < 0.5,
+        "fallback rate {}",
+        dyn_dec.stats().fallback_rate()
+    );
+}
+
+/// Deleting into a sparse regime drains and retires colors (the downward
+/// half of budget tracking), and every delta report stays coherent.
+#[test]
+fn deletions_shrink_the_budget_on_a_thinning_graph() {
+    let g = generators::fat_path(24, 3); // arboricity 3
+    let request = DecompositionRequest::new(ProblemKind::Forest)
+        .with_engine(Engine::ExactMatroid)
+        .with_seed(3);
+    let mut dyn_dec = DynamicDecomposer::from_graph(request, &g).unwrap();
+    assert_eq!(dyn_dec.color_budget(), 3);
+    // Delete two of every three parallel edges: the survivor is a path,
+    // arboricity 1.
+    let mut deletes = Vec::new();
+    for (e, _, _) in dyn_dec.live_graph().live_edges() {
+        if e.index() % 3 != 0 {
+            deletes.push(e);
+        }
+    }
+    for e in deletes {
+        let delta = dyn_dec.apply(EdgeUpdate::delete(e)).unwrap();
+        assert!(matches!(
+            delta.path,
+            UpdatePath::FastDelete | UpdatePath::Compact
+        ));
+        assert_eq!(delta.live_edges, dyn_dec.num_live_edges());
+        dyn_dec.validate_live().unwrap();
+    }
+    assert_eq!(dyn_dec.num_live_edges(), g.num_edges() / 3);
+    assert_eq!(dyn_dec.color_budget(), 1, "budget followed arboricity down");
+    assert!(dyn_dec.stats().compactions > 0 || dyn_dec.stats().fast_deletes > 0);
+}

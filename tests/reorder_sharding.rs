@@ -7,7 +7,7 @@
 
 use forest_decomp::api::{
     Decomposer, DecompositionRequest, Engine, FrozenGraph, ProblemKind, ReorderKind, ShardedGraph,
-    ShardingSpec, Validate,
+    ShardingSpec, StitchPolicy, Validate,
 };
 use forest_decomp::FdError;
 use forest_graph::reorder::{bfs_order, permute, rcm_order};
@@ -173,6 +173,85 @@ fn prepared_sharded_runs_match_one_call_runs() {
         let one_call = decomposer.run_sharded(&frozen, 3).unwrap();
         assert_eq!(prepared.canonical_bytes(), one_call.canonical_bytes());
     }
+}
+
+/// The exact-α stitch closes the α + 1 gap on the capacity-tight grid
+/// workload: the greedy default settles above α, the
+/// [`StitchPolicy::ExactAlpha`] pass exchanges the overflow back inside
+/// the budget, and both reports validate.
+#[test]
+fn exact_alpha_stitch_closes_the_grid_gap() {
+    let g = generators::grid(48, 48); // m ≈ 2n: arboricity exactly 2
+    let frozen = FrozenGraph::freeze(g);
+    let alpha = forest_graph::matroid::arboricity(frozen.csr());
+    assert_eq!(alpha, 2, "the grid is the capacity-tight workload");
+    for k in [2usize, 4] {
+        let base = DecompositionRequest::new(ProblemKind::Forest)
+            .with_engine(Engine::ExactMatroid)
+            .with_seed(13);
+        let greedy = Decomposer::new(base.clone())
+            .run_sharded(&frozen, k)
+            .unwrap();
+        let exact = Decomposer::new(base.with_stitch_policy(StitchPolicy::ExactAlpha))
+            .run_sharded(&frozen, k)
+            .unwrap();
+        greedy.validate(frozen.graph()).unwrap();
+        exact.validate(frozen.graph()).unwrap();
+        assert_eq!(
+            exact.num_colors, alpha,
+            "k = {k}: exact-α stitch must reach exactly α"
+        );
+        assert!(
+            greedy.num_colors >= exact.num_colors,
+            "k = {k}: the exchange pass never costs colors"
+        );
+        // The pass announces itself in the ledger.
+        assert!(exact
+            .ledger
+            .charges()
+            .iter()
+            .any(|c| c.label.starts_with("exact-alpha stitch")));
+        assert!(greedy
+            .ledger
+            .charges()
+            .iter()
+            .all(|c| !c.label.starts_with("exact-alpha stitch")));
+        // Deterministic like every other facade path.
+        let again = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_engine(Engine::ExactMatroid)
+                .with_seed(13)
+                .with_stitch_policy(StitchPolicy::ExactAlpha),
+        )
+        .run_sharded(&frozen, k)
+        .unwrap();
+        assert_eq!(exact.canonical_bytes(), again.canonical_bytes());
+    }
+}
+
+/// The exact-α pass composes with locality reordering and stays within the
+/// caller's α bound on non-grid workloads too (it may not always reach α,
+/// but it never exceeds the greedy result and never invalidates).
+#[test]
+fn exact_alpha_stitch_composes_with_reordering() {
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(29);
+    let alpha = 3usize;
+    let g = generators::planted_forest_union(800, alpha, &mut rng);
+    let frozen = FrozenGraph::freeze(g);
+    let base = DecompositionRequest::new(ProblemKind::Forest)
+        .with_engine(Engine::ExactMatroid)
+        .with_alpha(alpha)
+        .with_seed(21)
+        .with_shard_reorder(ReorderKind::Rcm);
+    let greedy = Decomposer::new(base.clone())
+        .run_sharded(&frozen, 4)
+        .unwrap();
+    let exact = Decomposer::new(base.with_stitch_policy(StitchPolicy::ExactAlpha))
+        .run_sharded(&frozen, 4)
+        .unwrap();
+    exact.validate(frozen.graph()).unwrap();
+    assert!(exact.num_colors <= greedy.num_colors);
+    assert_eq!(exact.num_colors, alpha, "planted α is reachable");
 }
 
 /// Zero shards is a typed facade error on both front doors, while the
