@@ -1,17 +1,21 @@
-//! Emits a machine-readable performance snapshot (`BENCH_pr5.json` via
+//! Emits a machine-readable performance snapshot (`BENCH_pr6.json` via
 //! `scripts/bench_snapshot.sh`): wall-clock of the `Decomposer` facade across
 //! graph sizes × engines, the 64-graph `decomposer_batch` workload the
 //! acceptance criteria track across PRs, a sharded-vs-unsharded large-graph
 //! comparison (`run_sharded`, thaw-free, with and without RCM locality
 //! reordering, boundary fractions recorded per row), an on-disk CSR
 //! round-trip (save → `load_mmap` → decompose on a temp file, asserted
-//! byte-identical to the owned-storage run), and — new in PR 5 — the
-//! **dynamic update-stream** workloads: `DynamicDecomposer` throughput on
-//! grid/adversarial build streams and a mixed insert/delete churn stream
-//! (per-update cost vs a per-update cold rerun, rebuild-fallback rate,
-//! snapshot-vs-cold ratio with the byte-identity asserted inline) plus the
-//! exact-α stitch comparison on the capacity-tight grid and the
-//! RCM-split planted workload.
+//! byte-identical to the owned-storage run), the **dynamic update-stream**
+//! workloads from PR 5: `DynamicDecomposer` throughput on grid/adversarial
+//! build streams and a mixed insert/delete churn stream (per-update cost vs
+//! a per-update cold rerun, rebuild-fallback rate, snapshot-vs-cold ratio
+//! with the byte-identity asserted inline) plus the exact-α stitch
+//! comparison — and, new in PR 6, the **decomposition service**: in-process
+//! `SnapshotReader` throughput under idle and live publishing writers,
+//! end-to-end TCP queries/sec through the `forest-serve` client while a
+//! writer connection streams batches, and the publish-to-read epoch lag a
+//! dedicated probe observes. Every snapshot records the host's core and
+//! thread counts in its `environment` block.
 //!
 //! The `pr2_baseline` block records the medians from `BENCH_pr2.json`
 //! (post-CSR-refactor facade, commit `c2da8ed`) for the identical workload,
@@ -61,8 +65,15 @@ fn json_f(x: f64) -> String {
 }
 
 fn main() {
+    let num_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let rayon_threads = rayon::current_num_threads();
     let mut out = String::from("{\n");
-    out.push_str("  \"snapshot\": \"BENCH_pr5\",\n");
+    out.push_str("  \"snapshot\": \"BENCH_pr6\",\n");
+    out.push_str(&format!(
+        "  \"environment\": {{\"num_cpus\": {num_cpus}, \"rayon_threads\": {rayon_threads}, \"os\": \"{}\", \"arch\": \"{}\"}},\n",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    ));
     out.push_str("  \"workload\": \"decomposer_batch: 64 planted multigraphs, n in 48..96, alpha 3, forest problem, validation off\",\n");
     out.push_str("  \"baseline_host_note\": \"pr2_baseline was measured on the PR 2 development container at commit c2da8ed; speedup ratios are machine-specific and only comparable when this snapshot is regenerated on similar hardware\",\n");
 
@@ -70,6 +81,9 @@ fn main() {
     let graphs = batch_workload();
     let frozen: Vec<FrozenGraph> = graphs.iter().cloned().map(FrozenGraph::freeze).collect();
     out.push_str("  \"decomposer_batch_64\": {\n");
+    out.push_str(&format!(
+        "    \"threads\": {{\"sequential\": 1, \"rayon_batch\": {rayon_threads}}},\n"
+    ));
     let mut engine_blocks = Vec::new();
     for engine in [Engine::HarrisSuVu, Engine::ExactMatroid] {
         let decomposer = Decomposer::new(
@@ -151,6 +165,9 @@ fn main() {
     ];
     out.push_str("  \"sharded_vs_unsharded\": {\n");
     out.push_str("    \"note\": \"thaw-free shards (engines consume zero-copy CsrRef views; no per-shard MultiGraph, no per-shard diameter pass) with a color-reusing two-level stitch; 'rcm' rows split along a reverse Cuthill-McKee order, whose boundary fraction is the governing quantity. median_ms measures run_sharded_prepared on a pre-split ShardedGraph, symmetric to the unsharded run_frozen baseline which likewise excludes the one-time freeze; split_ms is that one-time cost and cold_ms = split + run in one call. Stitched color counts sit at alpha + 1 here (capacity is tight: m ~ alpha * (n - 1)), so identity and rcm tie on colors at this scale while pr3's 8-15 colors are gone\",\n");
+    out.push_str(&format!(
+        "    \"threads\": {{\"rayon\": {rayon_threads}}},\n"
+    ));
     out.push_str("    \"workloads\": [\n");
     let mut workload_blocks = Vec::new();
     for (family, engine_name, engine, big) in workloads {
@@ -254,7 +271,7 @@ fn main() {
     std::fs::remove_file(&path).unwrap();
     out.push_str("  \"mmap_round_trip\": {\n");
     out.push_str(&format!(
-        "    \"graph\": {{\"n\": {}, \"m\": {}}},\n    \"file_bytes\": {file_bytes},\n    \"save_ms\": {},\n    \"load_mmap_ms\": {},\n    \"load_and_decompose_ms\": {},\n    \"byte_identical_to_owned\": true\n  }},\n",
+        "    \"threads\": 1,\n    \"graph\": {{\"n\": {}, \"m\": {}}},\n    \"file_bytes\": {file_bytes},\n    \"save_ms\": {},\n    \"load_mmap_ms\": {},\n    \"load_and_decompose_ms\": {},\n    \"byte_identical_to_owned\": true\n  }},\n",
         medium.num_vertices(),
         medium.num_edges(),
         json_f(save_ms),
@@ -272,6 +289,7 @@ fn main() {
     // the O(α log n) fast path into an exchange / budget event.
     out.push_str("  \"dynamic_streams\": {\n");
     out.push_str("    \"note\": \"DynamicDecomposer (ExactMatroid snapshots, seed 13): 'build' applies every edge as an insert; 'churn' then alternates delete-random-live / insert-random-pair. per_update_us is total apply wall-clock over the stream divided by updates; cold_run_ms is one cold Decomposer::run on the final churned graph (single sample — churned graphs make the exact matroid's exchange BFS wander, so the cold run dwarfs everything else at any scale: exactly the per-update cost a frozen pipeline would pay and the dynamic path avoids), so ratio_cold_run_vs_update = how many times cheaper an update is than that per-update cold rerun. Workload sizes are chosen so the cold runs keep the CI smoke seconds-scale; the ratio only grows with size. snapshot bytes are asserted identical to the cold run inline\",\n");
+    out.push_str("    \"threads\": 1,\n");
     out.push_str("    \"workloads\": [\n");
     let mut dyn_rows = Vec::new();
     let mut churn_rng = StdRng::seed_from_u64(71);
@@ -398,6 +416,9 @@ fn main() {
         ];
         out.push_str("  \"exact_alpha_stitch\": {\n");
         out.push_str("    \"note\": \"ExactMatroid shards: on capacity-tight workloads the greedy stitch settles above alpha; the exact-alpha pass exchanges the overflow back inside the budget through the dynamic per-color connectivity. The planted row uses the RCM split recommended for random-id graphs — under an identity split the residue is large enough that the bounded exchanges trip and the overflow color survives (the pass improves, never breaks; see StitchPolicy docs). Single-sample timings: the exchange pass dominates and is itself the thing being measured\",\n");
+        out.push_str(&format!(
+            "    \"threads\": {{\"rayon\": {rayon_threads}}},\n"
+        ));
         out.push_str("    \"rows\": [\n");
         let mut rows = Vec::new();
         for (family, alpha, reorder, seed, ks, g) in stitch_workloads {
@@ -433,6 +454,313 @@ fn main() {
         }
         out.push_str(&rows.join(",\n"));
         out.push_str("\n    ]\n  },\n");
+    }
+
+    // --- decomposition service (new in PR 6) ----------------------------
+    // The versioned publication layer and the forest-serve front end:
+    // (a) in-process SnapshotReader throughput under an idle and a live
+    //     publishing writer — the "readers never block on the writer" row
+    //     of the acceptance criteria,
+    // (b) end-to-end TCP queries/sec through the blocking Client while a
+    //     writer connection streams update batches,
+    // (c) the publish-to-read epoch lag a dedicated spinning probe
+    //     observes on `SnapshotReader::current_epoch`.
+    {
+        use forest_decomp::api::VersionedDecomposer;
+        use forest_serve::{Client, GraphSource, Server};
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::Arc;
+        use std::thread;
+
+        let mut svc_rng = StdRng::seed_from_u64(97);
+        let base_graph = generators::planted_forest_union(2_000, 3, &mut svc_rng);
+        let svc_request = DecompositionRequest::new(ProblemKind::Forest)
+            .with_engine(Engine::ExactMatroid)
+            .with_seed(13)
+            .without_validation();
+        let n = base_graph.num_vertices();
+
+        out.push_str("  \"snapshot_service\": {\n");
+        out.push_str("    \"note\": \"VersionedDecomposer + forest-serve (ExactMatroid, seed 13): in_process rows hammer SnapshotReader::current plus a small query mix from K threads while the writer applies 8-update batches and publishes after each — reader throughput under a live writer is the lock-freedom evidence; the idle row is the same readers with a sleeping writer for contrast. tcp rows run the same shape over loopback sockets through the Client (one connection per reader thread, one writer connection streaming batches). publish_to_read_lag stamps the wall clock around each publish and a spinning probe stamps first observation of each epoch: visible_to_read is publication-cell store -> probe load, publish_call_to_read additionally includes building the snapshot\",\n");
+        out.push_str(&format!(
+            "    \"threads\": {{\"num_cpus\": {num_cpus}, \"writer\": 1, \"readers\": \"per row\", \"lag_probe\": 1}},\n"
+        ));
+        out.push_str(&format!(
+            "    \"graph\": {{\"n\": {n}, \"m\": {}, \"family\": \"planted_forest_union alpha 3\"}},\n",
+            base_graph.num_edges()
+        ));
+
+        // One churn round: delete up to 4 live edges, refill to 8 updates
+        // with random inserts, apply, publish.
+        fn churn_round(
+            writer: &mut VersionedDecomposer,
+            live: &mut Vec<EdgeId>,
+            rng: &mut StdRng,
+            n: usize,
+        ) {
+            let mut batch = Vec::with_capacity(8);
+            for _ in 0..4 {
+                if !live.is_empty() {
+                    let slot = rng.gen_range(0..live.len());
+                    batch.push(EdgeUpdate::delete(live.swap_remove(slot)));
+                }
+            }
+            while batch.len() < 8 {
+                let u = rng.gen_range(0..n);
+                let v = rng.gen_range(0..n);
+                if u != v {
+                    batch.push(EdgeUpdate::insert(VertexId::new(u), VertexId::new(v)));
+                }
+            }
+            let report = writer.apply_batch(&batch).unwrap();
+            live.extend(report.inserted_edges.iter().copied());
+            writer.publish();
+        }
+
+        // (a) in-process reader throughput, idle vs live writer.
+        out.push_str("    \"in_process_reader_throughput\": [\n");
+        let mut rows = Vec::new();
+        for (writer_mode, k) in [("idle", 4usize), ("live", 1), ("live", 4), ("live", 8)] {
+            let mut writer =
+                VersionedDecomposer::from_graph(svc_request.clone(), &base_graph).unwrap();
+            let stop = Arc::new(AtomicBool::new(false));
+            let readers: Vec<_> = (0..k)
+                .map(|_| {
+                    let reader = writer.reader();
+                    let stop = Arc::clone(&stop);
+                    thread::spawn(move || {
+                        let mut reads = 0u64;
+                        let mut acc = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            let snap = reader.current();
+                            acc ^= snap.epoch()
+                                ^ snap.watermark().lower_bound as u64
+                                ^ snap.max_out_degree() as u64;
+                            reads += 1;
+                        }
+                        (reads, acc)
+                    })
+                })
+                .collect();
+            let rounds = 300usize;
+            let start = Instant::now();
+            let mut publishes = 0u64;
+            if writer_mode == "live" {
+                let mut live: Vec<EdgeId> = writer
+                    .inner()
+                    .live_graph()
+                    .live_edges()
+                    .map(|(e, _, _)| e)
+                    .collect();
+                for _ in 0..rounds {
+                    churn_round(&mut writer, &mut live, &mut svc_rng, n);
+                    publishes += 1;
+                }
+            } else {
+                thread::sleep(std::time::Duration::from_millis(250));
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            stop.store(true, Ordering::Relaxed);
+            let mut reads_total = 0u64;
+            for h in readers {
+                let (reads, _) = h.join().unwrap();
+                assert!(reads > 0, "a reader never completed a read");
+                reads_total += reads;
+            }
+            rows.push(format!(
+                "      {{\"readers\": {k}, \"writer\": \"{writer_mode}\", \"reads_total\": {reads_total}, \"reads_per_sec\": {}, \"publishes\": {publishes}, \"publishes_per_sec\": {}, \"duration_s\": {}}}",
+                json_f(reads_total as f64 / elapsed),
+                json_f(publishes as f64 / elapsed),
+                json_f(elapsed),
+            ));
+        }
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n    ],\n");
+        eprintln!("bench_snapshot: snapshot_service in-process throughput done");
+
+        // (b) end-to-end TCP queries/sec under a live writer connection.
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let server_thread = thread::spawn(move || server.serve().unwrap());
+        let mut admin = Client::connect(addr).unwrap();
+        let tcp_m = 4_000usize;
+        let edges: Vec<(u64, u64)> = (0..)
+            .map(|_| {
+                (
+                    svc_rng.gen_range(0..n as u64),
+                    svc_rng.gen_range(0..n as u64),
+                )
+            })
+            .filter(|(u, v)| u != v)
+            .take(tcp_m)
+            .collect();
+        admin
+            .register(
+                "bench",
+                "svc",
+                Engine::ExactMatroid,
+                0.5,
+                13,
+                GraphSource::Edges {
+                    num_vertices: n as u64,
+                    edges,
+                },
+            )
+            .unwrap();
+        out.push_str("    \"tcp_query_throughput\": [\n");
+        let mut rows = Vec::new();
+        // The live-id mirror persists across rows: the server keeps the
+        // graph state between them.
+        let mut live: Vec<u64> = (0..tcp_m as u64).collect();
+        for k in [1usize, 4] {
+            let stop = Arc::new(AtomicBool::new(false));
+            let readers: Vec<_> = (0..k)
+                .map(|i| {
+                    let stop = Arc::clone(&stop);
+                    thread::spawn(move || {
+                        let mut client = Client::connect(addr).unwrap();
+                        let mut queries = 0u64;
+                        let mut probe_edge = i as u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            client.color_of_edge("bench", "svc", probe_edge).unwrap();
+                            client.watermark("bench", "svc").unwrap();
+                            probe_edge = (probe_edge + 7) % 4_096;
+                            queries += 2;
+                        }
+                        queries
+                    })
+                })
+                .collect();
+            let mut writer_client = Client::connect(addr).unwrap();
+            let batches = 120usize;
+            let start = Instant::now();
+            for _ in 0..batches {
+                let mut updates = Vec::with_capacity(8);
+                for _ in 0..4 {
+                    if !live.is_empty() {
+                        let slot = svc_rng.gen_range(0..live.len());
+                        updates.push(EdgeUpdate::delete(EdgeId::new(
+                            live.swap_remove(slot) as usize
+                        )));
+                    }
+                }
+                while updates.len() < 8 {
+                    let u = svc_rng.gen_range(0..n);
+                    let v = svc_rng.gen_range(0..n);
+                    if u != v {
+                        updates.push(EdgeUpdate::insert(VertexId::new(u), VertexId::new(v)));
+                    }
+                }
+                let report = writer_client
+                    .apply_updates("bench", "svc", updates)
+                    .unwrap();
+                live.extend(report.inserted_edges.iter().copied());
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            stop.store(true, Ordering::Relaxed);
+            let queries_total: u64 = readers.into_iter().map(|h| h.join().unwrap()).sum();
+            rows.push(format!(
+                "      {{\"reader_connections\": {k}, \"writer\": \"live\", \"queries_total\": {queries_total}, \"queries_per_sec\": {}, \"update_batches\": {batches}, \"updates_per_batch\": 8, \"batches_per_sec\": {}, \"duration_s\": {}}}",
+                json_f(queries_total as f64 / elapsed),
+                json_f(batches as f64 / elapsed),
+                json_f(elapsed),
+            ));
+        }
+        out.push_str(&rows.join(",\n"));
+        out.push_str("\n    ],\n");
+        let mut shut = Client::connect(addr).unwrap();
+        shut.shutdown().unwrap();
+        server_thread.join().unwrap();
+        eprintln!("bench_snapshot: snapshot_service tcp throughput done");
+
+        // (c) publish-to-read epoch lag.
+        let mut writer = VersionedDecomposer::from_graph(svc_request.clone(), &base_graph).unwrap();
+        let reader = writer.reader();
+        let lag_rounds = 200usize;
+        let seen: Arc<Vec<AtomicU64>> =
+            Arc::new((0..=lag_rounds).map(|_| AtomicU64::new(0)).collect());
+        let stop = Arc::new(AtomicBool::new(false));
+        let base_time = Instant::now();
+        let probe = {
+            let seen = Arc::clone(&seen);
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let e = reader.current_epoch() as usize;
+                    if e <= lag_rounds {
+                        let slot = &seen[e];
+                        if slot.load(Ordering::Relaxed) == 0 {
+                            // +1 keeps "unseen" distinguishable from a
+                            // zero-nanosecond stamp.
+                            slot.store(
+                                base_time.elapsed().as_nanos() as u64 + 1,
+                                Ordering::Relaxed,
+                            );
+                        }
+                    }
+                }
+            })
+        };
+        let mut live: Vec<EdgeId> = writer
+            .inner()
+            .live_graph()
+            .live_edges()
+            .map(|(e, _, _)| e)
+            .collect();
+        // Stamps around each publish: call = before building the snapshot,
+        // visible = after the publication-cell store returns.
+        let mut call_ns = vec![0u64; lag_rounds + 1];
+        let mut visible_ns = vec![0u64; lag_rounds + 1];
+        for round in 1..=lag_rounds {
+            let mut batch = Vec::with_capacity(8);
+            for _ in 0..4 {
+                if !live.is_empty() {
+                    let slot = svc_rng.gen_range(0..live.len());
+                    batch.push(EdgeUpdate::delete(live.swap_remove(slot)));
+                }
+            }
+            while batch.len() < 8 {
+                let u = svc_rng.gen_range(0..n);
+                let v = svc_rng.gen_range(0..n);
+                if u != v {
+                    batch.push(EdgeUpdate::insert(VertexId::new(u), VertexId::new(v)));
+                }
+            }
+            let report = writer.apply_batch(&batch).unwrap();
+            live.extend(report.inserted_edges.iter().copied());
+            call_ns[round] = base_time.elapsed().as_nanos() as u64 + 1;
+            writer.publish();
+            visible_ns[round] = base_time.elapsed().as_nanos() as u64 + 1;
+        }
+        // Give the probe a moment to observe the final epoch, then stop it.
+        thread::sleep(std::time::Duration::from_millis(20));
+        stop.store(true, Ordering::Relaxed);
+        probe.join().unwrap();
+        let mut visible_to_read_us = Vec::new();
+        let mut call_to_read_us = Vec::new();
+        for round in 1..=lag_rounds {
+            let seen_ns = seen[round].load(Ordering::Relaxed);
+            if seen_ns == 0 {
+                continue; // the probe was lapped past this epoch
+            }
+            visible_to_read_us.push(seen_ns.saturating_sub(visible_ns[round]) as f64 / 1e3);
+            call_to_read_us.push(seen_ns.saturating_sub(call_ns[round]) as f64 / 1e3);
+        }
+        visible_to_read_us.sort_by(f64::total_cmp);
+        call_to_read_us.sort_by(f64::total_cmp);
+        assert!(
+            !visible_to_read_us.is_empty(),
+            "the lag probe observed no epochs"
+        );
+        let observed = visible_to_read_us.len();
+        out.push_str(&format!(
+            "    \"publish_to_read_lag\": {{\"rounds\": {lag_rounds}, \"observed\": {observed}, \"visible_to_read_median_us\": {}, \"visible_to_read_max_us\": {}, \"publish_call_to_read_median_us\": {}}}\n",
+            json_f(visible_to_read_us[observed / 2]),
+            json_f(visible_to_read_us[observed - 1]),
+            json_f(call_to_read_us[observed / 2]),
+        ));
+        out.push_str("  },\n");
+        eprintln!("bench_snapshot: snapshot_service epoch lag done");
     }
 
     // --- size × engine sweep --------------------------------------------

@@ -50,7 +50,7 @@ use super::report::DecompositionReport;
 use super::{Decomposer, DecompositionRequest, ProblemKind};
 use crate::error::FdError;
 use forest_graph::decomposition::{validate_partial_forest_decomposition, PartialEdgeColoring};
-use forest_graph::dynamic::DynamicGraph;
+use forest_graph::dynamic::{DynamicGraph, EdgeIdRemap};
 use forest_graph::matroid::try_augment_traced;
 use forest_graph::{
     Color, DynamicColorConnectivity, EdgeId, GraphError, GraphView, MultiGraph, VertexId,
@@ -146,6 +146,40 @@ pub struct DeltaReport {
     /// Live edges after the update.
     pub live_edges: usize,
     /// Wall-clock of this apply.
+    pub wall_clock: Duration,
+}
+
+/// What one [`DynamicDecomposer::apply_batch`] did: the aggregate of the
+/// per-update [`DeltaReport`]s the same updates would have produced one by
+/// one, without materializing them.
+#[derive(Clone, Debug, Default)]
+pub struct BatchReport {
+    /// Updates applied (= deletes + inserts).
+    pub applied: usize,
+    /// Deletes in the batch (applied first).
+    pub deletes: usize,
+    /// Inserts in the batch (applied after every delete).
+    pub inserts: usize,
+    /// The id assigned to each insert, in the batch's insert order — what
+    /// a caller needs to address these edges in later updates.
+    pub inserted_edges: Vec<EdgeId>,
+    /// Previously-colored edges whose color changed across the whole batch
+    /// (inserted edges themselves not counted).
+    pub recolored_edges: usize,
+    /// Updates that stayed on a fast path
+    /// ([`UpdatePath::FastInsert`] / [`UpdatePath::FastDelete`]).
+    pub fast_path: usize,
+    /// Inserts placed by an augmenting exchange.
+    pub exchanges: usize,
+    /// Inserts that opened a fresh color.
+    pub budget_raises: usize,
+    /// Deletes that retired a color through the compaction drain.
+    pub compactions: usize,
+    /// Color budget after the batch.
+    pub color_budget: usize,
+    /// Live edges after the batch.
+    pub live_edges: usize,
+    /// Wall-clock of the whole batch.
     pub wall_clock: Duration,
 }
 
@@ -245,6 +279,14 @@ impl DynamicDecomposer {
     /// an insert (same code path as the stream), so the resulting state is
     /// exactly what replaying the edges would produce.
     pub fn from_graph(request: DecompositionRequest, g: &MultiGraph) -> Result<Self, FdError> {
+        Self::from_view(request, g)
+    }
+
+    /// [`from_graph`](DynamicDecomposer::from_graph) over any
+    /// [`GraphView`] — an mmap-backed
+    /// [`CsrGraph`](forest_graph::CsrGraph) registers without first
+    /// copying into a [`MultiGraph`].
+    pub fn from_view<G: GraphView>(request: DecompositionRequest, g: &G) -> Result<Self, FdError> {
         let mut dyn_dec = DynamicDecomposer::new(request, g.num_vertices())?;
         for (_, u, v) in g.edges() {
             dyn_dec.apply(EdgeUpdate::Insert { u, v })?;
@@ -315,6 +357,96 @@ impl DynamicDecomposer {
         })
     }
 
+    /// Applies a whole frame of updates — **deletes first, then inserts**,
+    /// each group in frame order — and aggregates what the per-update
+    /// [`DeltaReport`]s would have said. Semantics are identical to N×
+    /// [`apply`](DynamicDecomposer::apply) in that same reordered sequence
+    /// (regression-tested); what the batch entry saves is the per-update
+    /// clock reads and report allocations, which dominate at the ~µs/update
+    /// scale the stream runs at. Deletes run first so a frame that churns
+    /// (delete + insert at like rates) never transits through a wider
+    /// budget than it ends at.
+    ///
+    /// # Errors
+    ///
+    /// The first failing update's error, exactly as
+    /// [`apply`](DynamicDecomposer::apply) would report it. Updates before
+    /// the failure remain applied (same as the sequential equivalent); the
+    /// live coloring is valid either way.
+    pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) -> Result<BatchReport, FdError> {
+        let start = Instant::now();
+        let mut report = BatchReport::default();
+        let passes = [
+            |u: &EdgeUpdate| matches!(u, EdgeUpdate::Delete { .. }),
+            |u: &EdgeUpdate| matches!(u, EdgeUpdate::Insert { .. }),
+        ];
+        for pass in passes {
+            for update in updates.iter().filter(|u| pass(u)) {
+                let (edge, path, recolored) = match *update {
+                    EdgeUpdate::Insert { u, v } => self.apply_insert(u, v)?,
+                    EdgeUpdate::Delete { edge } => self.apply_delete(edge)?,
+                };
+                self.stats.updates += 1;
+                report.applied += 1;
+                report.recolored_edges += recolored;
+                match path {
+                    UpdatePath::FastInsert => report.fast_path += 1,
+                    UpdatePath::Exchange => report.exchanges += 1,
+                    UpdatePath::BudgetRaise => report.budget_raises += 1,
+                    UpdatePath::FastDelete => report.fast_path += 1,
+                    UpdatePath::Compact => report.compactions += 1,
+                }
+                match update {
+                    EdgeUpdate::Insert { .. } => {
+                        report.inserts += 1;
+                        report.inserted_edges.push(edge);
+                    }
+                    EdgeUpdate::Delete { .. } => report.deletes += 1,
+                }
+            }
+        }
+        report.color_budget = self.counts.len();
+        report.live_edges = self.graph.num_live_edges();
+        report.wall_clock = start.elapsed();
+        Ok(report)
+    }
+
+    /// Compacts the edge-id space (see
+    /// [`DynamicGraph::compact_ids`](forest_graph::DynamicGraph::compact_ids))
+    /// and rebuilds the per-color structures — the coloring array and the
+    /// per-color dynamic connectivity — under the new dense ids. The
+    /// coloring itself is untouched (every surviving edge keeps its color,
+    /// so the budget and per-color counts carry over), and because the
+    /// renumbering preserves insertion order,
+    /// [`snapshot`](DynamicDecomposer::snapshot) bytes are unchanged.
+    ///
+    /// Callers holding pre-compaction [`EdgeId`]s must translate them
+    /// through the returned remap before the next delete.
+    pub fn compact_ids(&mut self) -> EdgeIdRemap {
+        let remap = self.graph.compact_ids();
+        let mut colors = vec![None; self.graph.edge_id_span()];
+        for (new, old) in remap.iter() {
+            colors[new.index()] = self.coloring.color(old);
+        }
+        self.coloring = PartialEdgeColoring::from_colors(colors);
+        self.conn = DynamicColorConnectivity::from_coloring(&self.graph, &self.coloring, None);
+        remap
+    }
+
+    /// The stream's best current arboricity lower bound — the "watermark"
+    /// a serving layer reports live: the larger of the
+    /// exhaustive-exchange-certified value and the whole-graph
+    /// Nash-Williams bound `⌈m / (n−1)⌉` over the live edges.
+    pub fn arboricity_lower_bound(&self) -> usize {
+        let n = self.graph.num_vertices();
+        let nash_williams = if n >= 2 {
+            self.graph.num_live_edges().div_ceil(n - 1)
+        } else {
+            0
+        };
+        self.alpha_cert.max(nash_williams)
+    }
+
     /// The most colors the maintained coloring may use without an
     /// exhaustive-exchange certificate: `⌈(1+ε)·lb⌉ + 1`, where `lb` is the
     /// best current arboricity lower bound (the largest certified value and
@@ -324,13 +456,7 @@ impl DynamicDecomposer {
     /// color, and only at the cap does the exact (certificate-producing)
     /// search run.
     fn slack_cap(&self) -> usize {
-        let n = self.graph.num_vertices();
-        let nash_williams = if n >= 2 {
-            self.graph.num_live_edges().div_ceil(n - 1)
-        } else {
-            0
-        };
-        let lb = self.alpha_cert.max(nash_williams).max(1);
+        let lb = self.arboricity_lower_bound().max(1);
         ((lb as f64) * (1.0 + self.request.epsilon)).ceil() as usize + 1
     }
 
@@ -713,6 +839,121 @@ mod tests {
         let cold = Decomposer::new(request()).run(&expected).unwrap();
         let snap = dyn_dec.snapshot().unwrap();
         assert_eq!(cold.canonical_bytes(), snap.canonical_bytes());
+    }
+
+    /// A mixed churn prefix so batch/compaction tests start from a
+    /// non-trivial state: returns the decomposer plus its live edge ids.
+    fn churned(seed: u64, n: usize, steps: usize) -> (DynamicDecomposer, Vec<EdgeId>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut dyn_dec = DynamicDecomposer::new(request(), n).unwrap();
+        let mut live = Vec::new();
+        for _ in 0..steps {
+            if !live.is_empty() && rng.gen_bool(0.4) {
+                let k = rng.gen_range(0..live.len());
+                let e = live.swap_remove(k);
+                dyn_dec.apply(EdgeUpdate::delete(e)).unwrap();
+            } else {
+                let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                if u == v {
+                    continue;
+                }
+                live.push(dyn_dec.apply(EdgeUpdate::insert(u, v)).unwrap().edge);
+            }
+        }
+        (dyn_dec, live)
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_applies() {
+        let (mut batched, live) = churned(29, 16, 200);
+        let mut sequential = batched.clone();
+        // A frame mixing deletes and inserts in arbitrary order.
+        let mut updates = Vec::new();
+        for (i, &e) in live.iter().enumerate().take(8) {
+            updates.push(EdgeUpdate::insert(i, i + 1));
+            updates.push(EdgeUpdate::delete(e));
+        }
+        let report = batched.apply_batch(&updates).unwrap();
+        // The documented equivalent: same updates, deletes first.
+        let mut recolored = 0;
+        let mut inserted = Vec::new();
+        for delete_pass in [true, false] {
+            for u in &updates {
+                if matches!(u, EdgeUpdate::Delete { .. }) == delete_pass {
+                    let d = sequential.apply(*u).unwrap();
+                    recolored += d.recolored_edges;
+                    if matches!(u, EdgeUpdate::Insert { .. }) {
+                        inserted.push(d.edge);
+                    }
+                }
+            }
+        }
+        assert_eq!(report.applied, updates.len());
+        assert_eq!(report.deletes, 8);
+        assert_eq!(report.inserts, 8);
+        assert_eq!(report.inserted_edges, inserted);
+        assert_eq!(report.recolored_edges, recolored);
+        assert_eq!(
+            report.fast_path + report.exchanges + report.budget_raises + report.compactions,
+            report.applied
+        );
+        assert_eq!(report.color_budget, sequential.color_budget());
+        assert_eq!(report.live_edges, sequential.num_live_edges());
+        assert_eq!(batched.stats(), sequential.stats());
+        batched.validate_live().unwrap();
+        // Bit-for-bit the same state: identical snapshot bytes.
+        assert_eq!(
+            batched.snapshot().unwrap().canonical_bytes(),
+            sequential.snapshot().unwrap().canonical_bytes()
+        );
+    }
+
+    #[test]
+    fn apply_batch_error_keeps_prefix_applied() {
+        let mut dyn_dec = DynamicDecomposer::new(request(), 4).unwrap();
+        let err = dyn_dec
+            .apply_batch(&[
+                EdgeUpdate::insert(0, 1),
+                EdgeUpdate::insert(1, 1), // self-loop: fails
+                EdgeUpdate::insert(2, 3),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, FdError::Graph(GraphError::SelfLoop { .. })));
+        assert_eq!(dyn_dec.num_live_edges(), 1, "prefix stays applied");
+        dyn_dec.validate_live().unwrap();
+    }
+
+    #[test]
+    fn compact_ids_preserves_coloring_and_snapshot_bytes() {
+        let (mut dyn_dec, live) = churned(31, 20, 300);
+        let before_budget = dyn_dec.color_budget();
+        let before_bytes = dyn_dec.snapshot().unwrap().canonical_bytes();
+        let span_before = dyn_dec.live_graph().edge_id_span();
+        let colors_before: Vec<_> = live
+            .iter()
+            .map(|&e| dyn_dec.live_coloring().color(e).unwrap())
+            .collect();
+        let remap = dyn_dec.compact_ids();
+        assert_eq!(remap.old_span(), span_before);
+        assert_eq!(remap.new_span(), dyn_dec.num_live_edges());
+        assert_eq!(
+            dyn_dec.live_graph().edge_id_span(),
+            dyn_dec.num_live_edges()
+        );
+        assert_eq!(dyn_dec.color_budget(), before_budget);
+        dyn_dec.validate_live().unwrap();
+        // Every surviving edge kept its color under its new id.
+        for (&old, &c) in live.iter().zip(&colors_before) {
+            let new = remap.new_id(old).unwrap();
+            assert_eq!(dyn_dec.live_coloring().color(new), Some(c));
+        }
+        assert_eq!(dyn_dec.snapshot().unwrap().canonical_bytes(), before_bytes);
+        // The stream keeps running after compaction: remapped deletes and
+        // fresh inserts land on the rebuilt structures.
+        let new0 = remap.new_id(live[0]).unwrap();
+        dyn_dec.apply(EdgeUpdate::delete(new0)).unwrap();
+        dyn_dec.apply(EdgeUpdate::insert(0, 1)).unwrap();
+        dyn_dec.validate_live().unwrap();
     }
 
     #[test]

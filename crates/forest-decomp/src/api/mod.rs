@@ -82,14 +82,18 @@ mod engines;
 mod input;
 mod report;
 mod request;
+pub mod versioned;
 
-pub use dynamic::{DeltaReport, DynamicDecomposer, DynamicStats, EdgeUpdate, UpdatePath};
+pub use dynamic::{
+    BatchReport, DeltaReport, DynamicDecomposer, DynamicStats, EdgeUpdate, UpdatePath,
+};
 pub use engines::{DecompositionEngine, EngineOutcome, FrozenInput, ShardOutcome};
 pub use input::GraphInput;
 pub use report::{Artifact, DecompositionReport, Validate, ValidationStatus};
 pub use request::{
     DecompositionRequest, Engine, PaletteSpec, ProblemKind, ShardingSpec, StitchPolicy,
 };
+pub use versioned::{ArboricityWatermark, ColoringSnapshot, SnapshotReader, VersionedDecomposer};
 
 pub use forest_graph::ReorderKind;
 

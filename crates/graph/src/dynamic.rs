@@ -963,6 +963,83 @@ impl DynamicGraph {
         }
         (g, ids)
     }
+
+    /// Compacts the edge-id space in place: live edges are renumbered
+    /// `0..num_live_edges()` in ascending old-id (= insertion) order, dead
+    /// slots are dropped, and the adjacency lists are rewritten to the new
+    /// ids. This caps the per-edge-array leak on unbounded update streams
+    /// — after compaction, dense arrays sized by [`GraphView::num_edges`]
+    /// shrink back to the live count.
+    ///
+    /// Because the renumbering preserves insertion order, the compact
+    /// graph's [`to_multigraph`](DynamicGraph::to_multigraph) output — the
+    /// canonical "final graph" the snapshot contract is defined against —
+    /// is unchanged. Returns the [`EdgeIdRemap`] callers need to translate
+    /// ids they handed out before the compaction.
+    pub fn compact_ids(&mut self) -> EdgeIdRemap {
+        let mut new_to_old = Vec::with_capacity(self.live);
+        let mut old_to_new = vec![None; self.endpoints.len()];
+        let mut endpoints = Vec::with_capacity(self.live);
+        for (i, slot) in self.endpoints.iter().enumerate() {
+            if let Some((u, v)) = *slot {
+                old_to_new[i] = Some(EdgeId::new(new_to_old.len()));
+                new_to_old.push(EdgeId::new(i));
+                endpoints.push(Some((u, v)));
+            }
+        }
+        self.endpoints = endpoints;
+        for list in &mut self.adj {
+            for entry in list.iter_mut() {
+                entry.1 = old_to_new[entry.1.index()].expect("adjacency holds live edges only");
+            }
+        }
+        EdgeIdRemap {
+            new_to_old,
+            old_to_new,
+        }
+    }
+}
+
+/// The id translation returned by [`DynamicGraph::compact_ids`]: live
+/// edges keep their relative (insertion) order but move to the dense id
+/// range `0..new_span()`.
+#[derive(Clone, Debug, Default)]
+pub struct EdgeIdRemap {
+    /// `new_to_old[new.index()]` = the id the edge carried before.
+    new_to_old: Vec<EdgeId>,
+    /// `old_to_new[old.index()]` = the compact id (`None` = was dead).
+    old_to_new: Vec<Option<EdgeId>>,
+}
+
+impl EdgeIdRemap {
+    /// The edge-id span before compaction.
+    pub fn old_span(&self) -> usize {
+        self.old_to_new.len()
+    }
+
+    /// The edge-id span after compaction (= the live edge count).
+    pub fn new_span(&self) -> usize {
+        self.new_to_old.len()
+    }
+
+    /// The compact id of a pre-compaction id (`None` when the old id was
+    /// dead or out of range).
+    pub fn new_id(&self, old: EdgeId) -> Option<EdgeId> {
+        self.old_to_new.get(old.index()).copied().flatten()
+    }
+
+    /// The pre-compaction id of a compact id (`None` when out of range).
+    pub fn old_id(&self, new: EdgeId) -> Option<EdgeId> {
+        self.new_to_old.get(new.index()).copied()
+    }
+
+    /// `(new, old)` pairs in ascending (= insertion) order.
+    pub fn iter(&self) -> impl Iterator<Item = (EdgeId, EdgeId)> + '_ {
+        self.new_to_old
+            .iter()
+            .enumerate()
+            .map(|(i, &old)| (EdgeId::new(i), old))
+    }
 }
 
 impl GraphView for DynamicGraph {
@@ -1231,5 +1308,48 @@ mod tests {
             g.insert_edge(v(1), v(1)),
             Err(GraphError::SelfLoop { .. })
         ));
+    }
+
+    #[test]
+    fn compact_ids_renumbers_live_edges_in_insertion_order() {
+        let mut g = DynamicGraph::new(5);
+        let mut ids = Vec::new();
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)] {
+            ids.push(g.insert_edge(v(a), v(b)).unwrap());
+        }
+        g.delete_edge(ids[1]).unwrap();
+        g.delete_edge(ids[4]).unwrap();
+        let (before, survivors) = g.to_multigraph();
+        let remap = g.compact_ids();
+        assert_eq!(remap.old_span(), 6);
+        assert_eq!(remap.new_span(), 4);
+        assert_eq!(GraphView::num_edges(&g), 4, "span shrank to live count");
+        assert_eq!(g.num_live_edges(), 4);
+        // Surviving edges keep their insertion order under the new ids.
+        for (new, old) in remap.iter() {
+            assert_eq!(remap.new_id(old), Some(new));
+            assert_eq!(remap.old_id(new), Some(old));
+            assert_eq!(g.endpoints(new), before.endpoints(EdgeId::new(new.index())));
+        }
+        assert_eq!(
+            remap.iter().map(|(_, old)| old).collect::<Vec<_>>(),
+            survivors
+        );
+        assert_eq!(remap.new_id(ids[1]), None, "dead ids have no new id");
+        // The canonical compacted multigraph is unchanged.
+        let (after, after_ids) = g.to_multigraph();
+        assert_eq!(after.num_edges(), before.num_edges());
+        for e in 0..after.num_edges() {
+            assert_eq!(
+                after.endpoints(EdgeId::new(e)),
+                before.endpoints(EdgeId::new(e))
+            );
+        }
+        assert_eq!(after_ids, (0..4).map(EdgeId::new).collect::<Vec<_>>());
+        // Adjacency was rewritten consistently: degrees survive.
+        assert_eq!(g.degree(v(0)), 2);
+        // Further inserts extend the compact id space.
+        let e = g.insert_edge(v(1), v(4)).unwrap();
+        assert_eq!(e.index(), 4);
     }
 }

@@ -90,7 +90,7 @@ mod view;
 pub use connectivity::{ColorConnectivity, DynamicColorConnectivity};
 pub use csr::{CsrGraph, CsrRef, CsrStorage, MmapCsr, MmapStorage, OwnedCsr};
 pub use decomposition::{DecompositionStats, ForestDecomposition, PartialEdgeColoring};
-pub use dynamic::{DynamicConnectivity, DynamicForest, DynamicGraph};
+pub use dynamic::{DynamicConnectivity, DynamicForest, DynamicGraph, EdgeIdRemap};
 pub use error::{GraphError, ValidationError};
 pub use flow::FlowNetwork;
 pub use ids::{Color, EdgeId, VertexId};

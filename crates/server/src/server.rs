@@ -1,0 +1,152 @@
+//! The TCP front end: `std::net::TcpListener` + one thread per
+//! connection, no extra dependencies.
+//!
+//! Each connection speaks the frame protocol of [`protocol`](crate::protocol):
+//! read a request frame, dispatch into the shared [`ServerState`], write
+//! the response frame, repeat until the peer hangs up. A `Shutdown`
+//! request is acknowledged on its own connection, then stops the accept
+//! loop (a loopback self-connect unblocks `accept`) and drains every
+//! worker thread before [`Server::serve`] returns — the clean-shutdown
+//! contract the CI smoke job asserts. The drain half-closes the read
+//! side of every still-open connection: an in-flight request still gets
+//! its response written, but a worker parked in `read_frame` on an idle
+//! connection sees EOF and exits instead of pinning the drain forever.
+
+use crate::protocol::{
+    decode_request, encode_response, read_frame, write_frame, Request, Response, WireError,
+};
+use crate::state::ServerState;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// A bound, not-yet-serving decomposition server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 to let the OS pick; read it back with
+    /// [`local_addr`](Server::local_addr)).
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`TcpListener::bind`] reports.
+    pub fn bind<A: ToSocketAddrs>(addr: A) -> io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            state: Arc::new(ServerState::new()),
+        })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`TcpListener::local_addr`] reports.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared registry (pre-register graphs before serving, or share
+    /// it with in-process readers).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Accepts and serves connections until a `Shutdown` request arrives;
+    /// drains every connection thread before returning.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only — per-connection I/O problems close
+    /// that connection and keep serving.
+    pub fn serve(self) -> io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut workers: Vec<(thread::JoinHandle<()>, Option<TcpStream>)> = Vec::new();
+        for incoming in self.listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let mut stream = match incoming {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            // A second handle to the same socket, kept by the accept loop
+            // so the drain below can half-close connections whose worker
+            // is parked in a blocking read.
+            let peer = stream.try_clone().ok();
+            let state = Arc::clone(&self.state);
+            let shutdown = Arc::clone(&shutdown);
+            workers.push((
+                thread::spawn(move || {
+                    serve_connection(&mut stream, &state, &shutdown, addr);
+                    // The accept loop may still hold a clone of this
+                    // socket; an explicit shutdown sends the FIN now so
+                    // the peer sees the connection close as soon as the
+                    // worker is done, not when the clone is reaped.
+                    let _ = stream.shutdown(Shutdown::Both);
+                }),
+                peer,
+            ));
+            // Reap finished workers so the handle list stays bounded on
+            // long-lived servers.
+            workers.retain(|(w, _)| !w.is_finished());
+        }
+        // Half-close the read side of every surviving connection: workers
+        // blocked in `read_frame` wake up with EOF, while a response for
+        // an in-flight request still goes out on the intact write side.
+        for (_, peer) in &workers {
+            if let Some(peer) = peer {
+                let _ = peer.shutdown(Shutdown::Read);
+            }
+        }
+        for (w, _) in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+}
+
+/// One connection's request loop.
+fn serve_connection(
+    stream: &mut TcpStream,
+    state: &ServerState,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) {
+    loop {
+        let payload = match read_frame(stream) {
+            Ok(payload) => payload,
+            // Peer hung up (or broke framing, which is unrecoverable:
+            // the stream position is ambiguous).
+            Err(_) => return,
+        };
+        let response = match decode_request(&payload) {
+            Ok(Request::Shutdown) => {
+                let _ = write_frame(stream, &encode_response(&Response::ShuttingDown));
+                shutdown.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so it observes the flag.
+                let _ = TcpStream::connect(addr);
+                return;
+            }
+            Ok(request) => state.handle(&request),
+            Err(err) => Response::Error(err),
+        };
+        let malformed = matches!(&response, Response::Error(WireError { code, .. })
+            if *code == crate::protocol::ErrorCode::Malformed);
+        if write_frame(stream, &encode_response(&response)).is_err() {
+            return;
+        }
+        if malformed {
+            // After a malformed frame the peer's framing can't be
+            // trusted; the typed error is sent, then the connection
+            // closes.
+            return;
+        }
+    }
+}

@@ -221,6 +221,58 @@ fn ten_thousand_update_stream_snapshots_byte_identical() {
     );
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `compact_ids` is invisible to the decomposition: after arbitrary
+    /// churn, compacting renumbers the live edges densely (in insertion
+    /// order) without changing `snapshot()` bytes, endpoints, colors or
+    /// the validity of the live coloring.
+    #[test]
+    fn compact_ids_is_invisible_to_the_snapshot((n, script) in arb_script(16, 60)) {
+        let request = DecompositionRequest::new(ProblemKind::Forest)
+            .with_engine(Engine::ExactMatroid)
+            .with_seed(11);
+        let mut dyn_dec = DynamicDecomposer::new(request, n).unwrap();
+        let mut live: Vec<(EdgeId, usize, usize)> = Vec::new();
+        for (u, v, delete) in script {
+            if delete && !live.is_empty() {
+                let slot = u % live.len();
+                let (e, _, _) = live.swap_remove(slot);
+                dyn_dec.apply(EdgeUpdate::delete(e)).unwrap();
+            } else if u != v {
+                let e = dyn_dec.apply(EdgeUpdate::insert(u, v)).unwrap().edge;
+                live.push((e, u, v));
+            }
+        }
+        let before = dyn_dec.snapshot().unwrap().canonical_bytes();
+        let old_endpoints: Vec<(EdgeId, VertexId, VertexId)> =
+            dyn_dec.live_graph().live_edges().collect();
+
+        let remap = dyn_dec.compact_ids();
+
+        // Dense renumbering in ascending-old-id (= insertion) order.
+        prop_assert_eq!(remap.new_span(), old_endpoints.len());
+        prop_assert_eq!(dyn_dec.live_graph().edge_id_span(), old_endpoints.len());
+        let olds: Vec<EdgeId> = remap.iter().map(|(_, old)| old).collect();
+        prop_assert!(olds.windows(2).all(|w| w[0] < w[1]), "old ids not ascending");
+        // Endpoints ride along with the remap.
+        let new_endpoints: Vec<(EdgeId, VertexId, VertexId)> =
+            dyn_dec.live_graph().live_edges().collect();
+        for &(old, u, v) in &old_endpoints {
+            let new = remap.new_id(old).expect("live edge lost by compaction");
+            prop_assert_eq!(remap.old_id(new), Some(old));
+            let (ne, nu, nv) = new_endpoints[new.index()];
+            prop_assert_eq!(ne, new);
+            prop_assert_eq!((nu, nv), (u, v));
+        }
+        // The decomposition itself is untouched.
+        dyn_dec.validate_live().unwrap();
+        let after = dyn_dec.snapshot().unwrap().canonical_bytes();
+        prop_assert_eq!(before, after);
+    }
+}
+
 /// Deleting into a sparse regime drains and retires colors (the downward
 /// half of budget tracking), and every delta report stays coherent.
 #[test]
