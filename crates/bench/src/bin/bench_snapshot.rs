@@ -1,4 +1,4 @@
-//! Emits a machine-readable performance snapshot (`BENCH_pr6.json` via
+//! Emits a machine-readable performance snapshot (`BENCH_pr7.json` via
 //! `scripts/bench_snapshot.sh`): wall-clock of the `Decomposer` facade across
 //! graph sizes × engines, the 64-graph `decomposer_batch` workload the
 //! acceptance criteria track across PRs, a sharded-vs-unsharded large-graph
@@ -14,19 +14,25 @@
 //! `SnapshotReader` throughput under idle and live publishing writers,
 //! end-to-end TCP queries/sec through the `forest-serve` client while a
 //! writer connection streams batches, and the publish-to-read epoch lag a
-//! dedicated probe observes. Every snapshot records the host's core and
-//! thread counts in its `environment` block.
+//! dedicated probe observes — and, new in PR 7, the **virtual power graph**:
+//! adversarial sharded-HSV wall-clock before/after the lazy `PowerView` +
+//! ball-local cluster pipeline (pre-PR medians hardcoded from this host),
+//! the forced-radii workload where `G^{2R'+1}` was previously materialized,
+//! and the `PipelineStats` counters from a direct `algorithm2_frozen` run.
+//! Every snapshot records the host's core and thread counts in its
+//! `environment` block.
 //!
 //! The `pr2_baseline` block records the medians from `BENCH_pr2.json`
 //! (post-CSR-refactor facade, commit `c2da8ed`) for the identical workload,
 //! so the JSON carries its own before/after comparison; snapshots are
 //! appended as new `BENCH_pr<N>.json` files, never overwritten.
 
+use forest_decomp::algorithm2::{algorithm2_frozen, Algorithm2Config};
 use forest_decomp::api::{
     Decomposer, DecompositionRequest, DynamicDecomposer, EdgeUpdate, Engine, FrozenGraph,
     GraphInput, ProblemKind, ReorderKind, ShardedGraph, ShardingSpec, StitchPolicy,
 };
-use forest_graph::{generators, CsrGraph, EdgeId, MultiGraph, VertexId};
+use forest_graph::{generators, CsrGraph, EdgeId, GraphView, ListAssignment, MultiGraph, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -39,6 +45,22 @@ use std::time::Instant;
 const BASELINE_SEQUENTIAL_MS: [(&str, f64); 2] =
     [("harris-su-vu", 6.053), ("exact-matroid", 3.496)];
 const BASELINE_RAYON_MS: [(&str, f64); 2] = [("harris-su-vu", 6.603), ("exact-matroid", 3.628)];
+
+/// Medians measured on the PR 7 development container immediately before the
+/// virtual power-graph rewrite (materializing `power_graph`, whole-graph CUT
+/// and augmentation scans, per-component `bfs_distances` diameter bound) for
+/// the exact `hsv_power_graph` workloads below, in milliseconds. Same caveat
+/// as `pr2_baseline`: the ratios are machine-specific.
+const HSV_BASELINE_UNSHARDED_MS: f64 = 31.731;
+const HSV_BASELINE_SHARDED_MS: [(&str, usize, f64); 6] = [
+    ("identity", 2, 357.372),
+    ("identity", 4, 644.357),
+    ("identity", 8, 441.705),
+    ("rcm", 2, 153.187),
+    ("rcm", 4, 535.700),
+    ("rcm", 8, 387.454),
+];
+const HSV_BASELINE_FAT_PATH_MS: f64 = 304.470;
 
 fn batch_workload() -> Vec<MultiGraph> {
     // Identical to benches/decomposer_batch.rs.
@@ -68,7 +90,7 @@ fn main() {
     let num_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     let rayon_threads = rayon::current_num_threads();
     let mut out = String::from("{\n");
-    out.push_str("  \"snapshot\": \"BENCH_pr6\",\n");
+    out.push_str("  \"snapshot\": \"BENCH_pr7\",\n");
     out.push_str(&format!(
         "  \"environment\": {{\"num_cpus\": {num_cpus}, \"rayon_threads\": {rayon_threads}, \"os\": \"{}\", \"arch\": \"{}\"}},\n",
         std::env::consts::OS,
@@ -230,6 +252,112 @@ fn main() {
     out.push_str(&workload_blocks.join(",\n"));
     out.push_str("\n    ]\n  },\n");
     eprintln!("bench_snapshot: sharded_vs_unsharded done");
+
+    // --- virtual power graph: adversarial sharded HSV -------------------
+    // PR 7: the HSV engine simulates `G^{2R'+1}` through a lazy `PowerView`
+    // and runs CUT + augmentation ball-locally per cluster, so fragmented
+    // shards no longer pay whole-shard scans per cluster. The pre-PR
+    // medians are hardcoded from this host (see `HSV_BASELINE_*`), so the
+    // JSON carries its own before/after comparison for the exact workloads
+    // that motivated the rewrite.
+    let mut rng = StdRng::seed_from_u64(33);
+    let adversarial = generators::planted_forest_union(20_000, 3, &mut rng);
+    let adversarial_n = adversarial.num_vertices();
+    let adversarial_m = adversarial.num_edges();
+    let adversarial_frozen = FrozenGraph::freeze(adversarial);
+    let hsv_request = DecompositionRequest::new(ProblemKind::Forest)
+        .with_engine(Engine::HarrisSuVu)
+        .with_epsilon(0.5)
+        .with_alpha(3)
+        .with_seed(17)
+        .without_validation();
+    let hsv_decomposer = Decomposer::new(hsv_request.clone());
+    hsv_decomposer.run_frozen(&adversarial_frozen).unwrap();
+    let hsv_unsharded_ms = median_ms(3, || {
+        hsv_decomposer.run_frozen(&adversarial_frozen).unwrap();
+    });
+    let mut hsv_rows = Vec::new();
+    for (reorder_name, reorder) in [
+        ("identity", ReorderKind::Identity),
+        ("rcm", ReorderKind::Rcm),
+    ] {
+        let sharded_decomposer = Decomposer::new(hsv_request.clone().with_shard_reorder(reorder));
+        for k in [2usize, 4, 8] {
+            let sharded =
+                ShardedGraph::split(&adversarial_frozen, k, ShardingSpec::with_reorder(reorder))
+                    .unwrap();
+            sharded_decomposer.run_sharded_prepared(&sharded).unwrap();
+            let ms = median_ms(3, || {
+                sharded_decomposer.run_sharded_prepared(&sharded).unwrap();
+            });
+            let before_ms = HSV_BASELINE_SHARDED_MS
+                .iter()
+                .find(|(r, kk, _)| *r == reorder_name && *kk == k)
+                .map(|(_, _, ms)| *ms)
+                .unwrap();
+            hsv_rows.push(format!(
+                "      {{\"shards\": {k}, \"reorder\": \"{reorder_name}\", \"median_ms\": {}, \"ratio_vs_unsharded\": {}, \"before_ms\": {}, \"before_ratio_vs_unsharded\": {}, \"speedup_vs_before\": {}}}",
+                json_f(ms),
+                json_f(ms / hsv_unsharded_ms),
+                json_f(before_ms),
+                json_f(before_ms / HSV_BASELINE_UNSHARDED_MS),
+                json_f(before_ms / ms),
+            ));
+        }
+    }
+    // The forced-radii workload where the engine previously materialized the
+    // power graph: fat_path keeps the forced radii large relative to the
+    // component diameters, so the pre-PR engine built `G^{2R'+1}` densely.
+    let fat = generators::fat_path(4_000, 2);
+    let fat_decomposer = Decomposer::new(
+        DecompositionRequest::new(ProblemKind::Forest)
+            .with_engine(Engine::HarrisSuVu)
+            .with_epsilon(0.5)
+            .with_alpha(2)
+            .with_radii(8, 4)
+            .with_seed(9)
+            .without_validation(),
+    );
+    fat_decomposer.run(&fat).unwrap();
+    let fat_ms = median_ms(3, || {
+        fat_decomposer.run(&fat).unwrap();
+    });
+    // A direct `algorithm2_frozen` run on the same workload, surfacing the
+    // ball-local pipeline counters (pure observability; not part of any
+    // canonical encoding).
+    let fat_csr = CsrGraph::from_multigraph(&fat);
+    let fat_lists = ListAssignment::uniform(fat_csr.num_edges(), 3);
+    let a2_config = Algorithm2Config::new(0.5, 2).with_radii(8, 4);
+    let mut a2_rng = StdRng::seed_from_u64(9);
+    let a2_out = algorithm2_frozen(&fat_csr, &fat_lists, &a2_config, &mut a2_rng).unwrap();
+    let stats = a2_out.pipeline_stats;
+    out.push_str("  \"hsv_power_graph\": {\n");
+    out.push_str("    \"note\": \"before_ms rows replay the medians measured on this PR's container immediately before the PowerView rewrite (see HSV_BASELINE_* in bench_snapshot.rs); median_ms rows re-measure the identical workloads on the current build. The ledger charges and canonical report bytes are unchanged by the rewrite (pinned by tests/power_view.rs), so every row is the same decomposition, faster\",\n");
+    out.push_str(&format!(
+        "    \"adversarial\": {{\"graph\": {{\"n\": {adversarial_n}, \"m\": {adversarial_m}, \"family\": \"planted_forest_union alpha 3, seed 33\"}}, \"engine\": \"harris-su-vu\", \"unsharded\": {{\"median_ms\": {}, \"before_ms\": {}}}, \"sharded\": [\n",
+        json_f(hsv_unsharded_ms),
+        json_f(HSV_BASELINE_UNSHARDED_MS),
+    ));
+    out.push_str(&hsv_rows.join(",\n"));
+    out.push_str("\n    ]},\n");
+    out.push_str(&format!(
+        "    \"forced_radii_fat_path\": {{\"graph\": \"fat_path(4000, 2)\", \"radii\": [8, 4], \"median_ms\": {}, \"before_ms\": {}, \"speedup_vs_before\": {}}},\n",
+        json_f(fat_ms),
+        json_f(HSV_BASELINE_FAT_PATH_MS),
+        json_f(HSV_BASELINE_FAT_PATH_MS / fat_ms),
+    ));
+    out.push_str(&format!(
+        "    \"pipeline_stats\": {{\"workload\": \"algorithm2_frozen on fat_path(4000, 2), radii (8, 4), seed 9\", \"used_power_view\": {}, \"cluster_bfs_ms\": {}, \"power_ball_expansions\": {}, \"power_cache_hits\": {}, \"scratch_allocations_per_run\": {}, \"num_clusters\": {}, \"num_classes\": {}}}\n",
+        stats.used_power_view,
+        json_f(stats.cluster_bfs_nanos as f64 / 1e6),
+        stats.power_ball_expansions,
+        stats.power_cache_hits,
+        stats.scratch_allocations,
+        a2_out.num_clusters,
+        a2_out.num_classes,
+    ));
+    out.push_str("  },\n");
+    eprintln!("bench_snapshot: hsv_power_graph done");
 
     // --- mmap round-trip -------------------------------------------------
     // save -> load_mmap -> decompose on a temp file; the report must be

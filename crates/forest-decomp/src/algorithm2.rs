@@ -23,17 +23,34 @@
 //! do — exactly as the theory predicts (the locality machinery only matters
 //! when `log n / ε` is far below the diameter). The configuration lets
 //! benchmarks force smaller radii to exercise the full machinery.
+//!
+//! # Ball-local execution
+//!
+//! The decomposition of `G^{2(R+R')}` runs on the lazy
+//! [`PowerView`](local_model::PowerView) — no `O(n²)`-edge power graph is
+//! ever materialized (the engine falls back to
+//! [`power_graph`](local_model::power_graph) only above
+//! `PowerView::MAX_VERTICES`; the ledger charges are identical either way).
+//! Each cluster is then processed inside its own ball: the region BFS stops
+//! at radius `R + R'`, and all masks, scope lists and CUT working memory are
+//! carried in scratch buffers reset via touched-id lists
+//! ([`CutScratch`](crate::cut::CutScratch) and epoch-stamped sets), so a
+//! cluster costs time proportional to its ball, not to the whole graph. The
+//! output — colors, leftover, RNG consumption, ledger — is byte-identical to
+//! the historical whole-graph implementation; [`PipelineStats`] exposes the
+//! perf counters.
 
 use crate::augmenting::{AugmentationContext, ColorConnectivity};
-use crate::cut::{dense_mask, execute_cut, CutOutcome, CutState, CutStrategy};
+use crate::cut::{execute_cut_scoped, CutOutcome, CutScope, CutScratch, CutState, CutStrategy};
 use crate::error::{check_epsilon, FdError};
 use crate::hpartition::{acyclic_orientation, h_partition};
 use forest_graph::decomposition::PartialEdgeColoring;
-use forest_graph::traversal::{bfs_distances, connected_components, multi_source_bfs, UNREACHABLE};
+use forest_graph::traversal::{connected_components, BfsScratch};
 use forest_graph::{CsrGraph, EdgeId, GraphView, ListAssignment, MultiGraph, VertexId};
 use local_model::rounds::costs;
-use local_model::{network_decomposition, RoundLedger};
+use local_model::{network_decomposition, PowerView, RoundLedger};
 use rand::Rng;
+use std::time::Instant;
 
 /// Which CUT rule Algorithm 2 should use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -97,6 +114,30 @@ impl Algorithm2Config {
     }
 }
 
+/// Performance counters of the ball-local cluster pipeline.
+///
+/// Pure observability: none of these influence the decomposition, the RNG
+/// consumption or the round ledger, and they are not part of any canonical
+/// report encoding. The benchmarks surface them to track the virtual
+/// power-graph path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineStats {
+    /// Nanoseconds spent in the per-cluster bounded region BFS.
+    pub cluster_bfs_nanos: u64,
+    /// Ball expansions performed by the lazy [`PowerView`] (0 when the
+    /// trivial or materialized path ran).
+    pub power_ball_expansions: u64,
+    /// Ball-cache hits inside the lazy [`PowerView`].
+    pub power_cache_hits: u64,
+    /// Whether the network decomposition ran on the lazy [`PowerView`]
+    /// (as opposed to the trivial path or a materialized power graph).
+    pub used_power_view: bool,
+    /// Long-lived scratch buffers allocated by the cluster pipeline for the
+    /// whole run. The pre-virtual pipeline allocated several `O(n)` / `O(m)`
+    /// buffers *per cluster*; now the count is a per-run constant.
+    pub scratch_allocations: u64,
+}
+
 /// Output of Algorithm 2.
 #[derive(Clone, Debug)]
 pub struct Algorithm2Output {
@@ -125,6 +166,8 @@ pub struct Algorithm2Output {
     pub radii: (usize, usize),
     /// Round accounting.
     pub ledger: RoundLedger,
+    /// Perf counters of the ball-local pipeline (observability only).
+    pub pipeline_stats: PipelineStats,
 }
 
 fn derived_radius(n: usize, epsilon: f64) -> usize {
@@ -185,6 +228,7 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
             num_clusters: 0,
             radii: (0, 0),
             ledger,
+            pipeline_stats: PipelineStats::default(),
         });
     }
     let needed = ((1.0 + config.epsilon) * config.alpha as f64).ceil() as usize;
@@ -238,22 +282,36 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
     // connected component) and the decomposition is trivial, so we avoid
     // materializing the power graph in that common case.
     let power = 2 * (cut_radius + locality_radius);
+    let mut pipeline_stats = PipelineStats::default();
+    // The bounded-BFS scratch serves the diameter bound here and the
+    // per-cluster region collection below; it is allocated once per run.
+    let mut region = BfsScratch::new(n);
     let diameter_upper = {
-        // Double-BFS upper bound per connected component.
+        // Double-BFS upper bound per connected component. A single pass
+        // collects every component's representative (its minimum vertex) —
+        // rescanning the vertex list per component would cost
+        // O(n · num_components) — and each eccentricity BFS runs on the
+        // epoch-stamped scratch, touching only that component (a
+        // whole-graph distance array per component would again be
+        // O(n · num_components), ruinous on fragmented shards).
         let (comp, num_comp) = connected_components(csr, |_| true);
+        let mut repr: Vec<Option<VertexId>> = vec![None; num_comp];
+        for v in csr.vertices() {
+            let slot = &mut repr[comp[v.index()]];
+            if slot.is_none() {
+                *slot = Some(v);
+            }
+        }
         let mut bound = 0usize;
-        for c in 0..num_comp {
-            let repr = csr
-                .vertices()
-                .find(|v| comp[v.index()] == c)
-                .expect("non-empty component");
-            let d = bfs_distances(csr, repr, |_| true);
-            let far = csr
-                .vertices()
-                .filter(|v| comp[v.index()] == c && d[v.index()] != UNREACHABLE)
-                .map(|v| d[v.index()])
-                .max()
-                .unwrap_or(0);
+        for slot in &repr {
+            let r = slot.expect("non-empty component");
+            region.run_bounded(csr, &[r], usize::MAX, |_| true);
+            // BFS order has nondecreasing distances, so the last visited
+            // vertex realizes the eccentricity of `r`.
+            let far = region
+                .visited()
+                .last()
+                .map_or(0, |&far_v| region.distance(far_v));
             bound = bound.max(2 * far);
         }
         bound
@@ -273,13 +331,28 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
         let count = clusters.len();
         (vec![clusters], count)
     } else {
-        let pg = local_model::power_graph(csr, power);
         // Simulating the decomposition on G^power costs a factor `power`.
         ledger.charge(
             format!("simulate G^{power} for the network decomposition"),
             costs::network_decomposition(n, power),
         );
-        let nd = network_decomposition(&pg, &mut ledger);
+        // The decomposition runs on the lazy PowerView — adjacency in
+        // G^power is answered by bounded-radius BFS balls on demand, so the
+        // quadratic power graph is never materialized. Graphs beyond the
+        // view's id-encoding capacity fall back to materializing; both
+        // paths produce identical clusters and identical ledger charges.
+        let nd = if n <= PowerView::<C>::MAX_VERTICES {
+            let pv = PowerView::new(csr, power);
+            let nd = network_decomposition(&pv, &mut ledger);
+            let stats = pv.stats();
+            pipeline_stats.power_ball_expansions = stats.ball_expansions;
+            pipeline_stats.power_cache_hits = stats.cache_hits;
+            pipeline_stats.used_power_view = true;
+            nd
+        } else {
+            let pg = local_model::power_graph(csr, power);
+            network_decomposition(&pg, &mut ledger)
+        };
         let mut classes: Vec<Vec<Vec<VertexId>>> = vec![Vec::new(); nd.num_classes];
         for (cluster_id, members) in nd.clusters.iter().enumerate() {
             classes[nd.cluster_class[cluster_id]].push(members.clone());
@@ -297,6 +370,22 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
     let mut fallback_uncolored = 0usize;
     let num_classes = classes.len();
 
+    // Shared scratch for the whole cluster loop: every per-cluster structure
+    // below is reset through the touched-id lists, never by an O(n) or O(m)
+    // clear, so cluster cost is proportional to the ball it covers.
+    let mut cut_scratch = CutScratch::new();
+    let mut core = vec![false; n];
+    let mut view = vec![false; n];
+    let mut view_edges = vec![false; m];
+    let mut touched: Vec<VertexId> = Vec::new();
+    let mut core_list: Vec<VertexId> = Vec::new();
+    let mut scope_edges: Vec<EdgeId> = Vec::new();
+    let mut view_edge_list: Vec<EdgeId> = Vec::new();
+    let mut candidate_edges: Vec<EdgeId> = Vec::new();
+    let mut conn = ColorConnectivity::new(n);
+    let unrestricted = AugmentationContext::new(csr, lists);
+    pipeline_stats.scratch_allocations = 11;
+
     for (class_index, clusters) in classes.iter().enumerate() {
         // All clusters of a class are processed in parallel in the LOCAL
         // model; the simulation charges the cluster-processing cost once per
@@ -306,27 +395,47 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
             (cut_radius + locality_radius) * costs::log2_ceil(n).max(1),
         );
         for cluster in clusters {
-            // C' = N^{R'}(C), C'' = N^{R+R'}(C), as dense vertex masks.
-            let dist = multi_source_bfs(csr, cluster, |_| true);
-            let mut core = vec![false; n];
-            let mut view = vec![false; n];
-            for v in csr.vertices() {
-                if dist[v.index()] == UNREACHABLE {
-                    continue;
+            // C' = N^{R'}(C), C'' = N^{R+R'}(C): one bounded BFS touches
+            // exactly the view ball and nothing else.
+            let ball_start = Instant::now();
+            region.run_bounded(csr, cluster, locality_radius + cut_radius, |_| true);
+            touched.clear();
+            touched.extend_from_slice(region.visited());
+            touched.sort_unstable();
+            core_list.clear();
+            for &v in &touched {
+                view[v.index()] = true;
+                if region.distance(v) <= locality_radius {
+                    core[v.index()] = true;
+                    core_list.push(v);
                 }
-                core[v.index()] = dist[v.index()] <= locality_radius;
-                view[v.index()] = dist[v.index()] <= locality_radius + cut_radius;
             }
+            // Every edge with at least one endpoint in the view, ascending —
+            // the CUT scope (escapes are half-in, half-out).
+            scope_edges.clear();
+            for &v in &touched {
+                scope_edges.extend(csr.incident_edges(v));
+            }
+            scope_edges.sort_unstable();
+            scope_edges.dedup();
+            pipeline_stats.cluster_bfs_nanos += ball_start.elapsed().as_nanos() as u64;
             // CUT(C', R).
-            let outcome: CutOutcome = execute_cut(
+            let scope = CutScope {
+                core_vertices: &core_list,
+                view_vertices: &touched,
+                edges: &scope_edges,
+            };
+            let outcome: CutOutcome = execute_cut_scoped(
                 csr,
                 &coloring,
+                &scope,
                 &core,
                 &view,
                 &strategy,
                 &mut cut_state,
                 config.force_good_cut,
                 rng,
+                &mut cut_scratch,
             );
             all_cuts_good &= outcome.good;
             forced_cut_removals += outcome.forced.len();
@@ -337,23 +446,34 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
                     leftover.push(e);
                 }
             }
-            // Augment every uncolored, non-removed edge incident to C.
-            let cluster_set = dense_mask(n, cluster.iter().copied());
-            let mut view_edges = vec![false; m];
-            for (e, u, v) in csr.edges() {
-                view_edges[e.index()] = !removed[e.index()] && view[u.index()] && view[v.index()];
+            // Augment every uncolored, non-removed edge incident to C. The
+            // restriction mask covers exactly the view-internal non-removed
+            // edges; all of them are scope edges, and everything else stays
+            // `false` from the previous cluster's cleanup.
+            view_edge_list.clear();
+            for &e in &scope_edges {
+                let (u, v) = csr.endpoints(e);
+                if !removed[e.index()] && view[u.index()] && view[v.index()] {
+                    view_edges[e.index()] = true;
+                    view_edge_list.push(e);
+                }
             }
             let restricted = AugmentationContext::restricted(csr, lists, &view_edges);
-            let unrestricted = AugmentationContext::new(csr, lists);
             // The connectivity cache is scoped to this cluster: the edge
             // restriction (and the CUT removals above) changed since the
             // previous one.
-            let mut conn = ColorConnectivity::new(n);
-            for (e, u, v) in csr.edges() {
+            conn.invalidate_all();
+            // Candidate edges: incident to the cluster, ascending — the same
+            // visiting order as a whole-edge-list scan filtered on cluster
+            // incidence.
+            candidate_edges.clear();
+            for &v in cluster.iter() {
+                candidate_edges.extend(csr.incident_edges(v));
+            }
+            candidate_edges.sort_unstable();
+            candidate_edges.dedup();
+            for &e in &candidate_edges {
                 if coloring.color(e).is_some() || removed[e.index()] {
-                    continue;
-                }
-                if !cluster_set[u.index()] && !cluster_set[v.index()] {
                     continue;
                 }
                 if restricted
@@ -383,6 +503,14 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
                     }
                 }
             }
+            // Reset the dense masks through the touched lists (O(ball)).
+            for &v in &touched {
+                core[v.index()] = false;
+                view[v.index()] = false;
+            }
+            for &e in &view_edge_list {
+                view_edges[e.index()] = false;
+            }
         }
     }
 
@@ -398,6 +526,7 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
         num_clusters: num_clusters_total,
         radii: (cut_radius, locality_radius),
         ledger,
+        pipeline_stats,
     })
 }
 

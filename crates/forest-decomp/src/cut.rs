@@ -33,8 +33,22 @@
 //! are always processed in ascending order (`BTreeMap` grouping), so a CUT
 //! invocation consumes its RNG in an order fixed by the topology alone —
 //! same seed, same removals, byte for byte.
+//!
+//! # Ball-local execution
+//!
+//! A cluster's view is a small ball, so every scan CUT performs is restricted
+//! to a [`CutScope`]: the sorted core/view vertex lists and the sorted list
+//! of edges with at least one endpoint in the view. (The escaping-path BFS
+//! can traverse an edge whose far endpoint lies outside the view — that is
+//! the escape itself — so the scope must include half-incident edges, not
+//! just view-internal ones.) All per-invocation working memory lives in a
+//! reusable [`CutScratch`] of epoch-stamped sets, so a run with thousands of
+//! clusters performs no `O(n)` or `O(m)` work per cluster. The classic
+//! whole-graph entry points [`execute_cut`] and [`is_good`] are thin wrappers
+//! that build a full scope; both paths consume the RNG identically.
 
 use forest_graph::decomposition::PartialEdgeColoring;
+use forest_graph::kernels::StampSet;
 use forest_graph::{Color, EdgeId, GraphView, Orientation, VertexId};
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -129,36 +143,105 @@ where
     mask
 }
 
-fn eligible_edges<G: GraphView>(
-    g: &G,
-    coloring: &PartialEdgeColoring,
-    core: &[bool],
-    view: &[bool],
-) -> Vec<EdgeId> {
-    g.edges()
-        .filter(|&(e, u, v)| {
-            coloring.color(e).is_some()
-                && view[u.index()]
-                && view[v.index()]
-                && !(core[u.index()] && core[v.index()])
-        })
-        .map(|(e, _, _)| e)
-        .collect()
+/// The ball-local scope of one CUT invocation.
+///
+/// All three lists must be sorted ascending by id; determinism (RNG draw
+/// order, removal order) relies on it. `core_vertices` must be a subset of
+/// `view_vertices`, and `edges` must contain every edge with **at least one**
+/// endpoint in the view — the escaping-path search traverses the half-in,
+/// half-out edge that constitutes the escape, so restricting the scope to
+/// view-internal edges would miss it.
+#[derive(Clone, Copy, Debug)]
+pub struct CutScope<'a> {
+    /// The core `C'`, sorted ascending.
+    pub core_vertices: &'a [VertexId],
+    /// The view `C''`, sorted ascending (superset of the core).
+    pub view_vertices: &'a [VertexId],
+    /// Every edge with at least one endpoint in the view, sorted ascending.
+    pub edges: &'a [EdgeId],
 }
 
-/// Groups the edges accepted by `keep` by their color, in ascending color
-/// order (deterministic iteration, unlike a hash map).
-fn edges_by_color<G, F>(
+/// Reusable working memory for scoped CUT invocations.
+///
+/// Every set is epoch-stamped ([`StampSet`]) and every buffer is grown on
+/// demand, so resets between colors and between clusters are `O(1)` — a run
+/// with thousands of clusters allocates this once and never clears an
+/// `O(n)` array per cluster.
+#[derive(Debug, Default)]
+pub struct CutScratch {
+    /// Component-discovery marks for the per-color rooting.
+    comp_seen: StampSet,
+    /// BFS visitation marks (rooting and escape search).
+    visited: StampSet,
+    /// Whether `parent_edge[v]` is valid in the current epoch.
+    has_parent: StampSet,
+    /// Parent edge of `v` in the current per-color tree / BFS forest.
+    parent_edge: Vec<EdgeId>,
+    /// BFS depth of `v`; valid only when `visited` holds `v`.
+    depth: Vec<u32>,
+    /// Edge membership in the current color class.
+    in_class: StampSet,
+    /// Eligible-edge membership for the current invocation.
+    eligible: StampSet,
+    /// Removed-edge membership for the current invocation.
+    removed: StampSet,
+    /// Flat BFS queue (head-indexed, never popped from the front).
+    queue: Vec<VertexId>,
+    /// Vertices of the component being rooted.
+    component: Vec<VertexId>,
+}
+
+impl CutScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        CutScratch::default()
+    }
+
+    fn ensure(&mut self, n: usize, m: usize) {
+        self.comp_seen.resize(n);
+        self.visited.resize(n);
+        self.has_parent.resize(n);
+        if self.parent_edge.len() < n {
+            self.parent_edge.resize(n, EdgeId::new(0));
+            self.depth.resize(n, 0);
+        }
+        self.in_class.resize(m);
+        self.eligible.resize(m);
+        self.removed.resize(m);
+    }
+}
+
+/// Collects the full-graph scope lists for the wrapper entry points: all
+/// core vertices, all view vertices, and every edge with at least one
+/// endpoint in the view, each ascending.
+fn full_scope<G: GraphView>(
     g: &G,
+    core: &[bool],
+    view: &[bool],
+) -> (Vec<VertexId>, Vec<VertexId>, Vec<EdgeId>) {
+    let core_vertices = g.vertices().filter(|v| core[v.index()]).collect();
+    let view_vertices = g.vertices().filter(|v| view[v.index()]).collect();
+    let edges = g
+        .edges()
+        .filter(|&(_, u, w)| view[u.index()] || view[w.index()])
+        .map(|(e, _, _)| e)
+        .collect();
+    (core_vertices, view_vertices, edges)
+}
+
+/// Groups the scope edges accepted by `keep` by their color, in ascending
+/// color order (deterministic iteration, unlike a hash map). `scope_edges`
+/// is sorted, so each per-color list comes out ascending too.
+fn edges_by_color_scoped<F>(
     coloring: &PartialEdgeColoring,
+    scope_edges: &[EdgeId],
     keep: F,
 ) -> BTreeMap<Color, Vec<EdgeId>>
 where
-    G: GraphView,
     F: Fn(EdgeId) -> bool,
 {
     let mut by_color: BTreeMap<Color, Vec<EdgeId>> = BTreeMap::new();
-    for e in g.edge_ids() {
+    for &e in scope_edges {
         if let Some(c) = coloring.color(e) {
             if keep(e) {
                 by_color.entry(c).or_default().push(e);
@@ -178,54 +261,78 @@ pub fn is_good<G: GraphView>(
     core: &[bool],
     view: &[bool],
 ) -> bool {
-    find_escaping_path(g, coloring, removed, core, view).is_none()
+    let (core_vertices, view_vertices, edges) = full_scope(g, core, view);
+    let scope = CutScope {
+        core_vertices: &core_vertices,
+        view_vertices: &view_vertices,
+        edges: &edges,
+    };
+    let mut scratch = CutScratch::new();
+    scratch.ensure(g.num_vertices(), g.num_edges());
+    let mut removed_set = StampSet::new(g.num_edges());
+    for (i, &r) in removed.iter().enumerate() {
+        if r {
+            removed_set.insert(i);
+        }
+    }
+    find_escaping_path_scoped(g, coloring, &removed_set, core, view, &scope, &mut scratch).is_none()
 }
 
 /// Finds a monochromatic path from the core to a vertex outside the view, if
 /// one exists, as a list of edge ids (ordered from the core outward).
-fn find_escaping_path<G: GraphView>(
+///
+/// Only edges in `scope.edges` participate; a color class with no
+/// view-incident edges cannot carry an escape (the BFS from the core never
+/// expands a vertex outside the view), so skipping it is exact.
+fn find_escaping_path_scoped<G: GraphView>(
     g: &G,
     coloring: &PartialEdgeColoring,
-    removed: &[bool],
+    removed: &StampSet,
     core: &[bool],
     view: &[bool],
+    scope: &CutScope,
+    scratch: &mut CutScratch,
 ) -> Option<Vec<EdgeId>> {
-    let n = g.num_vertices();
-    let m = g.num_edges();
-    let by_color = edges_by_color(g, coloring, |e| !removed[e.index()]);
-    let mut in_class = vec![false; m];
-    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
-    let mut visited = vec![false; n];
-    let mut queue: std::collections::VecDeque<VertexId> = std::collections::VecDeque::new();
+    let by_color = edges_by_color_scoped(coloring, scope.edges, |e| !removed.contains(e.index()));
     for (_, edges) in by_color {
+        scratch.in_class.clear();
         for &e in &edges {
-            in_class[e.index()] = true;
+            scratch.in_class.insert(e.index());
         }
         // Multi-source BFS from the core over this color class.
-        visited.copy_from_slice(core);
-        parent_edge.fill(None);
-        queue.clear();
-        queue.extend(g.vertices().filter(|v| core[v.index()]));
+        scratch.visited.clear();
+        scratch.has_parent.clear();
+        scratch.queue.clear();
+        for &c in scope.core_vertices {
+            if scratch.visited.insert(c.index()) {
+                scratch.queue.push(c);
+            }
+        }
         let mut escape = None;
-        'bfs: while let Some(u) = queue.pop_front() {
+        let mut head = 0;
+        'bfs: while head < scratch.queue.len() {
+            let u = scratch.queue[head];
+            head += 1;
             for (w, e) in g.incidences(u) {
-                if in_class[e.index()] && !visited[w.index()] {
-                    visited[w.index()] = true;
-                    parent_edge[w.index()] = Some(e);
+                if scratch.in_class.contains(e.index()) && scratch.visited.insert(w.index()) {
+                    scratch.has_parent.insert(w.index());
+                    scratch.parent_edge[w.index()] = e;
                     if !view[w.index()] {
                         escape = Some(w);
                         break 'bfs;
                     }
-                    queue.push_back(w);
+                    scratch.queue.push(w);
                 }
             }
         }
-        // Undo the class mask before the next color either way.
-        let found = escape.map(|w| {
-            // Reconstruct the path back to the core.
+        if let Some(w) = escape {
+            // Reconstruct the path back to the core. `has_parent` is fresh
+            // for exactly the vertices visited (beyond the core) this color,
+            // so stale `parent_edge` entries are never read.
             let mut path = Vec::new();
             let mut cur = w;
-            while let Some(pe) = parent_edge[cur.index()] {
+            while scratch.has_parent.contains(cur.index()) {
+                let pe = scratch.parent_edge[cur.index()];
                 path.push(pe);
                 cur = g.other_endpoint(pe, cur);
                 if core[cur.index()] {
@@ -233,13 +340,7 @@ fn find_escaping_path<G: GraphView>(
                 }
             }
             path.reverse();
-            path
-        });
-        for &e in &edges {
-            in_class[e.index()] = false;
-        }
-        if found.is_some() {
-            return found;
+            return Some(path);
         }
     }
     None
@@ -251,6 +352,11 @@ fn find_escaping_path<G: GraphView>(
 /// [`dense_mask`]); the colored edges inside the view but not inside the core
 /// are eligible for removal. Removed edges are *not* cleared from `coloring`
 /// here — the caller does that so it can also track the leftover set.
+///
+/// This whole-graph entry point scans `g` once to build the scope; hot
+/// callers with many small clusters should build a [`CutScope`] per cluster
+/// and call [`execute_cut_scoped`] with a shared [`CutScratch`] instead. Both
+/// consume the RNG identically.
 #[allow(clippy::too_many_arguments)] // mirrors the paper's CUT(C', R) signature
 pub fn execute_cut<G: GraphView, R: Rng + ?Sized>(
     g: &G,
@@ -262,41 +368,150 @@ pub fn execute_cut<G: GraphView, R: Rng + ?Sized>(
     force_good: bool,
     rng: &mut R,
 ) -> CutOutcome {
-    let m = g.num_edges();
-    let eligible = eligible_edges(g, coloring, core, view);
-    let eligible_mask = dense_mask(m, eligible.iter().copied());
+    let (core_vertices, view_vertices, edges) = full_scope(g, core, view);
+    let scope = CutScope {
+        core_vertices: &core_vertices,
+        view_vertices: &view_vertices,
+        edges: &edges,
+    };
+    let mut scratch = CutScratch::new();
+    execute_cut_scoped(
+        g,
+        coloring,
+        &scope,
+        core,
+        view,
+        strategy,
+        state,
+        force_good,
+        rng,
+        &mut scratch,
+    )
+}
+
+/// Ball-local `CUT(C', R)`: identical to [`execute_cut`] (same RNG
+/// consumption, same outcome), but every scan is restricted to the
+/// [`CutScope`] and all working memory comes from the caller's
+/// [`CutScratch`]. `core` / `view` stay dense whole-graph masks — the caller
+/// maintains them incrementally via its touched-vertex lists.
+#[allow(clippy::too_many_arguments)] // mirrors the paper's CUT(C', R) signature
+pub fn execute_cut_scoped<G: GraphView, R: Rng + ?Sized>(
+    g: &G,
+    coloring: &PartialEdgeColoring,
+    scope: &CutScope,
+    core: &[bool],
+    view: &[bool],
+    strategy: &CutStrategy,
+    state: &mut CutState,
+    force_good: bool,
+    rng: &mut R,
+    scratch: &mut CutScratch,
+) -> CutOutcome {
+    debug_assert!(scope.view_vertices.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(scope.core_vertices.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(scope.edges.windows(2).all(|w| w[0] < w[1]));
+    scratch.ensure(g.num_vertices(), g.num_edges());
+    // Eligible edges ascending (`scope.edges` is sorted and is a superset:
+    // an eligible edge has both endpoints in the view).
+    let eligible: Vec<EdgeId> = scope
+        .edges
+        .iter()
+        .copied()
+        .filter(|&e| {
+            let (u, v) = g.endpoints(e);
+            coloring.color(e).is_some()
+                && view[u.index()]
+                && view[v.index()]
+                && !(core[u.index()] && core[v.index()])
+        })
+        .collect();
+    scratch.eligible.clear();
+    for &e in &eligible {
+        scratch.eligible.insert(e.index());
+    }
     let mut removed: Vec<EdgeId> = Vec::new();
     match strategy {
         CutStrategy::DepthModulo { levels } => {
             let levels = (*levels).max(1);
             // Group eligible edges by color, ascending — the per-color RNG
             // draws below happen in a deterministic order.
-            let by_color = edges_by_color(g, coloring, |e| eligible_mask[e.index()]);
-            let mut in_class = vec![false; m];
+            let by_color = edges_by_color_scoped(coloring, scope.edges, |e| {
+                scratch.eligible.contains(e.index())
+            });
             for (_, edges) in by_color {
+                scratch.in_class.clear();
                 for &e in &edges {
-                    in_class[e.index()] = true;
+                    scratch.in_class.insert(e.index());
                 }
                 // Root the per-color forest, preferring roots inside the core
                 // so that depth measures the distance leaving the cluster.
-                let rooted = forest_graph::traversal::root_forest(
-                    g,
-                    |e| in_class[e.index()],
-                    |v| usize::from(!core[v.index()]),
-                );
-                let offset = rng.gen_range(0..levels);
-                for v in g.vertices() {
-                    if let Some(pe) = rooted.parent_edge[v.index()] {
-                        if in_class[pe.index()] && rooted.depth[v.index()] % levels == offset {
-                            removed.push(pe);
-                            // The deleted edge is charged to (oriented away
-                            // from) the child vertex v.
-                            state.load[v.index()] += 1;
+                // In-class edges have both endpoints in the view, so every
+                // non-trivial component lies inside `scope.view_vertices`.
+                scratch.comp_seen.clear();
+                scratch.visited.clear();
+                scratch.has_parent.clear();
+                for &start in scope.view_vertices {
+                    if scratch.comp_seen.contains(start.index()) {
+                        continue;
+                    }
+                    scratch.component.clear();
+                    scratch.queue.clear();
+                    scratch.comp_seen.insert(start.index());
+                    scratch.queue.push(start);
+                    let mut head = 0;
+                    while head < scratch.queue.len() {
+                        let u = scratch.queue[head];
+                        head += 1;
+                        scratch.component.push(u);
+                        for (w, e) in g.incidences(u) {
+                            if scratch.in_class.contains(e.index())
+                                && scratch.comp_seen.insert(w.index())
+                            {
+                                scratch.queue.push(w);
+                            }
+                        }
+                    }
+                    // Same root rule as `traversal::root_forest`: minimize
+                    // (not-in-core, vertex id) over the component.
+                    let root = scratch
+                        .component
+                        .iter()
+                        .copied()
+                        .min_by_key(|&v| (usize::from(!core[v.index()]), v))
+                        .expect("component is non-empty");
+                    scratch.queue.clear();
+                    scratch.visited.insert(root.index());
+                    scratch.depth[root.index()] = 0;
+                    scratch.queue.push(root);
+                    head = 0;
+                    while head < scratch.queue.len() {
+                        let u = scratch.queue[head];
+                        head += 1;
+                        for (w, e) in g.incidences(u) {
+                            if scratch.in_class.contains(e.index())
+                                && scratch.visited.insert(w.index())
+                            {
+                                scratch.has_parent.insert(w.index());
+                                scratch.parent_edge[w.index()] = e;
+                                scratch.depth[w.index()] = scratch.depth[u.index()] + 1;
+                                scratch.queue.push(w);
+                            }
                         }
                     }
                 }
-                for &e in &edges {
-                    in_class[e.index()] = false;
+                let offset = rng.gen_range(0..levels);
+                // Only view vertices can carry an in-class parent edge, so
+                // walking the sorted view list visits the same vertices in
+                // the same order as a whole-graph scan.
+                for &v in scope.view_vertices {
+                    if scratch.has_parent.contains(v.index())
+                        && scratch.depth[v.index()] as usize % levels == offset
+                    {
+                        removed.push(scratch.parent_edge[v.index()]);
+                        // The deleted edge is charged to (oriented away
+                        // from) the child vertex v.
+                        state.load[v.index()] += 1;
+                    }
                 }
             }
         }
@@ -304,13 +519,15 @@ pub fn execute_cut<G: GraphView, R: Rng + ?Sized>(
             probability,
             load_cap,
         } => {
+            // Take (not clone) the orientation: `J` is fixed for the whole
+            // run and cloning it per cluster would dominate small clusters.
             let orientation = state
                 .orientation
-                .clone()
+                .take()
                 .expect("conditioned sampling requires a fixed orientation in CutState");
             let p = probability.clamp(0.0, 1.0);
-            for v in g.vertices() {
-                if !view[v.index()] || core[v.index()] {
+            for &v in scope.view_vertices {
+                if core[v.index()] {
                     continue;
                 }
                 if state.load[v.index()] >= *load_cap {
@@ -322,7 +539,7 @@ pub fn execute_cut<G: GraphView, R: Rng + ?Sized>(
                 let candidates: Vec<EdgeId> = orientation
                     .out_edges(g, v)
                     .into_iter()
-                    .filter(|e| eligible_mask[e.index()])
+                    .filter(|e| scratch.eligible.contains(e.index()))
                     .collect();
                 if candidates.is_empty() {
                     continue;
@@ -331,25 +548,37 @@ pub fn execute_cut<G: GraphView, R: Rng + ?Sized>(
                 removed.push(pick);
                 state.load[v.index()] += 1;
             }
+            state.orientation = Some(orientation);
         }
     }
     removed.sort_unstable();
     removed.dedup();
-    let mut removed_mask = dense_mask(m, removed.iter().copied());
-    let good = is_good(g, coloring, &removed_mask, core, view);
+    // The removed set is pulled out of the scratch so the escape search can
+    // borrow the rest of the scratch mutably alongside it.
+    let mut removed_set = std::mem::replace(&mut scratch.removed, StampSet::new(0));
+    removed_set.clear();
+    for &e in &removed {
+        removed_set.insert(e.index());
+    }
+    let good =
+        find_escaping_path_scoped(g, coloring, &removed_set, core, view, scope, scratch).is_none();
     let mut forced = Vec::new();
     if force_good && !good {
         // Deterministic completion: repeatedly cut a surviving escape path at
         // an eligible edge whose charged vertex has minimum load.
         let limit = eligible.len() + 1;
         for _ in 0..limit {
-            let Some(path) = find_escaping_path(g, coloring, &removed_mask, core, view) else {
+            let Some(path) =
+                find_escaping_path_scoped(g, coloring, &removed_set, core, view, scope, scratch)
+            else {
                 break;
             };
             let candidate = path
                 .iter()
                 .copied()
-                .filter(|e| eligible_mask[e.index()] && !removed_mask[e.index()])
+                .filter(|&e| {
+                    scratch.eligible.contains(e.index()) && !removed_set.contains(e.index())
+                })
                 .min_by_key(|&e| {
                     let (u, v) = g.endpoints(e);
                     state.load[u.index()].min(state.load[v.index()])
@@ -366,10 +595,11 @@ pub fn execute_cut<G: GraphView, R: Rng + ?Sized>(
                 v
             };
             state.load[charged.index()] += 1;
-            removed_mask[e.index()] = true;
+            removed_set.insert(e.index());
             forced.push(e);
         }
     }
+    scratch.removed = removed_set;
     CutOutcome {
         removed,
         good,

@@ -15,6 +15,7 @@
 
 use crate::error::{check_epsilon, FdError};
 use forest_graph::decomposition::PartialEdgeColoring;
+use forest_graph::kernels;
 use forest_graph::{
     Color, EdgeId, ForestDecomposition, GraphView, ListAssignment, Orientation, VertexId,
 };
@@ -91,47 +92,64 @@ pub fn h_partition<G: GraphView>(
     let threshold = ((2.0 + epsilon) * pseudoarboricity_bound as f64).floor() as usize;
     let n = g.num_vertices();
     let mut class_of = vec![usize::MAX; n];
-    let mut active: Vec<bool> = vec![true; n];
-    let mut active_degree: Vec<usize> = g.vertices().map(|v| g.degree(v)).collect();
+    let mut active: Vec<u8> = vec![1; n];
+    // Degrees fit u32 (edge ids are u32-backed); a threshold beyond u32::MAX
+    // accepts every degree either way, so the clamp preserves comparisons.
+    let threshold_u32 = threshold.min(u32::MAX as usize) as u32;
+    let mut active_degree: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
     let mut remaining = n;
     let mut class = 0usize;
     let mut forced_classes = 0usize;
     let mut rounds = 0usize;
+    // The round-0 peel set comes from one branchless masked scan; afterwards
+    // each round's peel set is maintained as a frontier — a vertex joins it
+    // the moment a decrement drops its active degree to the threshold
+    // (degrees only decrease, so each vertex crosses exactly once). This
+    // replaces the historical O(n)-rescan-per-round loop without changing
+    // the peeled sets, the class assignment or the round count.
+    let mut frontier: Vec<u32> = Vec::new();
+    kernels::select_le_masked(&active_degree, &active, threshold_u32, &mut frontier);
+    let mut next_frontier: Vec<u32> = Vec::new();
     while remaining > 0 {
         // All vertices whose *current* active degree is at most t are peeled
         // simultaneously (this is exactly one LOCAL round: each vertex knows
         // its active degree from the previous round's announcements).
-        let peel: Vec<VertexId> = g
-            .vertices()
-            .filter(|v| active[v.index()] && active_degree[v.index()] <= threshold)
-            .collect();
         rounds += 1;
-        if peel.is_empty() {
+        if frontier.is_empty() {
             // The threshold is below (2+eps) * alpha*: the theory's
             // precondition is violated. Degrade gracefully by dumping the
             // remaining vertices into one final class.
             for v in g.vertices() {
-                if active[v.index()] {
+                if active[v.index()] != 0 {
                     class_of[v.index()] = class;
-                    active[v.index()] = false;
+                    active[v.index()] = 0;
                 }
             }
             forced_classes = 1;
             class += 1;
             break;
         }
-        for &v in &peel {
-            class_of[v.index()] = class;
-            active[v.index()] = false;
+        // Deactivate the whole peel set first, then decrement: a neighbor
+        // peeled in the same round must not be decremented or re-enqueued.
+        for &vi in &frontier {
+            class_of[vi as usize] = class;
+            active[vi as usize] = 0;
             remaining -= 1;
         }
-        for &v in &peel {
-            for u in g.neighbors(v) {
-                if active[u.index()] {
-                    active_degree[u.index()] -= 1;
+        next_frontier.clear();
+        for &vi in &frontier {
+            for u in g.neighbors(VertexId::new(vi as usize)) {
+                let ui = u.index();
+                if active[ui] != 0 {
+                    let before = active_degree[ui];
+                    active_degree[ui] -= 1;
+                    if before > threshold_u32 && active_degree[ui] <= threshold_u32 {
+                        next_frontier.push(ui as u32);
+                    }
                 }
             }
         }
+        std::mem::swap(&mut frontier, &mut next_frontier);
         class += 1;
     }
     ledger.charge("H-partition peeling", rounds.max(1));

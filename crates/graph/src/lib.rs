@@ -49,6 +49,10 @@
 //!   measures.
 //! * [`generators`] — synthetic benchmark families (fat paths, planted
 //!   arboricity graphs, `G(n,m)`, cliques, grids, hypercubes, ...).
+//! * [`kernels`] — branchless `chunks_exact` scan kernels over flat
+//!   `u32`/`u8` arrays (max/histogram/masked-select) and the epoch-stamped
+//!   [`StampSet`](kernels::StampSet) behind the no-`O(n)`-clears scratch
+//!   idiom of the ball-local cluster pipeline.
 //! * [`flow`], [`traversal`], [`union_find`] — supporting algorithms.
 //!
 //! # Quick example
@@ -77,6 +81,7 @@ mod error;
 pub mod flow;
 pub mod generators;
 mod ids;
+pub mod kernels;
 pub mod matroid;
 mod multigraph;
 pub mod orientation;

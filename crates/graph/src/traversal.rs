@@ -14,6 +14,107 @@ use std::collections::VecDeque;
 /// Distance value meaning "unreachable".
 pub const UNREACHABLE: usize = usize::MAX;
 
+/// Reusable scratch for bounded-radius BFS sweeps: epoch-stamped visited
+/// marks (`O(1)` reset, no per-sweep allocation) and a flat queue that
+/// doubles as the list of reached vertices.
+///
+/// The cluster pipeline of Algorithm 2 and the lazy power-graph view both
+/// probe thousands of small neighborhoods of one large graph; allocating
+/// (and zeroing) `vec![UNREACHABLE; n]` per probe would dominate the probe
+/// itself. One `BfsScratch` amortizes all of it: stamps invalidate by
+/// epoch bump, and the BFS queue is an append-only `Vec` whose final
+/// content *is* the visited set in BFS order (distances nondecreasing).
+#[derive(Clone, Debug)]
+pub struct BfsScratch {
+    stamp: Vec<u32>,
+    dist: Vec<u32>,
+    epoch: u32,
+    order: Vec<VertexId>,
+}
+
+impl BfsScratch {
+    /// Scratch for graphs of at most `n` vertices (grows on demand).
+    pub fn new(n: usize) -> Self {
+        BfsScratch {
+            stamp: vec![0; n],
+            dist: vec![0; n],
+            epoch: 0,
+            order: Vec::new(),
+        }
+    }
+
+    fn begin(&mut self, n: usize) {
+        if n > self.stamp.len() {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, 0);
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+        self.order.clear();
+    }
+
+    /// Runs a multi-source BFS from `sources` out to distance `radius`
+    /// (inclusive), visiting only edges accepted by `edge_filter`.
+    /// Duplicate sources are ignored. Results are read back through
+    /// [`visited`](BfsScratch::visited) and
+    /// [`distance`](BfsScratch::distance) until the next run.
+    pub fn run_bounded<G, F>(
+        &mut self,
+        g: &G,
+        sources: &[VertexId],
+        radius: usize,
+        mut edge_filter: F,
+    ) where
+        G: GraphView,
+        F: FnMut(EdgeId) -> bool,
+    {
+        self.begin(g.num_vertices());
+        for &s in sources {
+            if self.stamp[s.index()] != self.epoch {
+                self.stamp[s.index()] = self.epoch;
+                self.dist[s.index()] = 0;
+                self.order.push(s);
+            }
+        }
+        let mut head = 0usize;
+        while head < self.order.len() {
+            let u = self.order[head];
+            head += 1;
+            let du = self.dist[u.index()] as usize;
+            if du == radius {
+                continue;
+            }
+            for (w, e) in g.incidences(u) {
+                if self.stamp[w.index()] != self.epoch && edge_filter(e) {
+                    self.stamp[w.index()] = self.epoch;
+                    self.dist[w.index()] = (du + 1) as u32;
+                    self.order.push(w);
+                }
+            }
+        }
+    }
+
+    /// The vertices reached by the last run, in BFS order (distances
+    /// nondecreasing; sources first).
+    pub fn visited(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// Distance of `v` in the last run, or [`UNREACHABLE`] if the sweep did
+    /// not reach it.
+    pub fn distance(&self, v: VertexId) -> usize {
+        if self.stamp[v.index()] == self.epoch {
+            self.dist[v.index()] as usize
+        } else {
+            UNREACHABLE
+        }
+    }
+}
+
 /// Breadth-first search from `source`, visiting only edges accepted by
 /// `edge_filter`. Returns distances (in edges) with [`UNREACHABLE`] for
 /// vertices that were not reached.
@@ -472,6 +573,49 @@ mod tests {
         let children = rooted.children();
         assert!(children[1].contains(&v(2)));
         assert!(children[1].contains(&v(3)));
+    }
+
+    #[test]
+    fn bfs_scratch_matches_bounded_multi_source_bfs() {
+        let g =
+            MultiGraph::from_pairs(9, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (1, 6), (6, 7)])
+                .unwrap();
+        let mut scratch = BfsScratch::new(g.num_vertices());
+        for radius in 0..5 {
+            for sources in [vec![v(0)], vec![v(2), v(7)], vec![v(8)], vec![v(3), v(3)]] {
+                scratch.run_bounded(&g, &sources, radius, |_| true);
+                let full = multi_source_bfs(&g, &sources, |_| true);
+                for u in g.vertices() {
+                    let expect = if full[u.index()] <= radius {
+                        full[u.index()]
+                    } else {
+                        UNREACHABLE
+                    };
+                    assert_eq!(scratch.distance(u), expect, "r={radius} at {u}");
+                }
+                // Visited list: exactly the in-radius vertices, distances
+                // nondecreasing.
+                let visited = scratch.visited();
+                assert_eq!(visited.len(), full.iter().filter(|&&d| d <= radius).count());
+                for pair in visited.windows(2) {
+                    assert!(scratch.distance(pair[0]) <= scratch.distance(pair[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_scratch_respects_edge_filter_and_reuse() {
+        let g = path_graph(6);
+        let mut scratch = BfsScratch::new(2); // deliberately undersized: must grow
+        scratch.run_bounded(&g, &[v(0)], 5, |e| e.index() != 2);
+        assert_eq!(scratch.distance(v(2)), 2);
+        assert_eq!(scratch.distance(v(3)), UNREACHABLE);
+        // A second run fully invalidates the first.
+        scratch.run_bounded(&g, &[v(5)], 1, |_| true);
+        assert_eq!(scratch.distance(v(0)), UNREACHABLE);
+        assert_eq!(scratch.distance(v(4)), 1);
+        assert_eq!(scratch.visited(), &[v(5), v(4)]);
     }
 
     #[test]

@@ -15,8 +15,9 @@
 //!   clusters) with probability at most `O(β)`.
 
 use crate::rounds::{costs, RoundLedger};
+use forest_graph::kernels::StampSet;
 use forest_graph::traversal::{bfs_distances, UNREACHABLE};
-use forest_graph::{MultiGraph, VertexId};
+use forest_graph::{GraphView, MultiGraph, VertexId};
 use rand::Rng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -46,7 +47,7 @@ impl NetworkDecomposition {
 
     /// Maximum *weak* diameter over all clusters: distances are measured in
     /// the whole graph `g`, not inside the cluster.
-    pub fn max_weak_diameter(&self, g: &MultiGraph) -> usize {
+    pub fn max_weak_diameter<G: GraphView>(&self, g: &G) -> usize {
         let mut best = 0;
         for cluster in &self.clusters {
             for &v in cluster {
@@ -63,7 +64,7 @@ impl NetworkDecomposition {
 
     /// Checks the defining property: within each class, vertices of different
     /// clusters are never adjacent in `g`.
-    pub fn classes_separate_clusters(&self, g: &MultiGraph) -> bool {
+    pub fn classes_separate_clusters<G: GraphView>(&self, g: &G) -> bool {
         for (_, u, v) in g.edges() {
             if self.class_of[u.index()] == self.class_of[v.index()]
                 && self.cluster_of[u.index()] != self.cluster_of[v.index()]
@@ -76,14 +77,27 @@ impl NetworkDecomposition {
 }
 
 /// Computes an `(O(log n), O(log n))` network decomposition of `g` by
-/// iterated ball carving, charging `O(log² n)` rounds.
+/// iterated ball carving, charging `O(log² n)` rounds. Works over any
+/// [`GraphView`] — in particular the lazy power view
+/// [`PowerView`](crate::PowerView), which is how Algorithm 2 decomposes
+/// `G^{2(R+R')}` without materializing it.
 ///
 /// The returned decomposition satisfies, deterministically:
 /// * at most `⌈log₂ n⌉ + 1` classes,
 /// * every cluster has radius at most `⌈log₂ n⌉` (hence weak diameter
 ///   `≤ 2⌈log₂ n⌉`),
 /// * clusters of the same class are pairwise non-adjacent.
-pub fn network_decomposition(g: &MultiGraph, ledger: &mut RoundLedger) -> NetworkDecomposition {
+///
+/// Each ball is grown *incrementally*, one BFS layer at a time over a
+/// shared epoch-stamped scratch arena: the doubling stop rule only ever
+/// inspects the size of the next layer, so carving a radius-`ρ` cluster
+/// explores exactly `ρ + 1` layers instead of running a full-graph BFS per
+/// center (the previous behavior — quadratic on power views, whose balls
+/// are huge).
+pub fn network_decomposition<G: GraphView>(
+    g: &G,
+    ledger: &mut RoundLedger,
+) -> NetworkDecomposition {
     let n = g.num_vertices();
     ledger.charge("network decomposition", costs::network_decomposition(n, 1));
     let mut class_of = vec![usize::MAX; n];
@@ -93,6 +107,12 @@ pub fn network_decomposition(g: &MultiGraph, ledger: &mut RoundLedger) -> Networ
     let mut remaining: Vec<bool> = vec![true; n];
     let mut num_remaining = n;
     let mut class = 0usize;
+    // Carving scratch, shared by every ball expansion: `seen` resets by
+    // epoch bump, the frontier buffers only ever hold one BFS layer.
+    let mut seen = StampSet::new(n);
+    let mut frontier: Vec<VertexId> = Vec::new();
+    let mut next_frontier: Vec<VertexId> = Vec::new();
+    let mut next_avail: Vec<VertexId> = Vec::new();
     while num_remaining > 0 {
         // Vertices deferred to the next class because they border a cluster
         // carved in this class.
@@ -103,47 +123,58 @@ pub fn network_decomposition(g: &MultiGraph, ledger: &mut RoundLedger) -> Networ
             if !available[center.index()] || deferred[center.index()] {
                 continue;
             }
-            // Grow a ball around `center` inside the available vertices.
-            let dist = bfs_distances(g, center, |_| true);
-            // Collect available vertices by distance (bounded by n).
-            let mut by_dist: Vec<Vec<VertexId>> = Vec::new();
-            for v in g.vertices() {
-                if available[v.index()] && !deferred[v.index()] && dist[v.index()] != UNREACHABLE {
-                    let d = dist[v.index()];
-                    if by_dist.len() <= d {
-                        by_dist.resize(d + 1, Vec::new());
-                    }
-                    by_dist[d].push(v);
-                }
-            }
-            let mut radius = 0usize;
-            let mut ball_size = by_dist.first().map(Vec::len).unwrap_or(0);
+            // Grow a ball around `center` inside the available vertices,
+            // one layer at a time. Distances are measured in the whole
+            // graph (the ball may pass through unavailable vertices), so
+            // the frontier carries every newly seen vertex while the
+            // doubling rule counts only the available ones.
+            seen.clear();
+            seen.insert(center.index());
+            frontier.clear();
+            frontier.push(center);
+            let mut members = vec![center];
+            let mut ball_size = 1usize;
             loop {
-                let next_layer = by_dist.get(radius + 1).map(Vec::len).unwrap_or(0);
-                if next_layer == 0 || ball_size + next_layer < 2 * ball_size {
+                next_frontier.clear();
+                for &u in &frontier {
+                    for w in g.neighbors(u) {
+                        if seen.insert(w.index()) {
+                            next_frontier.push(w);
+                        }
+                    }
+                }
+                next_avail.clear();
+                next_avail.extend(
+                    next_frontier
+                        .iter()
+                        .copied()
+                        .filter(|v| available[v.index()] && !deferred[v.index()]),
+                );
+                if next_avail.is_empty() {
+                    // No available vertices at distance radius+1: the ball
+                    // is maximal in its class, nothing to defer.
                     break;
                 }
-                radius += 1;
-                ball_size += next_layer;
+                if ball_size + next_avail.len() < 2 * ball_size {
+                    // The next layer is deferred so clusters of this class
+                    // stay non-adjacent.
+                    for &v in &next_avail {
+                        deferred[v.index()] = true;
+                    }
+                    break;
+                }
+                ball_size += next_avail.len();
+                next_avail.sort_unstable();
+                members.extend_from_slice(&next_avail);
+                std::mem::swap(&mut frontier, &mut next_frontier);
             }
-            // The ball becomes a cluster of this class; the next layer is
-            // deferred so clusters of this class stay non-adjacent.
             let cluster_id = clusters.len();
-            let mut members = Vec::new();
-            for layer in by_dist.iter().take(radius + 1) {
-                for &v in layer {
-                    members.push(v);
-                    class_of[v.index()] = class;
-                    cluster_of[v.index()] = cluster_id;
-                    available[v.index()] = false;
-                    remaining[v.index()] = false;
-                    num_remaining -= 1;
-                }
-            }
-            if let Some(layer) = by_dist.get(radius + 1) {
-                for &v in layer {
-                    deferred[v.index()] = true;
-                }
+            for &v in &members {
+                class_of[v.index()] = class;
+                cluster_of[v.index()] = cluster_id;
+                available[v.index()] = false;
+                remaining[v.index()] = false;
+                num_remaining -= 1;
             }
             clusters.push(members);
             cluster_class.push(class);

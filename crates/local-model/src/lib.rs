@@ -10,7 +10,9 @@
 //! * [`RoundLedger`] — round accounting with per-phase provenance for the
 //!   parts that are simulated centrally (cluster-local computations), plus
 //!   the standard cost formulas in [`rounds::costs`].
-//! * [`views`] — radius-`r` neighborhood views and power graphs `G^r`.
+//! * [`views`] — radius-`r` neighborhood views and power graphs `G^r`,
+//!   including the lazy [`PowerView`] the engines use to run on `G^r`
+//!   without ever materializing it.
 //! * [`decomposition`] — `(O(log n), O(log n))` network decompositions and
 //!   Miller–Peng–Xu partial network decompositions.
 //! * [`lll`] — the distributed Lovász Local Lemma via parallel resampling.
@@ -47,4 +49,6 @@ pub use decomposition::{
 pub use lll::{solve_lll, BadEvent, LllInstance, LllOutcome};
 pub use network::{NodeInfo, SyncNetwork};
 pub use rounds::{RoundCharge, RoundLedger};
-pub use views::{collect_view, power_graph, NeighborhoodView};
+pub use views::{
+    collect_view, power_graph, NeighborhoodView, PowerIncidences, PowerView, PowerViewStats,
+};

@@ -2,12 +2,33 @@
 //!
 //! In the LOCAL model a vertex can learn everything within distance `r` in
 //! `r` rounds, and the power graph `G^r` can be simulated with an `O(r)`
-//! overhead (Section 1.1 of the paper). These helpers materialize such views
-//! for the centrally-simulated cluster computations of Algorithm 2.
+//! overhead (Section 1.1 of the paper). These helpers provide such views
+//! for the centrally-simulated cluster computations of Algorithm 2 — either
+//! materialized ([`power_graph`], [`collect_view`]) or, for the engine hot
+//! path, *virtual*: [`PowerView`] implements
+//! [`GraphView`] for `G^r` without ever building it.
+//!
+//! # The virtual power graph
+//!
+//! Materializing `G^r` costs `O(n·(n+m))` time and up to `O(n²)` edges —
+//! the dominant cost of sharded Harris–Su–Vu runs whenever a shard's
+//! diameter exceeds `2(R+R')`. [`PowerView`] instead answers every
+//! adjacency query with a bounded-radius BFS from the queried vertex over
+//! an epoch-stamped scratch arena
+//! ([`BfsScratch`](forest_graph::traversal::BfsScratch)): no `O(n)` clears
+//! between queries, no allocation per query, and a small LRU of recently
+//! expanded balls so the repeated neighborhood probes of
+//! [`network_decomposition`](crate::network_decomposition) don't redo BFS
+//! work. Round-cost accounting is unchanged: simulating `G^r` is charged by
+//! the *caller* at the usual `O(r)` simulation overhead — the ledger prices
+//! LOCAL rounds, not the central materialization shortcut this view avoids.
 
 use crate::rounds::RoundLedger;
-use forest_graph::traversal::{multi_source_bfs, UNREACHABLE};
+use forest_graph::traversal::{BfsScratch, UNREACHABLE};
 use forest_graph::{EdgeId, GraphView, MultiGraph, VertexId};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
 
 /// The radius-`r` view around a set of center vertices: the vertices within
 /// distance `r` and the edges with both endpoints in that ball.
@@ -34,7 +55,7 @@ impl NeighborhoodView {
     }
 
     /// Returns `true` if the edge is inside the view.
-    pub fn contains_edge(&self, g: &MultiGraph, e: EdgeId) -> bool {
+    pub fn contains_edge<G: GraphView>(&self, g: &G, e: EdgeId) -> bool {
         let (u, v) = g.endpoints(e);
         self.contains_vertex(u) && self.contains_vertex(v)
     }
@@ -42,30 +63,35 @@ impl NeighborhoodView {
 
 /// Collects the radius-`r` neighborhood of `centers`, charging `r` rounds to
 /// the ledger (gathering a radius-`r` view costs `r` LOCAL rounds).
-pub fn collect_view(
-    g: &MultiGraph,
+///
+/// The collection is ball-local: the BFS stops at `radius` and the edge set
+/// is gathered from the incidence lists of the reached vertices only, so
+/// the cost is proportional to the ball, not to `O(n + m)`.
+pub fn collect_view<G: GraphView>(
+    g: &G,
     centers: &[VertexId],
     radius: usize,
     ledger: &mut RoundLedger,
 ) -> NeighborhoodView {
     ledger.charge(format!("collect radius-{radius} view"), radius.max(1));
-    let mut distance = multi_source_bfs(g, centers, |_| true);
-    for d in distance.iter_mut() {
-        if *d > radius {
-            *d = UNREACHABLE;
+    let mut scratch = BfsScratch::new(g.num_vertices());
+    scratch.run_bounded(g, centers, radius, |_| true);
+    let mut vertices: Vec<VertexId> = scratch.visited().to_vec();
+    vertices.sort_unstable();
+    let mut distance = vec![UNREACHABLE; g.num_vertices()];
+    for &v in &vertices {
+        distance[v.index()] = scratch.distance(v);
+    }
+    let mut edges: Vec<EdgeId> = Vec::new();
+    for &v in &vertices {
+        for (w, e) in g.incidences(v) {
+            if distance[w.index()] != UNREACHABLE {
+                edges.push(e);
+            }
         }
     }
-    let vertices: Vec<VertexId> = g
-        .vertices()
-        .filter(|v| distance[v.index()] != UNREACHABLE)
-        .collect();
-    let edges: Vec<EdgeId> = g
-        .edges()
-        .filter(|(_, u, v)| {
-            distance[u.index()] != UNREACHABLE && distance[v.index()] != UNREACHABLE
-        })
-        .map(|(e, _, _)| e)
-        .collect();
+    edges.sort_unstable();
+    edges.dedup();
     NeighborhoodView {
         centers: centers.to_vec(),
         radius,
@@ -81,21 +107,305 @@ pub fn collect_view(
 ///
 /// Simulating one round of `G^r` costs `O(r)` rounds of `G`; callers charge
 /// that separately when they run algorithms on the power graph.
+///
+/// **Engine note:** this materializer is kept as the ground-truth oracle for
+/// tests and for graphs too large for the pair-encoded edge ids of
+/// [`PowerView`]; the decomposition engines themselves route through
+/// [`PowerView`], which answers the same adjacency lazily without the
+/// `O(n²)` edge blow-up. Prefer the view in any per-run code path.
 pub fn power_graph<G: GraphView>(g: &G, r: usize) -> MultiGraph {
     let n = g.num_vertices();
     let mut pg = MultiGraph::new(n);
     if r == 0 {
         return pg;
     }
+    let mut scratch = BfsScratch::new(n);
+    let mut reached: Vec<VertexId> = Vec::new();
     for v in g.vertices() {
-        let dist = forest_graph::traversal::bfs_distances(g, v, |_| true);
-        for u in g.vertices() {
-            if u > v && dist[u.index()] != UNREACHABLE && dist[u.index()] <= r {
-                pg.add_edge(v, u).expect("power graph edge");
-            }
+        scratch.run_bounded(g, &[v], r, |_| true);
+        reached.clear();
+        reached.extend(scratch.visited().iter().copied().filter(|&u| u > v));
+        reached.sort_unstable();
+        for &u in &reached {
+            pg.add_edge(v, u).expect("power graph edge");
         }
     }
     pg
+}
+
+/// Running counters of a [`PowerView`]: how often a ball was answered from
+/// the LRU versus expanded by a fresh bounded BFS.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PowerViewStats {
+    /// Balls computed by a bounded BFS over the base graph.
+    pub ball_expansions: u64,
+    /// Balls answered straight from the LRU cache.
+    pub cache_hits: u64,
+}
+
+/// LRU of recently expanded balls, capped by total cached words. Recency is
+/// tracked with lazy generation stamps: every touch pushes a `(vertex,
+/// generation)` pair and eviction skips pairs whose generation is stale, so
+/// a cache hit costs `O(1)` without any list splicing.
+#[derive(Debug)]
+struct BallCache {
+    entries: HashMap<u32, (Rc<Vec<u32>>, u64)>,
+    recency: VecDeque<(u32, u64)>,
+    next_generation: u64,
+    cached_words: usize,
+    budget_words: usize,
+}
+
+impl BallCache {
+    fn new(budget_words: usize) -> Self {
+        BallCache {
+            entries: HashMap::new(),
+            recency: VecDeque::new(),
+            next_generation: 0,
+            cached_words: 0,
+            budget_words,
+        }
+    }
+
+    fn touch(&mut self, v: u32) -> u64 {
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        self.recency.push_back((v, generation));
+        generation
+    }
+
+    fn get(&mut self, v: u32) -> Option<Rc<Vec<u32>>> {
+        let generation = self.next_generation;
+        let entry = self.entries.get_mut(&v)?;
+        entry.1 = generation;
+        let ball = entry.0.clone();
+        self.touch(v);
+        Some(ball)
+    }
+
+    fn insert(&mut self, v: u32, ball: Rc<Vec<u32>>) {
+        self.cached_words += ball.len().max(1);
+        let generation = self.touch(v);
+        self.entries.insert(v, (ball, generation));
+        while self.cached_words > self.budget_words && self.entries.len() > 1 {
+            let Some((candidate, generation)) = self.recency.pop_front() else {
+                break;
+            };
+            let current = self.entries.get(&candidate).map(|entry| entry.1);
+            if current != Some(generation) {
+                continue; // stale pair from an earlier touch
+            }
+            if candidate == v {
+                // Never evict the ball being inserted; keep its (single)
+                // fresh pair queued so it stays evictable later.
+                self.recency.push_back((candidate, generation));
+                continue;
+            }
+            let (ball, _) = self.entries.remove(&candidate).expect("present");
+            self.cached_words -= ball.len().max(1);
+        }
+    }
+}
+
+/// A lazy [`GraphView`] of the power graph `G^r` — adjacency on demand, no
+/// materialization.
+///
+/// Every query about a vertex `v` is answered from the radius-`r` ball of
+/// `v` in the base graph, computed by a bounded BFS over a shared
+/// epoch-stamped scratch arena and memoized in a words-budgeted LRU (see
+/// the [module docs](self) for the design rationale).
+///
+/// # Identifier contract
+///
+/// `PowerView` keeps the dense `0..n` vertex ids of the base graph but
+/// *deviates* from the dense edge-id contract of [`GraphView`] (precedent:
+/// `forest_graph::DynamicGraph`, whose live edges also occupy a sparse id
+/// space): the edge between `u < w` has the pair-encoded id `u·n + w`, so
+/// endpoint recovery is arithmetic ([`endpoints`](GraphView::endpoints) is
+/// `(e / n, e % n)`) and no global edge enumeration is ever needed.
+/// Consequently [`num_edges`](GraphView::num_edges) returns the *id-space
+/// span* `n²`, not the number of distinct power edges; use
+/// [`edges`](GraphView::edges) (overridden to enumerate lazily) when the
+/// actual edge set is required. Pair encoding requires
+/// `n ≤ `[`PowerView::MAX_VERTICES`] so every id fits the `u32` backing of
+/// [`EdgeId`]; callers with larger graphs fall back to [`power_graph`].
+///
+/// The view holds interior mutability (scratch arena + cache) behind a
+/// [`RefCell`], so it is intentionally neither `Sync` nor `Send`: create
+/// one per run, like the scratch buffers it replaces.
+#[derive(Debug)]
+pub struct PowerView<'a, G: GraphView> {
+    base: &'a G,
+    radius: usize,
+    inner: RefCell<PowerViewInner>,
+}
+
+#[derive(Debug)]
+struct PowerViewInner {
+    scratch: BfsScratch,
+    cache: BallCache,
+    stats: PowerViewStats,
+}
+
+impl<'a, G: GraphView> PowerView<'a, G> {
+    /// Largest base-graph vertex count the pair-encoded edge ids support
+    /// (`n² - 1` must fit in a `u32`).
+    pub const MAX_VERTICES: usize = u16::MAX as usize;
+
+    /// Wraps `base` as the virtual power graph `base^radius`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` has more than [`PowerView::MAX_VERTICES`] vertices
+    /// (the pair-encoded edge ids would overflow); such graphs must use the
+    /// materializing [`power_graph`] instead.
+    pub fn new(base: &'a G, radius: usize) -> Self {
+        let n = base.num_vertices();
+        assert!(
+            n <= Self::MAX_VERTICES,
+            "PowerView supports at most {} vertices (got {n}); use power_graph",
+            Self::MAX_VERTICES
+        );
+        // Budget the ball cache at a few words per base vertex: enough to
+        // keep the working set of a carving pass hot, bounded well below
+        // materialization cost.
+        let budget_words = (8 * n).max(4096);
+        PowerView {
+            base,
+            radius,
+            inner: RefCell::new(PowerViewInner {
+                scratch: BfsScratch::new(n),
+                cache: BallCache::new(budget_words),
+                stats: PowerViewStats::default(),
+            }),
+        }
+    }
+
+    /// The base graph the view is defined over.
+    pub fn base(&self) -> &'a G {
+        self.base
+    }
+
+    /// The power-graph radius `r`.
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Snapshot of the expansion/cache counters.
+    pub fn stats(&self) -> PowerViewStats {
+        self.inner.borrow().stats
+    }
+
+    /// The sorted power-neighborhood of `v` (vertices at base distance
+    /// `1..=radius`), shared with the cache.
+    fn ball(&self, v: VertexId) -> Rc<Vec<u32>> {
+        let key = v.index() as u32;
+        let mut inner = self.inner.borrow_mut();
+        if let Some(ball) = inner.cache.get(key) {
+            inner.stats.cache_hits += 1;
+            return ball;
+        }
+        inner.stats.ball_expansions += 1;
+        let PowerViewInner { scratch, cache, .. } = &mut *inner;
+        scratch.run_bounded(self.base, &[v], self.radius, |_| true);
+        let mut ball: Vec<u32> = scratch
+            .visited()
+            .iter()
+            .filter(|&&w| w != v)
+            .map(|w| w.index() as u32)
+            .collect();
+        ball.sort_unstable();
+        let ball = Rc::new(ball);
+        cache.insert(key, ball.clone());
+        ball
+    }
+
+    fn encode_edge(&self, u: u32, w: u32) -> EdgeId {
+        let n = self.base.num_vertices();
+        let (lo, hi) = if u <= w { (u, w) } else { (w, u) };
+        EdgeId::new(lo as usize * n + hi as usize)
+    }
+}
+
+/// Iterator over the power-graph incidences of one vertex; holds the cached
+/// ball alive via its [`Rc`] so no borrow of the view outlives the call.
+#[derive(Debug)]
+pub struct PowerIncidences {
+    ball: Rc<Vec<u32>>,
+    pos: usize,
+    center: u32,
+    num_vertices: usize,
+}
+
+impl Iterator for PowerIncidences {
+    type Item = (VertexId, EdgeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let &w = self.ball.get(self.pos)?;
+        self.pos += 1;
+        let (lo, hi) = if self.center <= w {
+            (self.center, w)
+        } else {
+            (w, self.center)
+        };
+        Some((
+            VertexId::new(w as usize),
+            EdgeId::new(lo as usize * self.num_vertices + hi as usize),
+        ))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rest = self.ball.len() - self.pos;
+        (rest, Some(rest))
+    }
+}
+
+impl<'a, G: GraphView> GraphView for PowerView<'a, G> {
+    fn num_vertices(&self) -> usize {
+        self.base.num_vertices()
+    }
+
+    /// The pair-encoded edge-id *span* `n²`, not the count of distinct
+    /// power edges (see the type-level identifier contract).
+    fn num_edges(&self) -> usize {
+        let n = self.base.num_vertices();
+        n * n
+    }
+
+    fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        let n = self.base.num_vertices();
+        (VertexId::new(e.index() / n), VertexId::new(e.index() % n))
+    }
+
+    fn degree(&self, v: VertexId) -> usize {
+        self.ball(v).len()
+    }
+
+    fn incidences(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        PowerIncidences {
+            ball: self.ball(v),
+            pos: 0,
+            center: v.index() as u32,
+            num_vertices: self.base.num_vertices(),
+        }
+    }
+
+    /// Lazily enumerates each power edge once, from its smaller endpoint in
+    /// ascending order.
+    fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |v| {
+            let ball = self.ball(v);
+            let center = v.index() as u32;
+            (0..ball.len()).filter_map(move |i| {
+                let w = ball[i];
+                (w > center).then(|| (self.encode_edge(center, w), v, VertexId::new(w as usize)))
+            })
+        })
+    }
+
+    fn edge_ids(&self) -> impl Iterator<Item = EdgeId> {
+        self.edges().map(|(e, _, _)| e)
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +460,83 @@ mod tests {
         let p1 = power_graph(&g, 1);
         assert_eq!(p1.num_edges(), 3);
         assert!(p1.is_simple());
+    }
+
+    /// Sorted power-neighbor list of `v` according to the materialized oracle.
+    fn oracle_neighbors(pg: &MultiGraph, v: VertexId) -> Vec<usize> {
+        let mut ns: Vec<usize> = pg.neighbors(v).map(|u| u.index()).collect();
+        ns.sort_unstable();
+        ns
+    }
+
+    fn assert_matches_materialized(g: &MultiGraph, r: usize) {
+        let pv = PowerView::new(g, r);
+        let oracle = power_graph(g, r);
+        for v in g.vertices() {
+            let lazy: Vec<usize> = pv.incidences(v).map(|(w, _)| w.index()).collect();
+            assert_eq!(lazy, oracle_neighbors(&oracle, v), "radius {r} vertex {v}");
+            assert_eq!(pv.degree(v), oracle.degree(v));
+            // Edge-id round trip: endpoints(e) recovers the incidence pair.
+            for (w, e) in pv.incidences(v) {
+                let (a, b) = pv.endpoints(e);
+                assert_eq!((a.min(b), a.max(b)), (v.min(w), v.max(w)));
+            }
+        }
+        // The lazy edge enumeration sees each power edge exactly once.
+        assert_eq!(pv.edges().count(), oracle.num_edges());
+        assert_eq!(pv.edge_ids().count(), oracle.num_edges());
+    }
+
+    #[test]
+    fn power_view_matches_materialized_on_path_and_grid() {
+        let path = generators::path(9);
+        for r in [0, 1, 2, 3, 8, 20] {
+            assert_matches_materialized(&path, r);
+        }
+        let grid = generators::grid(4, 3);
+        for r in [0, 1, 2, 5, 10] {
+            assert_matches_materialized(&grid, r);
+        }
+    }
+
+    #[test]
+    fn power_view_cache_hits_on_repeat_queries() {
+        let g = generators::grid(5, 5);
+        let pv = PowerView::new(&g, 3);
+        let first: Vec<_> = pv.incidences(VertexId::new(12)).collect();
+        let again: Vec<_> = pv.incidences(VertexId::new(12)).collect();
+        assert_eq!(first, again);
+        let stats = pv.stats();
+        assert_eq!(stats.ball_expansions, 1);
+        assert!(stats.cache_hits >= 1);
+    }
+
+    #[test]
+    fn power_view_cache_evicts_under_budget_pressure() {
+        // A clique power view has balls of size n-1; a tiny budget forces
+        // evictions while answers stay correct.
+        let g = generators::complete_graph(40);
+        let pv = PowerView::new(&g, 2);
+        {
+            let mut inner = pv.inner.borrow_mut();
+            inner.cache.budget_words = 80; // room for ~2 balls
+        }
+        for round in 0..3 {
+            for v in g.vertices() {
+                assert_eq!(pv.degree(v), 39, "round {round} vertex {v}");
+            }
+        }
+        let inner = pv.inner.borrow();
+        assert!(inner.cache.cached_words <= 80 + 39, "budget enforced");
+        drop(inner);
+        let stats = pv.stats();
+        assert!(stats.ball_expansions >= 40, "evictions force re-expansion");
+    }
+
+    #[test]
+    #[should_panic(expected = "PowerView supports at most")]
+    fn power_view_rejects_oversized_graphs() {
+        let g = MultiGraph::new(PowerView::<MultiGraph>::MAX_VERTICES + 1);
+        let _ = PowerView::new(&g, 1);
     }
 }

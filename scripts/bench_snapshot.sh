@@ -1,15 +1,19 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_pr6.json: the performance snapshot of the Decomposer
+# Regenerates BENCH_pr7.json: the performance snapshot of the Decomposer
 # facade (graph sizes x engines x wall-clock, the 64-graph decomposer_batch
 # workload with its BENCH_pr2 baseline, the thaw-free sharded-vs-unsharded
 # large-graph run under identity and RCM split orders — prepared and cold,
 # with boundary fractions — the on-disk CSR save -> load_mmap -> decompose
 # round-trip, the DynamicDecomposer update-stream workloads — build/churn
 # per-update cost vs a per-update cold rerun, rebuild-fallback rate,
-# snapshot-vs-cold byte-identity — the exact-alpha stitch comparison, and
-# the PR 6 decomposition-service rows: in-process SnapshotReader and TCP
+# snapshot-vs-cold byte-identity — the exact-alpha stitch comparison, the
+# PR 6 decomposition-service rows: in-process SnapshotReader and TCP
 # client throughput under a live publishing writer plus the
-# publish-to-read epoch lag, with host core/thread counts recorded in the
+# publish-to-read epoch lag, and the PR 7 hsv_power_graph rows: adversarial
+# sharded-HSV wall-clock before/after the lazy PowerView + ball-local
+# cluster pipeline, the forced-radii workload that previously materialized
+# the power graph, and the PipelineStats counters of a direct
+# algorithm2_frozen run — with host core/thread counts recorded in the
 # environment block).
 #
 # Snapshots are appended as new BENCH_pr<N>.json files per PR, never
@@ -19,7 +23,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr6.json}"
+out="${1:-BENCH_pr7.json}"
 
 cargo build --release -p bench --bin bench_snapshot
 ./target/release/bench_snapshot > "$out"
