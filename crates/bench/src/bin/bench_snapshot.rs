@@ -1,4 +1,4 @@
-//! Emits a machine-readable performance snapshot (`BENCH_pr7.json` via
+//! Emits a machine-readable performance snapshot (`BENCH_pr8.json` via
 //! `scripts/bench_snapshot.sh`): wall-clock of the `Decomposer` facade across
 //! graph sizes × engines, the 64-graph `decomposer_batch` workload the
 //! acceptance criteria track across PRs, a sharded-vs-unsharded large-graph
@@ -18,8 +18,13 @@
 //! adversarial sharded-HSV wall-clock before/after the lazy `PowerView` +
 //! ball-local cluster pipeline (pre-PR medians hardcoded from this host),
 //! the forced-radii workload where `G^{2R'+1}` was previously materialized,
-//! and the `PipelineStats` counters from a direct `algorithm2_frozen` run.
-//! Every snapshot records the host's core and thread counts in its
+//! and the `PipelineStats` counters from a direct `algorithm2_frozen` run —
+//! and, new in PR 8, the **out-of-core pipeline**: external-sort CSR build
+//! from a raw edge file (spilled runs, one-pass Nash-Williams watermark),
+//! and `run_out_of_core` decomposing a graph ≥8× its memory ceiling with
+//! the driver's peak-resident accounting vs. the budget, asserted
+//! byte-identical to the in-memory `run_sharded` at the derived shard
+//! count. Every snapshot records the host's core and thread counts in its
 //! `environment` block.
 //!
 //! The `pr2_baseline` block records the medians from `BENCH_pr2.json`
@@ -90,7 +95,7 @@ fn main() {
     let num_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     let rayon_threads = rayon::current_num_threads();
     let mut out = String::from("{\n");
-    out.push_str("  \"snapshot\": \"BENCH_pr7\",\n");
+    out.push_str("  \"snapshot\": \"BENCH_pr8\",\n");
     out.push_str(&format!(
         "  \"environment\": {{\"num_cpus\": {num_cpus}, \"rayon_threads\": {rayon_threads}, \"os\": \"{}\", \"arch\": \"{}\"}},\n",
         std::env::consts::OS,
@@ -330,7 +335,18 @@ fn main() {
     let a2_config = Algorithm2Config::new(0.5, 2).with_radii(8, 4);
     let mut a2_rng = StdRng::seed_from_u64(9);
     let a2_out = algorithm2_frozen(&fat_csr, &fat_lists, &a2_config, &mut a2_rng).unwrap();
-    let stats = a2_out.pipeline_stats;
+    let stats = &a2_out.pipeline_stats;
+    let layer_deltas = stats
+        .power_layer_deltas
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"class\": {}, \"ball_expansions\": {}, \"cache_hits\": {}}}",
+                d.class, d.ball_expansions, d.cache_hits
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
     out.push_str("  \"hsv_power_graph\": {\n");
     out.push_str("    \"note\": \"before_ms rows replay the medians measured on this PR's container immediately before the PowerView rewrite (see HSV_BASELINE_* in bench_snapshot.rs); median_ms rows re-measure the identical workloads on the current build. The ledger charges and canonical report bytes are unchanged by the rewrite (pinned by tests/power_view.rs), so every row is the same decomposition, faster\",\n");
     out.push_str(&format!(
@@ -347,11 +363,12 @@ fn main() {
         json_f(HSV_BASELINE_FAT_PATH_MS / fat_ms),
     ));
     out.push_str(&format!(
-        "    \"pipeline_stats\": {{\"workload\": \"algorithm2_frozen on fat_path(4000, 2), radii (8, 4), seed 9\", \"used_power_view\": {}, \"cluster_bfs_ms\": {}, \"power_ball_expansions\": {}, \"power_cache_hits\": {}, \"scratch_allocations_per_run\": {}, \"num_clusters\": {}, \"num_classes\": {}}}\n",
+        "    \"pipeline_stats\": {{\"workload\": \"algorithm2_frozen on fat_path(4000, 2), radii (8, 4), seed 9\", \"used_power_view\": {}, \"cluster_bfs_ms\": {}, \"power_ball_expansions\": {}, \"power_cache_hits\": {}, \"power_layer_deltas\": [{}], \"scratch_allocations_per_run\": {}, \"num_clusters\": {}, \"num_classes\": {}}}\n",
         stats.used_power_view,
         json_f(stats.cluster_bfs_nanos as f64 / 1e6),
         stats.power_ball_expansions,
         stats.power_cache_hits,
+        layer_deltas,
         stats.scratch_allocations,
         a2_out.num_clusters,
         a2_out.num_classes,
@@ -406,6 +423,118 @@ fn main() {
         json_f(load_ms),
         json_f(mmap_run_ms),
     ));
+
+    // --- out-of-core pipeline (new in PR 8) ------------------------------
+    // Raw edge file -> external-sort CSR build (tiny sort buffer, spilled
+    // runs, one-pass Nash-Williams watermark) -> run_out_of_core under a
+    // memory ceiling 8x smaller than the CSR file, with the driver's own
+    // resident-bytes accounting vs. the budget and byte-identity to the
+    // in-memory sharded run asserted inline.
+    {
+        use forest_decomp::api::oocore::OocConfig;
+        use forest_graph::extsort::{
+            build_csr_from_edge_file, write_binary_edge_file, EdgeListFormat, ExtsortConfig,
+        };
+        let ooc_graph = generators::fat_path(20_000, 4);
+        let edge_file =
+            std::env::temp_dir().join(format!("bench-snapshot-{}.edges", std::process::id()));
+        let csr_file =
+            std::env::temp_dir().join(format!("bench-snapshot-ooc-{}.csr", std::process::id()));
+        write_binary_edge_file(
+            &edge_file,
+            ooc_graph
+                .edges()
+                .map(|(_, u, v)| (u.index() as u32, v.index() as u32)),
+        )
+        .unwrap();
+        let sort_budget = 64 << 10;
+        let build = build_csr_from_edge_file(
+            &edge_file,
+            EdgeListFormat::BinaryU32,
+            &csr_file,
+            &ExtsortConfig::with_budget(sort_budget),
+        )
+        .unwrap();
+        let build_ms = median_ms(3, || {
+            build_csr_from_edge_file(
+                &edge_file,
+                EdgeListFormat::BinaryU32,
+                &csr_file,
+                &ExtsortConfig::with_budget(sort_budget),
+            )
+            .unwrap();
+        });
+        let csr_bytes = std::fs::metadata(&csr_file).unwrap().len() as usize;
+        let ooc_budget = csr_bytes / 8;
+        let ooc_decomposer = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_engine(Engine::HarrisSuVu)
+                .with_alpha(4)
+                .with_seed(9)
+                .without_validation(),
+        );
+        let ooc = ooc_decomposer
+            .run_out_of_core(&csr_file, &OocConfig::with_budget(ooc_budget))
+            .unwrap();
+        assert!(
+            ooc.stats.peak_resident_bytes <= ooc_budget,
+            "peak resident must respect the budget"
+        );
+        let sharded_ref = ooc_decomposer
+            .run_sharded(&ooc_graph, ooc.stats.num_shards)
+            .unwrap();
+        assert_eq!(
+            ooc.report.canonical_bytes(),
+            sharded_ref.canonical_bytes(),
+            "out-of-core run must be byte-identical to the in-memory sharded run"
+        );
+        let ooc_ms = median_ms(3, || {
+            ooc_decomposer
+                .run_out_of_core(&csr_file, &OocConfig::with_budget(ooc_budget))
+                .unwrap();
+        });
+        let stats = ooc.stats;
+        std::fs::remove_file(&edge_file).unwrap();
+        std::fs::remove_file(&csr_file).unwrap();
+        out.push_str("  \"out_of_core\": {\n");
+        out.push_str("    \"note\": \"fat_path(20000, 4), seed 9, HarrisSuVu: edge file external-sorted into the on-disk CSR with a 64 KiB sort buffer, then run_out_of_core with a memory ceiling of csr_file_bytes/8. peak_resident_bytes is the driver's own accounting of every bounded-phase allocation (shard CSRs, boundary state, stitch union-find); report assembly is O(m) by definition and reported separately. Byte-identity to run_sharded at the derived shard count is asserted inline\",\n");
+        out.push_str(&format!(
+            "    \"graph\": {{\"n\": {}, \"m\": {}, \"family\": \"fat_path(20000, 4)\"}},\n",
+            ooc_graph.num_vertices(),
+            ooc_graph.num_edges(),
+        ));
+        out.push_str(&format!(
+            "    \"extsort_build\": {{\"sort_budget_bytes\": {sort_budget}, \"spilled_runs\": {}, \"nash_williams_watermark\": {}, \"max_degree\": {}, \"peak_buffer_bytes\": {}, \"read_spill_ms\": {}, \"merge_ms\": {}, \"build_ms\": {}, \"output_bytes\": {}}},\n",
+            build.spilled_runs,
+            build.nash_williams_watermark,
+            build.max_degree,
+            build.peak_buffer_bytes,
+            json_f(build.read_spill_nanos as f64 / 1e6),
+            json_f(build.merge_nanos as f64 / 1e6),
+            json_f(build_ms),
+            build.output_bytes,
+        ));
+        out.push_str(&format!(
+            "    \"decompose\": {{\"memory_budget_bytes\": {}, \"csr_file_bytes\": {}, \"file_to_budget_ratio\": {}, \"num_shards\": {}, \"peak_resident_bytes\": {}, \"peak_to_budget_ratio\": {}, \"report_assembly_bytes\": {}, \"boundary_edges\": {}, \"spilled_coloring_bytes\": {}, \"demand_paged\": {}, \"plan_ms\": {}, \"decompose_ms\": {}, \"stitch_ms\": {}, \"assemble_ms\": {}, \"total_ms\": {}, \"byte_identical_to_run_sharded\": true}}\n",
+            stats.memory_budget_bytes,
+            stats.csr_file_bytes,
+            json_f(stats.csr_file_bytes as f64 / stats.memory_budget_bytes as f64),
+            stats.num_shards,
+            stats.peak_resident_bytes,
+            json_f(stats.peak_resident_bytes as f64 / stats.memory_budget_bytes as f64),
+            stats.report_assembly_bytes,
+            stats.boundary_edges,
+            stats.spilled_coloring_bytes,
+            stats.demand_paged,
+            json_f(stats.plan_nanos as f64 / 1e6),
+            json_f(stats.decompose_nanos as f64 / 1e6),
+            json_f(stats.stitch_nanos as f64 / 1e6),
+            json_f(stats.assemble_nanos as f64 / 1e6),
+            json_f(ooc_ms),
+        ));
+        out.push_str("  },\n");
+        eprintln!("bench_snapshot: out_of_core done");
+    }
 
     // --- dynamic update streams (new in PR 5) ---------------------------
     // The streaming DynamicDecomposer: per-update cost on a pure-insert

@@ -45,10 +45,13 @@ use crate::cut::{execute_cut_scoped, CutOutcome, CutScope, CutScratch, CutState,
 use crate::error::{check_epsilon, FdError};
 use crate::hpartition::{acyclic_orientation, h_partition};
 use forest_graph::decomposition::PartialEdgeColoring;
+use forest_graph::kernels::{self, StampSet};
 use forest_graph::traversal::{connected_components, BfsScratch};
 use forest_graph::{CsrGraph, EdgeId, GraphView, ListAssignment, MultiGraph, VertexId};
 use local_model::rounds::costs;
-use local_model::{network_decomposition, PowerView, RoundLedger};
+use local_model::{
+    network_decomposition, network_decomposition_with_probe, PowerView, RoundLedger,
+};
 use rand::Rng;
 use std::time::Instant;
 
@@ -120,7 +123,7 @@ impl Algorithm2Config {
 /// consumption or the round ledger, and they are not part of any canonical
 /// report encoding. The benchmarks surface them to track the virtual
 /// power-graph path.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct PipelineStats {
     /// Nanoseconds spent in the per-cluster bounded region BFS.
     pub cluster_bfs_nanos: u64,
@@ -129,6 +132,12 @@ pub struct PipelineStats {
     pub power_ball_expansions: u64,
     /// Ball-cache hits inside the lazy [`PowerView`].
     pub power_cache_hits: u64,
+    /// Per-class deltas of the [`PowerView`] counters during the network
+    /// decomposition (empty when the trivial or materialized path ran).
+    /// One ball cache serves every class, so later classes — which revisit
+    /// vertices deferred by earlier carving — show hits where the first
+    /// class shows expansions.
+    pub power_layer_deltas: Vec<PowerLayerDelta>,
     /// Whether the network decomposition ran on the lazy [`PowerView`]
     /// (as opposed to the trivial path or a materialized power graph).
     pub used_power_view: bool,
@@ -136,6 +145,18 @@ pub struct PipelineStats {
     /// whole run. The pre-virtual pipeline allocated several `O(n)` / `O(m)`
     /// buffers *per cluster*; now the count is a per-run constant.
     pub scratch_allocations: u64,
+}
+
+/// [`PowerView`] counter movement attributable to one network-decomposition
+/// class (pure observability, like the rest of [`PipelineStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PowerLayerDelta {
+    /// The network-decomposition class the carving pass belonged to.
+    pub class: usize,
+    /// Balls expanded by a fresh bounded BFS while carving this class.
+    pub ball_expansions: u64,
+    /// Balls answered from the cache shared across classes.
+    pub cache_hits: u64,
 }
 
 /// Output of Algorithm 2.
@@ -339,14 +360,28 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
         // The decomposition runs on the lazy PowerView — adjacency in
         // G^power is answered by bounded-radius BFS balls on demand, so the
         // quadratic power graph is never materialized. Graphs beyond the
-        // view's id-encoding capacity fall back to materializing; both
+        // view's u32 vertex-index capacity fall back to materializing; both
         // paths produce identical clusters and identical ledger charges.
         let nd = if n <= PowerView::<C>::MAX_VERTICES {
             let pv = PowerView::new(csr, power);
-            let nd = network_decomposition(&pv, &mut ledger);
+            // One ball cache spans all carving classes; snapshot the view's
+            // counters at each class boundary to attribute hits/expansions
+            // per layer.
+            let mut layer_deltas: Vec<PowerLayerDelta> = Vec::new();
+            let mut last = local_model::PowerViewStats::default();
+            let nd = network_decomposition_with_probe(&pv, &mut ledger, |class| {
+                let now = pv.stats();
+                layer_deltas.push(PowerLayerDelta {
+                    class,
+                    ball_expansions: now.ball_expansions - last.ball_expansions,
+                    cache_hits: now.cache_hits - last.cache_hits,
+                });
+                last = now;
+            });
             let stats = pv.stats();
             pipeline_stats.power_ball_expansions = stats.ball_expansions;
             pipeline_stats.power_cache_hits = stats.cache_hits;
+            pipeline_stats.power_layer_deltas = layer_deltas;
             pipeline_stats.used_power_view = true;
             nd
         } else {
@@ -382,9 +417,10 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
     let mut scope_edges: Vec<EdgeId> = Vec::new();
     let mut view_edge_list: Vec<EdgeId> = Vec::new();
     let mut candidate_edges: Vec<EdgeId> = Vec::new();
+    let mut edge_seen = StampSet::new(m);
     let mut conn = ColorConnectivity::new(n);
     let unrestricted = AugmentationContext::new(csr, lists);
-    pipeline_stats.scratch_allocations = 11;
+    pipeline_stats.scratch_allocations = 12;
 
     for (class_index, clusters) in classes.iter().enumerate() {
         // All clusters of a class are processed in parallel in the LOCAL
@@ -412,12 +448,12 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
             }
             // Every edge with at least one endpoint in the view, ascending —
             // the CUT scope (escapes are half-in, half-out).
-            scope_edges.clear();
-            for &v in &touched {
-                scope_edges.extend(csr.incident_edges(v));
-            }
-            scope_edges.sort_unstable();
-            scope_edges.dedup();
+            kernels::gather_unique_sorted(
+                touched.iter().map(|&v| csr.incident_edges(v)),
+                |e: EdgeId| e.index(),
+                &mut edge_seen,
+                &mut scope_edges,
+            );
             pipeline_stats.cluster_bfs_nanos += ball_start.elapsed().as_nanos() as u64;
             // CUT(C', R).
             let scope = CutScope {
@@ -466,12 +502,12 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
             // Candidate edges: incident to the cluster, ascending — the same
             // visiting order as a whole-edge-list scan filtered on cluster
             // incidence.
-            candidate_edges.clear();
-            for &v in cluster.iter() {
-                candidate_edges.extend(csr.incident_edges(v));
-            }
-            candidate_edges.sort_unstable();
-            candidate_edges.dedup();
+            kernels::gather_unique_sorted(
+                cluster.iter().map(|&v| csr.incident_edges(v)),
+                |e: EdgeId| e.index(),
+                &mut edge_seen,
+                &mut candidate_edges,
+            );
             for &e in &candidate_edges {
                 if coloring.color(e).is_some() || removed[e.index()] {
                     continue;
@@ -610,6 +646,32 @@ mod tests {
             out.leftover.len(),
             g.num_edges()
         );
+    }
+
+    #[test]
+    fn pipeline_stats_attribute_power_counters_per_layer() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::fat_path(120, 2);
+        let lists = ListAssignment::uniform(g.num_edges(), 3);
+        let config = Algorithm2Config::new(0.5, 2).with_radii(8, 4);
+        let out = algorithm2(&g, &lists, &config, &mut rng).unwrap();
+        let stats = &out.pipeline_stats;
+        assert!(stats.used_power_view);
+        assert!(stats.power_ball_expansions > 0);
+        // One delta per network-decomposition class, classes in order, and
+        // the deltas partition the run totals exactly.
+        assert_eq!(stats.power_layer_deltas.len(), out.num_classes);
+        let (exp, hits) = stats
+            .power_layer_deltas
+            .iter()
+            .fold((0u64, 0u64), |(e, h), d| {
+                (e + d.ball_expansions, h + d.cache_hits)
+            });
+        assert_eq!(exp, stats.power_ball_expansions);
+        assert_eq!(hits, stats.power_cache_hits);
+        for (i, d) in stats.power_layer_deltas.iter().enumerate() {
+            assert_eq!(d.class, i);
+        }
     }
 
     #[test]

@@ -80,6 +80,7 @@
 pub mod dynamic;
 mod engines;
 mod input;
+pub mod oocore;
 mod report;
 mod request;
 pub mod versioned;
@@ -89,6 +90,7 @@ pub use dynamic::{
 };
 pub use engines::{DecompositionEngine, EngineOutcome, FrozenInput, ShardOutcome};
 pub use input::GraphInput;
+pub use oocore::{OocConfig, OocOutcome, OocStats};
 pub use report::{Artifact, DecompositionReport, Validate, ValidationStatus};
 pub use request::{
     DecompositionRequest, Engine, PaletteSpec, ProblemKind, ShardingSpec, StitchPolicy,

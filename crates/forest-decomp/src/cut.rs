@@ -48,7 +48,7 @@
 //! that build a full scope; both paths consume the RNG identically.
 
 use forest_graph::decomposition::PartialEdgeColoring;
-use forest_graph::kernels::StampSet;
+use forest_graph::kernels::{self, StampSet};
 use forest_graph::{Color, EdgeId, GraphView, Orientation, VertexId};
 use rand::Rng;
 use std::collections::BTreeMap;
@@ -412,19 +412,19 @@ pub fn execute_cut_scoped<G: GraphView, R: Rng + ?Sized>(
     debug_assert!(scope.edges.windows(2).all(|w| w[0] < w[1]));
     scratch.ensure(g.num_vertices(), g.num_edges());
     // Eligible edges ascending (`scope.edges` is sorted and is a superset:
-    // an eligible edge has both endpoints in the view).
-    let eligible: Vec<EdgeId> = scope
-        .edges
-        .iter()
-        .copied()
-        .filter(|&e| {
+    // an eligible edge has both endpoints in the view, is colored, and
+    // leaves the core).
+    let mut eligible: Vec<EdgeId> = Vec::new();
+    kernels::select_edges_masked(
+        scope.edges.iter().map(|&e| {
             let (u, v) = g.endpoints(e);
-            coloring.color(e).is_some()
-                && view[u.index()]
-                && view[v.index()]
-                && !(core[u.index()] && core[v.index()])
-        })
-        .collect();
+            (e, u.index(), v.index())
+        }),
+        view,
+        core,
+        |e| coloring.color(e).is_some(),
+        &mut eligible,
+    );
     scratch.eligible.clear();
     for &e in &eligible {
         scratch.eligible.insert(e.index());

@@ -84,17 +84,39 @@ impl CsrStorage for &[u32] {
     }
 }
 
-/// One array of a memory-mapped [`CsrGraph`]: a range of a shared word
-/// buffer decoded once from the mapped file. Clones share the buffer, so a
-/// batch of workers decomposing the same on-disk graph hold one copy of the
-/// topology between them.
-///
-/// (With the vendored `memmap2` stand-in the "mapping" is a private heap
-/// read; swapping in the real crate makes the buffer genuinely page-shared
-/// without touching this type's API.)
+/// The shared backing of a memory-mapped [`CsrGraph`]: either the live
+/// kernel mapping viewed in place (little-endian hosts — the demand-paged
+/// path, where a word is only faulted in when an algorithm touches it) or a
+/// heap buffer decoded once at load time (big-endian / misaligned fallback).
+enum WordBuf {
+    /// The mapping itself; payload words are reinterpreted zero-copy via
+    /// [`memmap2::as_u32s_le`] (alignment/endianness proven at load time).
+    Mapped(memmap2::Mmap),
+    /// Owned decode of the payload (every page already touched).
+    Decoded(Vec<u32>),
+}
+
+impl WordBuf {
+    #[inline]
+    fn words(&self) -> &[u32] {
+        match self {
+            // The alignment/endianness check passed at load time and the
+            // mapping is immutable, so it cannot start failing now.
+            WordBuf::Mapped(map) => memmap2::as_u32s_le(&map[HEADER_BYTES..])
+                .expect("mapped CSR payload was validated u32-viewable at load"),
+            WordBuf::Decoded(words) => words,
+        }
+    }
+}
+
+/// One array of a memory-mapped [`CsrGraph`]: a word range of the shared
+/// payload backing. Clones share the backing, so a batch of workers
+/// decomposing the same on-disk graph hold one mapping between them — and on
+/// the demand-paged path ([`MmapCsr::is_demand_paged`]) the kernel only
+/// makes resident the pages their scans actually touch.
 #[derive(Clone)]
 pub struct MmapStorage {
-    words: Arc<Vec<u32>>,
+    buf: Arc<WordBuf>,
     start: usize,
     len: usize,
 }
@@ -102,7 +124,7 @@ pub struct MmapStorage {
 impl CsrStorage for MmapStorage {
     #[inline]
     fn as_u32s(&self) -> &[u32] {
-        &self.words[self.start..self.start + self.len]
+        &self.buf.words()[self.start..self.start + self.len]
     }
 }
 
@@ -111,18 +133,19 @@ impl std::fmt::Debug for MmapStorage {
         f.debug_struct("MmapStorage")
             .field("start", &self.start)
             .field("len", &self.len)
+            .field("demand_paged", &matches!(&*self.buf, WordBuf::Mapped(_)))
             .finish()
     }
 }
 
 /// Magic number opening every on-disk CSR file (`b"FGCSR\0v1"` as LE `u64`).
-const FORMAT_MAGIC: u64 = u64::from_le_bytes(*b"FGCSR\0v1");
+pub(crate) const FORMAT_MAGIC: u64 = u64::from_le_bytes(*b"FGCSR\0v1");
 
 /// Current version of the on-disk CSR format.
 pub const FORMAT_VERSION: u64 = 1;
 
 /// Size of the on-disk header: magic, version, `n`, `m`, all `u64` LE.
-const HEADER_BYTES: usize = 32;
+pub(crate) const HEADER_BYTES: usize = 32;
 
 /// A frozen-topology compressed-sparse-row graph over storage `S`
 /// (see the [module docs](self) for the storage menu).
@@ -266,29 +289,45 @@ impl OwnedCsr {
 }
 
 impl MmapCsr {
-    /// Maps the on-disk CSR file at `path` and validates it, yielding a graph
-    /// whose four arrays are ranges of one shared buffer (clones share it).
+    /// Maps the on-disk CSR file at `path`, yielding a graph whose four
+    /// arrays are word ranges of one shared mapping (clones share it).
+    ///
+    /// **Demand-paged**: on little-endian 64-bit unix the payload is viewed
+    /// in place over the live `mmap(2)` region, so loading a file far larger
+    /// than physical memory is O(touched pages) — only the header and the
+    /// `offsets` array (validated here, and needed by any algorithm's first
+    /// step anyway) are faulted in; the `6m` incidence/endpoint words stay
+    /// on disk until a scan reaches them. The trade-off is that per-word
+    /// range checks on those arrays are deferred: a corrupted neighbor or
+    /// endpoint value surfaces as an index panic at use, not as an error
+    /// here. Call [`MmapCsr::load_mmap_validated`] to restore the eager full
+    /// structural scan of earlier versions (touching every page).
     ///
     /// # Errors
     ///
     /// Propagates I/O errors; returns [`io::ErrorKind::InvalidData`] for a
-    /// bad magic/version, truncated payload, or structurally invalid arrays.
+    /// bad magic/version, truncated payload, or an invalid `offsets` array.
     pub fn load_mmap<P: AsRef<Path>>(path: P) -> io::Result<MmapCsr> {
         let file = File::open(path)?;
         let map = memmap2::Mmap::map(&file)?;
         let (n, m) = parse_header(&map)?;
-        // Decode the payload once into one shared word buffer. With a real
-        // mmap crate this decode disappears on little-endian hardware; the
-        // Arc-shared buffer is the part every consumer relies on.
-        let words: Arc<Vec<u32>> = Arc::new(
-            map[HEADER_BYTES..]
-                .chunks_exact(4)
-                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-                .collect(),
-        );
+        // Zero-copy u32 view when the host matches the on-disk LE layout
+        // (the mmap base is page-aligned and the 32-byte header keeps the
+        // payload 4-byte aligned); otherwise decode once into a heap buffer
+        // — the portable path, which necessarily touches every page.
+        let buf = if memmap2::as_u32s_le(&map[HEADER_BYTES..]).is_some() {
+            Arc::new(WordBuf::Mapped(map))
+        } else {
+            Arc::new(WordBuf::Decoded(
+                map[HEADER_BYTES..]
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                    .collect(),
+            ))
+        };
         let bounds = SectionBounds::new(n, m);
         let segment = |range: std::ops::Range<usize>| MmapStorage {
-            words: Arc::clone(&words),
+            buf: Arc::clone(&buf),
             start: range.start,
             len: range.len(),
         };
@@ -298,8 +337,29 @@ impl MmapCsr {
             edge_ids: segment(bounds.edge_ids.clone()),
             endpoints: segment(bounds.endpoints.clone()),
         };
+        validate_offsets_section(csr.offsets.as_u32s(), 2 * m)?;
+        Ok(csr)
+    }
+
+    /// [`MmapCsr::load_mmap`] followed by the full structural scan of every
+    /// array (neighbors, edge ids, endpoints in range) — the pre-demand-
+    /// paging behavior. Touches every page of the file; use it when the
+    /// input is untrusted and the graph fits the page cache comfortably.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`MmapCsr::load_mmap`] returns, plus
+    /// [`io::ErrorKind::InvalidData`] for any out-of-range array word.
+    pub fn load_mmap_validated<P: AsRef<Path>>(path: P) -> io::Result<MmapCsr> {
+        let csr = Self::load_mmap(path)?;
         validate_structure(&csr)?;
         Ok(csr)
+    }
+
+    /// `true` when the arrays are served straight from the kernel mapping
+    /// (pages faulted in lazily), `false` on the eager-decode fallback.
+    pub fn is_demand_paged(&self) -> bool {
+        matches!(&*self.offsets.buf, WordBuf::Mapped(map) if map.is_demand_paged())
     }
 }
 
@@ -376,6 +436,23 @@ fn parse_header(bytes: &[u8]) -> io::Result<(usize, usize)> {
     Ok((n as usize, m as usize))
 }
 
+/// Checks the `offsets` array alone: starts at 0, non-decreasing, ends at
+/// the incidence count. This is the portion of the structural validation the
+/// demand-paged loader runs eagerly — it touches only the front of the file
+/// and is what keeps `incidence_range` slicing in bounds.
+fn validate_offsets_section(offsets: &[u32], incidences: usize) -> io::Result<()> {
+    if offsets.is_empty() || offsets[0] != 0 {
+        return Err(invalid("CSR offsets must start at 0"));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(invalid("CSR offsets must be non-decreasing"));
+    }
+    if offsets[offsets.len() - 1] as usize != incidences {
+        return Err(invalid("CSR offsets must end at the incidence count"));
+    }
+    Ok(())
+}
+
 /// Checks the structural invariants a decoded CSR must satisfy before any
 /// algorithm indexes into it.
 fn validate_structure<S: CsrStorage>(csr: &CsrGraph<S>) -> io::Result<()> {
@@ -385,15 +462,7 @@ fn validate_structure<S: CsrStorage>(csr: &CsrGraph<S>) -> io::Result<()> {
     let endpoints = csr.endpoints.as_u32s();
     let n = offsets.len().saturating_sub(1);
     let m = endpoints.len() / 2;
-    if offsets.is_empty() || offsets[0] != 0 {
-        return Err(invalid("CSR offsets must start at 0"));
-    }
-    if offsets.windows(2).any(|w| w[0] > w[1]) {
-        return Err(invalid("CSR offsets must be non-decreasing"));
-    }
-    if offsets[n] as usize != neighbors.len() {
-        return Err(invalid("CSR offsets must end at the incidence count"));
-    }
+    validate_offsets_section(offsets, neighbors.len())?;
     if neighbors.iter().any(|&v| v as usize >= n) {
         return Err(invalid("CSR neighbor out of vertex range"));
     }
@@ -814,6 +883,35 @@ mod tests {
         csr.save(&path).unwrap();
         let mapped = MmapCsr::load_mmap(&path).unwrap();
         assert_eq!(mapped.to_owned_storage(), csr);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn load_mmap_is_demand_paged_and_defers_array_checks() {
+        let g = MultiGraph::from_pairs(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut bytes = CsrGraph::from_multigraph(&g).to_bytes();
+        let path = temp_path("lazy");
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = MmapCsr::load_mmap(&path).unwrap();
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(
+            mapped.is_demand_paged(),
+            "little-endian unix must serve the payload straight from the mapping"
+        );
+        assert_eq!(MmapCsr::load_mmap_validated(&path).unwrap(), mapped);
+        // Corrupt a neighbor word: the lazy loader (header + offsets only)
+        // accepts the file, the validated loader rejects it.
+        let neighbors_start = HEADER_BYTES + 4 * 4; // offsets has n + 1 = 4 words
+        bytes[neighbors_start] = 9;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(MmapCsr::load_mmap(&path).is_ok());
+        let err = MmapCsr::load_mmap_validated(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // A broken offsets array is caught even lazily.
+        let mut broken_offsets = CsrGraph::from_multigraph(&g).to_bytes();
+        broken_offsets[HEADER_BYTES] = 1; // offsets[0] != 0
+        std::fs::write(&path, &broken_offsets).unwrap();
+        assert!(MmapCsr::load_mmap(&path).is_err());
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -105,6 +105,66 @@ pub fn select_le_masked(values: &[u32], active: &[u8], threshold: u32, out: &mut
     }
 }
 
+/// Deduplicating gather: appends the first occurrence of every id across
+/// `runs` to `out` (cleared first), then sorts ascending.
+///
+/// This is the incidence-union scan of the cluster pipeline ("all edges
+/// incident to these vertices, ascending, each once"): instead of the
+/// `extend` + `sort_unstable` + `dedup` chain — which sorts every duplicate
+/// before squeezing it out — duplicates are dropped up front by the
+/// epoch-stamped `seen` set (cleared on entry, must have a slot for every
+/// id `key` can produce), so the sort runs over unique ids only. The item
+/// type stays generic so id newtypes (`EdgeId`, `VertexId`) pass through
+/// without re-encoding.
+pub fn gather_unique_sorted<T, R, RS, K>(runs: RS, key: K, seen: &mut StampSet, out: &mut Vec<T>)
+where
+    T: Copy + Ord,
+    R: IntoIterator<Item = T>,
+    RS: IntoIterator<Item = R>,
+    K: Fn(T) -> usize,
+{
+    out.clear();
+    seen.clear();
+    for run in runs {
+        for item in run {
+            if seen.insert(key(item)) {
+                out.push(item);
+            }
+        }
+    }
+    out.sort_unstable();
+}
+
+/// Selects the `(item, u, v)` entries whose endpoint pair passes the
+/// two-mask rule `required[u] && required[v] && !(excluded[u] &&
+/// excluded[v])`, then the per-item predicate `keep`, into `out` (cleared
+/// first; input order is preserved).
+///
+/// This is the CUT eligible-edge filter shape: `required` is the view mask,
+/// `excluded` the core mask (an eligible edge lies inside the view but must
+/// leave the core). The mask tests fold branchlessly (`&` on `bool`s, one
+/// load per endpoint) and short-circuit the — typically costlier — `keep`
+/// lookup.
+pub fn select_edges_masked<T, I, P>(
+    edges: I,
+    required: &[bool],
+    excluded: &[bool],
+    mut keep: P,
+    out: &mut Vec<T>,
+) where
+    T: Copy,
+    I: IntoIterator<Item = (T, usize, usize)>,
+    P: FnMut(T) -> bool,
+{
+    out.clear();
+    for (item, u, v) in edges {
+        let masked = required[u] & required[v] & !(excluded[u] & excluded[v]);
+        if masked && keep(item) {
+            out.push(item);
+        }
+    }
+}
+
 /// Number of nonzero entries of a `u8` mask.
 pub fn count_nonzero(mask: &[u8]) -> usize {
     let mut acc = [0u32; LANES];
@@ -254,6 +314,58 @@ mod tests {
         // `out` is cleared on entry.
         select_le_masked(&values, &active, 0, &mut out);
         assert!(out.iter().all(|&i| values[i as usize] == 0));
+    }
+
+    #[test]
+    fn gather_unique_sorted_matches_sort_dedup() {
+        // Overlapping runs with duplicates within and across runs.
+        let runs: Vec<Vec<u32>> = vec![vec![5, 1, 9, 1], vec![], vec![9, 3, 5], vec![0]];
+        let mut seen = StampSet::new(10);
+        let mut out: Vec<u32> = vec![42]; // must be cleared on entry
+        gather_unique_sorted(
+            runs.iter().map(|r| r.iter().copied()),
+            |v| v as usize,
+            &mut seen,
+            &mut out,
+        );
+        let mut expect: Vec<u32> = runs.iter().flatten().copied().collect();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(out, expect);
+        // The seen set is cleared on entry, so back-to-back calls work.
+        gather_unique_sorted(
+            runs.iter().map(|r| r.iter().copied()),
+            |v| v as usize,
+            &mut seen,
+            &mut out,
+        );
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn select_edges_masked_matches_filter() {
+        let required = [true, true, true, false, true];
+        let excluded = [true, true, false, false, false];
+        let edges = [(0u32, 0usize, 1usize), (1, 0, 2), (2, 2, 4), (3, 1, 3)];
+        let mut out: Vec<u32> = vec![7]; // must be cleared on entry
+        select_edges_masked(
+            edges.iter().copied(),
+            &required,
+            &excluded,
+            |e| e != 2,
+            &mut out,
+        );
+        let expect: Vec<u32> = edges
+            .iter()
+            .filter(|&&(e, u, v)| {
+                required[u] && required[v] && !(excluded[u] && excluded[v]) && e != 2
+            })
+            .map(|&(e, _, _)| e)
+            .collect();
+        assert_eq!(out, expect);
+        // Edge (0,1) is core-internal, (1,3) leaves the view, (2,4) is
+        // filtered by the predicate: only edge 1 (0,2) survives.
+        assert_eq!(out, vec![1]);
     }
 
     #[test]

@@ -49,10 +49,18 @@
 //!   measures.
 //! * [`generators`] — synthetic benchmark families (fat paths, planted
 //!   arboricity graphs, `G(n,m)`, cliques, grids, hypercubes, ...).
+//! * [`extsort`] — out-of-core CSR construction: external-sorts a raw edge
+//!   file into the versioned on-disk format under a hard memory ceiling,
+//!   byte-identical to freezing through a `MultiGraph`, with a one-pass
+//!   Nash-Williams degree/density watermark computed during the merge.
 //! * [`kernels`] — branchless `chunks_exact` scan kernels over flat
-//!   `u32`/`u8` arrays (max/histogram/masked-select) and the epoch-stamped
+//!   `u32`/`u8` arrays (max/histogram/masked-select), the epoch-stamped
 //!   [`StampSet`](kernels::StampSet) behind the no-`O(n)`-clears scratch
-//!   idiom of the ball-local cluster pipeline.
+//!   idiom of the ball-local cluster pipeline, and the composite scans
+//!   built on it ([`gather_unique_sorted`](kernels::gather_unique_sorted)
+//!   incidence-union merges,
+//!   [`select_edges_masked`](kernels::select_edges_masked) mask-pair edge
+//!   filters).
 //! * [`flow`], [`traversal`], [`union_find`] — supporting algorithms.
 //!
 //! # Quick example
@@ -78,6 +86,7 @@ pub mod decomposition;
 pub mod density;
 pub mod dynamic;
 mod error;
+pub mod extsort;
 pub mod flow;
 pub mod generators;
 mod ids;
@@ -102,7 +111,7 @@ pub use ids::{Color, EdgeId, VertexId};
 pub use multigraph::{edge_subgraph, InducedSubgraph, MultiGraph, SimpleGraph};
 pub use orientation::Orientation;
 pub use palette::ListAssignment;
-pub use partition::CsrPartition;
+pub use partition::{CsrPartition, ExtractedShard, ShardPlan};
 pub use reorder::{ReorderKind, VertexPermutation};
 pub use union_find::UnionFind;
 pub use view::GraphView;

@@ -56,6 +56,192 @@ pub struct CsrPartition {
     boundary: Vec<EdgeId>,
 }
 
+/// The `O(k)`-resident sharding *plan*: where [`CsrPartition::split`] cuts,
+/// without materializing any shard.
+///
+/// [`CsrPartition`] is the right tool when the whole graph is resident: it
+/// builds every shard's CSR in one pass and hands out zero-copy views. The
+/// out-of-core driver cannot afford that — the sum of all shards *is* the
+/// graph — so `ShardPlan` keeps only the shard boundaries (`k + 1` words;
+/// shards of the identity order are contiguous vertex-id ranges, so
+/// ownership, local ids and global ids are all arithmetic) and rebuilds one
+/// shard at a time with [`ShardPlan::extract_shard`], streaming straight off
+/// a demand-paged [`MmapCsr`](crate::MmapCsr). The cut rule is byte-for-byte
+/// the one [`CsrPartition::split`] uses (they share the assignment walk), so
+/// for every shard `s`:
+///
+/// * `plan.extract_shard(&csr, s).csr` equals `partition.shard(s)`,
+/// * `plan.extract_shard(&csr, s).global_edges` equals
+///   `partition.global_edges(s)`, and
+/// * [`ShardPlan::boundary_edges`] equals [`CsrPartition::boundary_edges`]
+///
+/// — pinned by this module's tests. Only the identity order is supported:
+/// a BFS/RCM reorder needs the permutation array, which is exactly the
+/// `O(n)` state this type exists to avoid.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    /// Shard → first vertex id (shards are contiguous id ranges); length
+    /// `k + 1`.
+    vertex_base: Vec<u32>,
+    num_vertices: usize,
+}
+
+/// One shard materialized from a [`ShardPlan`]: the locally-renumbered
+/// internal topology plus its local → global edge map — the per-shard halves
+/// of a [`CsrPartition`], built alone.
+#[derive(Clone, Debug)]
+pub struct ExtractedShard {
+    /// The shard's internal topology, vertices renumbered `0..shard_size`.
+    pub csr: OwnedCsr,
+    /// Local edge id → global edge id (ascending).
+    pub global_edges: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Plans the identity-order `k`-way split of `csr` — the same cut as
+    /// [`CsrPartition::split`] (same clamp of `k` to `1..=max(n, 1)`), in
+    /// `O(n)` time and `O(k)` memory.
+    pub fn new<S: CsrStorage>(csr: &CsrGraph<S>, k: usize) -> ShardPlan {
+        let n = csr.num_vertices();
+        let k = k.clamp(1, n.max(1));
+        let mut vertex_base = vec![0u32; k + 1];
+        for (_, s) in assignment_walk(csr, k, None) {
+            vertex_base[s + 1] += 1;
+        }
+        for s in 0..k {
+            vertex_base[s + 1] += vertex_base[s];
+        }
+        ShardPlan {
+            vertex_base,
+            num_vertices: n,
+        }
+    }
+
+    /// Number of shards `k`.
+    pub fn num_shards(&self) -> usize {
+        self.vertex_base.len() - 1
+    }
+
+    /// The shard owning global vertex `v`.
+    pub fn shard_of(&self, v: VertexId) -> usize {
+        debug_assert!(v.index() < self.num_vertices);
+        // Last shard whose base is ≤ v: empty shards share a base with their
+        // successor, and the search lands past all of them.
+        self.vertex_base
+            .partition_point(|&b| b as usize <= v.index())
+            - 1
+    }
+
+    /// The local id of global vertex `v` inside its owning shard.
+    pub fn local_vertex(&self, v: VertexId) -> VertexId {
+        VertexId::new(v.index() - self.vertex_base[self.shard_of(v)] as usize)
+    }
+
+    /// The global vertex behind shard `s`'s local vertex `local`.
+    pub fn global_vertex(&self, s: usize, local: VertexId) -> VertexId {
+        VertexId::new(self.vertex_base[s] as usize + local.index())
+    }
+
+    /// Global vertex-id range `[start, end)` of shard `s`.
+    pub fn vertex_range(&self, s: usize) -> std::ops::Range<usize> {
+        self.vertex_base[s] as usize..self.vertex_base[s + 1] as usize
+    }
+
+    /// The global edges crossing shards, in ascending id order — computed by
+    /// one streaming scan of the endpoint list (the plan does not store it).
+    pub fn boundary_edges<S: CsrStorage>(&self, csr: &CsrGraph<S>) -> Vec<EdgeId> {
+        csr.edges()
+            .filter(|&(_, u, v)| self.shard_of(u) != self.shard_of(v))
+            .map(|(e, _, _)| e)
+            .collect()
+    }
+
+    /// Materializes shard `s` alone: scans only shard `s`'s incidence lists
+    /// (plus one endpoint lookup per internal edge), touching `O(shard)`
+    /// bytes of a demand-paged source. The result is byte-identical to the
+    /// corresponding [`CsrPartition`] shard.
+    pub fn extract_shard<S: CsrStorage>(&self, csr: &CsrGraph<S>, s: usize) -> ExtractedShard {
+        let range = self.vertex_range(s);
+        let base = range.start;
+        let size = range.len();
+        // Internal edges ascending: each is collected once, from its
+        // smaller endpoint's incidence list (self-loops cannot occur).
+        let mut global_edges: Vec<u32> = Vec::new();
+        for v in range.clone() {
+            for (nbr, ge) in csr.incidences(VertexId::new(v)) {
+                if range.contains(&nbr.index()) && v < nbr.index() {
+                    global_edges.push(ge.index() as u32);
+                }
+            }
+        }
+        global_edges.sort_unstable();
+        let slots = 2 * global_edges.len();
+        let mut offsets = Vec::with_capacity(size + 1);
+        let mut neighbors = Vec::with_capacity(slots);
+        let mut edge_ids = Vec::with_capacity(slots);
+        offsets.push(0u32);
+        for v in range.clone() {
+            for (nbr, ge) in csr.incidences(VertexId::new(v)) {
+                if range.contains(&nbr.index()) {
+                    neighbors.push((nbr.index() - base) as u32);
+                    let local = global_edges
+                        .binary_search(&(ge.index() as u32))
+                        .expect("internal incidences reference collected edges");
+                    edge_ids.push(local as u32);
+                }
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        let mut endpoints = Vec::with_capacity(slots);
+        for &ge in &global_edges {
+            let (u, v) = csr.endpoints(EdgeId::new(ge as usize));
+            endpoints.push((u.index() - base) as u32);
+            endpoints.push((v.index() - base) as u32);
+        }
+        ExtractedShard {
+            csr: OwnedCsr::from_raw_parts(offsets, neighbors, edge_ids, endpoints),
+            global_edges,
+        }
+    }
+
+    /// Heap bytes this plan keeps resident (the `k + 1` base array) — the
+    /// out-of-core driver's accounting hook.
+    pub fn resident_bytes(&self) -> usize {
+        self.vertex_base.len() * std::mem::size_of::<u32>()
+    }
+}
+
+/// The shared assignment walk behind [`CsrPartition::split`] and
+/// [`ShardPlan::new`]: yields `(position, shard)` along the split order,
+/// assigning each position to the shard whose share of the total incidence
+/// mass its prefix midpoint falls into (degenerating to an even positional
+/// split on edgeless graphs). The midpoint rule keeps the first/last shards
+/// from starving; the shard index is non-decreasing along the walk, so
+/// shards are contiguous ranges of the order.
+fn assignment_walk<'a, S: CsrStorage>(
+    csr: &'a CsrGraph<S>,
+    k: usize,
+    perm: Option<&'a VertexPermutation>,
+) -> impl Iterator<Item = (usize, usize)> + 'a {
+    let n = csr.num_vertices();
+    let total: u64 = 2 * csr.num_edges() as u64;
+    let mut prefix: u64 = 0;
+    (0..n).map(move |pos| {
+        let v = match perm {
+            None => VertexId::new(pos),
+            Some(p) => p.old_id(VertexId::new(pos)),
+        };
+        let d = csr.degree(v) as u64;
+        let s = if total == 0 {
+            (pos * k / n.max(1)) as u64
+        } else {
+            (prefix * 2 + d).min(2 * total - 1) * k as u64 / (2 * total)
+        };
+        prefix += d;
+        (pos, (s as usize).min(k - 1))
+    })
+}
+
 impl CsrPartition {
     /// Splits `csr` into `k` shards: contiguous vertex-id ranges balanced by
     /// incidence count. One `O(n + m)` pass; after it,
@@ -106,23 +292,11 @@ impl CsrPartition {
                 Some(p) => p.old_id(VertexId::new(pos)),
             }
         };
-        // Walk the split order assigning each position to the shard whose
-        // share of the total incidence mass its prefix midpoint falls into
-        // (degenerating to an even positional split on edgeless graphs).
-        let total: u64 = 2 * m as u64;
+        // The assignment walk is shared with ShardPlan so the streaming
+        // splitter cuts in exactly the same places.
         let mut shard_of = vec![0u32; n];
-        let mut prefix: u64 = 0;
-        for pos in 0..n {
-            let v = vertex_at(pos);
-            let d = csr.degree(v) as u64;
-            let s = if total == 0 {
-                (pos * k / n.max(1)) as u64
-            } else {
-                // Midpoint rule keeps the first/last shards from starving.
-                (prefix * 2 + d).min(2 * total - 1) * k as u64 / (2 * total)
-            };
-            shard_of[v.index()] = (s as usize).min(k - 1) as u32;
-            prefix += d;
+        for (pos, s) in assignment_walk(csr, k, perm) {
+            shard_of[vertex_at(pos).index()] = s as u32;
         }
         // Contiguity + monotonicity along the order hold by construction;
         // derive the position bases and local ids.
@@ -396,6 +570,60 @@ mod tests {
             ordered.boundary_fraction(),
             identity.boundary_fraction()
         );
+    }
+
+    #[test]
+    fn shard_plan_matches_csr_partition_everywhere() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for g in [
+            generators::path(17),
+            generators::grid(6, 5),
+            generators::fat_path(20, 3),
+            generators::planted_forest_union(40, 3, &mut rng),
+            MultiGraph::new(5),
+            MultiGraph::new(0),
+        ] {
+            let csr = CsrGraph::from_multigraph(&g);
+            for k in [1, 2, 3, 5, 100] {
+                let part = CsrPartition::split(&csr, k);
+                let plan = ShardPlan::new(&csr, k);
+                assert_eq!(plan.num_shards(), part.num_shards());
+                assert_eq!(plan.boundary_edges(&csr), part.boundary_edges());
+                for v in g.vertices() {
+                    assert_eq!(plan.shard_of(v), part.shard_of(v));
+                    assert_eq!(plan.local_vertex(v), part.local_vertex(v));
+                    let s = plan.shard_of(v);
+                    assert_eq!(plan.global_vertex(s, plan.local_vertex(v)), v);
+                }
+                for s in 0..part.num_shards() {
+                    assert_eq!(plan.vertex_range(s), part.vertex_range(s));
+                    let extracted = plan.extract_shard(&csr, s);
+                    assert_eq!(extracted.csr, part.shards[s]);
+                    assert_eq!(extracted.global_edges, part.global_edges(s));
+                }
+                assert!(plan.resident_bytes() <= 4 * (part.num_shards() + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_extracts_from_mmap_storage() {
+        // The out-of-core shape: plan + extract straight off a loaded file.
+        let g = generators::fat_path(30, 3);
+        let csr = CsrGraph::from_multigraph(&g);
+        let path = std::env::temp_dir().join(format!(
+            "forest-graph-shard-plan-{}.csr",
+            std::process::id()
+        ));
+        csr.save(&path).unwrap();
+        let mapped = CsrGraph::load_mmap(&path).unwrap();
+        let part = CsrPartition::split(&csr, 3);
+        let plan = ShardPlan::new(&mapped, 3);
+        assert_eq!(plan.boundary_edges(&mapped), part.boundary_edges());
+        for s in 0..part.num_shards() {
+            assert_eq!(plan.extract_shard(&mapped, s).csr, part.shards[s]);
+        }
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

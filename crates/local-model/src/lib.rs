@@ -43,8 +43,8 @@ pub mod views;
 
 pub use cole_vishkin::{cole_vishkin_three_coloring, RootedForestView, TreeColoring};
 pub use decomposition::{
-    network_decomposition, partial_network_decomposition, NetworkDecomposition,
-    PartialNetworkDecomposition,
+    network_decomposition, network_decomposition_with_probe, partial_network_decomposition,
+    NetworkDecomposition, PartialNetworkDecomposition,
 };
 pub use lll::{solve_lll, BadEvent, LllInstance, LllOutcome};
 pub use network::{NodeInfo, SyncNetwork};

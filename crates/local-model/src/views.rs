@@ -108,11 +108,11 @@ pub fn collect_view<G: GraphView>(
 /// Simulating one round of `G^r` costs `O(r)` rounds of `G`; callers charge
 /// that separately when they run algorithms on the power graph.
 ///
-/// **Engine note:** this materializer is kept as the ground-truth oracle for
-/// tests and for graphs too large for the pair-encoded edge ids of
-/// [`PowerView`]; the decomposition engines themselves route through
-/// [`PowerView`], which answers the same adjacency lazily without the
-/// `O(n²)` edge blow-up. Prefer the view in any per-run code path.
+/// **Engine note:** this materializer is kept as the ground-truth oracle
+/// for tests and for graphs beyond [`PowerView::MAX_VERTICES`]; the
+/// decomposition engines themselves route through [`PowerView`], which
+/// answers the same adjacency lazily without the `O(n²)` edge blow-up.
+/// Prefer the view in any per-run code path.
 pub fn power_graph<G: GraphView>(g: &G, r: usize) -> MultiGraph {
     let n = g.num_vertices();
     let mut pg = MultiGraph::new(n);
@@ -220,19 +220,28 @@ impl BallCache {
 /// `PowerView` keeps the dense `0..n` vertex ids of the base graph but
 /// *deviates* from the dense edge-id contract of [`GraphView`] (precedent:
 /// `forest_graph::DynamicGraph`, whose live edges also occupy a sparse id
-/// space): the edge between `u < w` has the pair-encoded id `u·n + w`, so
-/// endpoint recovery is arithmetic ([`endpoints`](GraphView::endpoints) is
-/// `(e / n, e % n)`) and no global edge enumeration is ever needed.
-/// Consequently [`num_edges`](GraphView::num_edges) returns the *id-space
-/// span* `n²`, not the number of distinct power edges; use
-/// [`edges`](GraphView::edges) (overridden to enumerate lazily) when the
-/// actual edge set is required. Pair encoding requires
-/// `n ≤ `[`PowerView::MAX_VERTICES`] so every id fits the `u32` backing of
-/// [`EdgeId`]; callers with larger graphs fall back to [`power_graph`].
+/// space). Edge ids are dual-mode:
 ///
-/// The view holds interior mutability (scratch arena + cache) behind a
-/// [`RefCell`], so it is intentionally neither `Sync` nor `Send`: create
-/// one per run, like the scratch buffers it replaces.
+/// * `n ≤ `[`PowerView::PAIR_ENCODED_MAX`]: the edge between `u < w` has
+///   the pair-encoded id `u·n + w`, so endpoint recovery is arithmetic
+///   ([`endpoints`](GraphView::endpoints) is `(e / n, e % n)`) and
+///   [`num_edges`](GraphView::num_edges) returns the *id-space span* `n²`.
+///   This is the historical encoding, kept bit-for-bit so edge ids (and
+///   anything derived from them) are stable for every graph that fit the
+///   old `u16::MAX` cap.
+/// * larger graphs (up to [`PowerView::MAX_VERTICES`]): `u·n + w` would
+///   overflow the `u32` backing of [`EdgeId`], so ids are *interned
+///   lazily* — the first query touching a power edge assigns it the next
+///   sequential id, a side table recovers endpoints, and
+///   [`num_edges`](GraphView::num_edges) returns the number of ids minted
+///   so far (it grows as queries discover new edges).
+///
+/// In both modes use [`edges`](GraphView::edges) (overridden to enumerate
+/// lazily from each smaller endpoint) when the actual edge set is required.
+///
+/// The view holds interior mutability (scratch arena + cache + interner)
+/// behind a [`RefCell`], so it is intentionally neither `Sync` nor `Send`:
+/// create one per run, like the scratch buffers it replaces.
 #[derive(Debug)]
 pub struct PowerView<'a, G: GraphView> {
     base: &'a G,
@@ -240,25 +249,57 @@ pub struct PowerView<'a, G: GraphView> {
     inner: RefCell<PowerViewInner>,
 }
 
+/// Lazily interned edge ids for base graphs too large for pair encoding:
+/// the first query touching a power edge mints the next sequential `u32`
+/// id, and `pairs` recovers the endpoints of every minted id.
+#[derive(Debug, Default)]
+struct EdgeInterner {
+    ids: HashMap<u64, u32>,
+    pairs: Vec<(u32, u32)>,
+}
+
+impl EdgeInterner {
+    fn intern(&mut self, lo: u32, hi: u32, n: usize) -> EdgeId {
+        let key = lo as u64 * n as u64 + hi as u64;
+        if let Some(&id) = self.ids.get(&key) {
+            return EdgeId::new(id as usize);
+        }
+        let id = u32::try_from(self.pairs.len())
+            .expect("interned more than u32::MAX distinct power edges");
+        self.ids.insert(key, id);
+        self.pairs.push((lo, hi));
+        EdgeId::new(id as usize)
+    }
+}
+
 #[derive(Debug)]
 struct PowerViewInner {
     scratch: BfsScratch,
     cache: BallCache,
     stats: PowerViewStats,
+    /// `Some` exactly when the base graph exceeds
+    /// [`PowerView::PAIR_ENCODED_MAX`] vertices.
+    interner: Option<EdgeInterner>,
 }
 
 impl<'a, G: GraphView> PowerView<'a, G> {
-    /// Largest base-graph vertex count the pair-encoded edge ids support
-    /// (`n² - 1` must fit in a `u32`).
-    pub const MAX_VERTICES: usize = u16::MAX as usize;
+    /// Largest supported base-graph vertex count (vertex ids must fit the
+    /// `u32` ball-cache index).
+    pub const MAX_VERTICES: usize = u32::MAX as usize;
+
+    /// Largest base-graph vertex count the *pair-encoded* edge ids support
+    /// (`n² - 1` must fit in a `u32`). Below this threshold edge ids use
+    /// the historical `u·n + w` encoding; above it they are interned
+    /// lazily (see the identifier contract on [`PowerView`]).
+    pub const PAIR_ENCODED_MAX: usize = u16::MAX as usize;
 
     /// Wraps `base` as the virtual power graph `base^radius`.
     ///
     /// # Panics
     ///
     /// Panics if `base` has more than [`PowerView::MAX_VERTICES`] vertices
-    /// (the pair-encoded edge ids would overflow); such graphs must use the
-    /// materializing [`power_graph`] instead.
+    /// (vertex ids would overflow the `u32` cache index); such graphs must
+    /// use the materializing [`power_graph`] instead.
     pub fn new(base: &'a G, radius: usize) -> Self {
         let n = base.num_vertices();
         assert!(
@@ -277,6 +318,7 @@ impl<'a, G: GraphView> PowerView<'a, G> {
                 scratch: BfsScratch::new(n),
                 cache: BallCache::new(budget_words),
                 stats: PowerViewStats::default(),
+                interner: (n > Self::PAIR_ENCODED_MAX).then(EdgeInterner::default),
             }),
         }
     }
@@ -323,34 +365,40 @@ impl<'a, G: GraphView> PowerView<'a, G> {
     fn encode_edge(&self, u: u32, w: u32) -> EdgeId {
         let n = self.base.num_vertices();
         let (lo, hi) = if u <= w { (u, w) } else { (w, u) };
-        EdgeId::new(lo as usize * n + hi as usize)
+        if n <= Self::PAIR_ENCODED_MAX {
+            EdgeId::new(lo as usize * n + hi as usize)
+        } else {
+            let mut inner = self.inner.borrow_mut();
+            inner
+                .interner
+                .as_mut()
+                .expect("interner present above the pair-encoded cap")
+                .intern(lo, hi, n)
+        }
     }
 }
 
 /// Iterator over the power-graph incidences of one vertex; holds the cached
-/// ball alive via its [`Rc`] so no borrow of the view outlives the call.
+/// ball alive via its [`Rc`], so each `next()` only takes a transient
+/// interior borrow of the view (to mint interned edge ids) — no borrow
+/// guard outlives the call.
 #[derive(Debug)]
-pub struct PowerIncidences {
+pub struct PowerIncidences<'v, 'a, G: GraphView> {
+    view: &'v PowerView<'a, G>,
     ball: Rc<Vec<u32>>,
     pos: usize,
     center: u32,
-    num_vertices: usize,
 }
 
-impl Iterator for PowerIncidences {
+impl<G: GraphView> Iterator for PowerIncidences<'_, '_, G> {
     type Item = (VertexId, EdgeId);
 
     fn next(&mut self) -> Option<Self::Item> {
         let &w = self.ball.get(self.pos)?;
         self.pos += 1;
-        let (lo, hi) = if self.center <= w {
-            (self.center, w)
-        } else {
-            (w, self.center)
-        };
         Some((
             VertexId::new(w as usize),
-            EdgeId::new(lo as usize * self.num_vertices + hi as usize),
+            self.view.encode_edge(self.center, w),
         ))
     }
 
@@ -365,16 +413,37 @@ impl<'a, G: GraphView> GraphView for PowerView<'a, G> {
         self.base.num_vertices()
     }
 
-    /// The pair-encoded edge-id *span* `n²`, not the count of distinct
-    /// power edges (see the type-level identifier contract).
+    /// The edge-id *span*, not the count of distinct power edges (see the
+    /// type-level identifier contract): `n²` in pair-encoded mode, the
+    /// number of interned ids minted so far above the cap.
     fn num_edges(&self) -> usize {
         let n = self.base.num_vertices();
-        n * n
+        if n <= Self::PAIR_ENCODED_MAX {
+            n * n
+        } else {
+            self.inner
+                .borrow()
+                .interner
+                .as_ref()
+                .expect("interner present above the pair-encoded cap")
+                .pairs
+                .len()
+        }
     }
 
     fn endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
         let n = self.base.num_vertices();
-        (VertexId::new(e.index() / n), VertexId::new(e.index() % n))
+        if n <= Self::PAIR_ENCODED_MAX {
+            (VertexId::new(e.index() / n), VertexId::new(e.index() % n))
+        } else {
+            let inner = self.inner.borrow();
+            let (lo, hi) = inner
+                .interner
+                .as_ref()
+                .expect("interner present above the pair-encoded cap")
+                .pairs[e.index()];
+            (VertexId::new(lo as usize), VertexId::new(hi as usize))
+        }
     }
 
     fn degree(&self, v: VertexId) -> usize {
@@ -383,10 +452,10 @@ impl<'a, G: GraphView> GraphView for PowerView<'a, G> {
 
     fn incidences(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
         PowerIncidences {
+            view: self,
             ball: self.ball(v),
             pos: 0,
             center: v.index() as u32,
-            num_vertices: self.base.num_vertices(),
         }
     }
 
@@ -534,9 +603,62 @@ mod tests {
     }
 
     #[test]
+    fn power_view_handles_graphs_above_the_pair_encoded_cap() {
+        // Regression for the old `u16::MAX` cap: above it, edge ids come
+        // from the lazy interner instead of the `u·n + w` pair encoding.
+        let n = 70_000;
+        assert!(n > PowerView::<MultiGraph>::PAIR_ENCODED_MAX);
+        let g = generators::path(n);
+        let pv = PowerView::new(&g, 2);
+        let v = VertexId::new(35_000);
+        let ns: Vec<usize> = pv.incidences(v).map(|(w, _)| w.index()).collect();
+        assert_eq!(ns, vec![34_998, 34_999, 35_001, 35_002]);
+        assert_eq!(pv.degree(VertexId::new(0)), 2);
+        // Endpoint round trip through the interner, and id stability: the
+        // same power edge queried from either endpoint yields one id.
+        let mut seen = HashMap::new();
+        for v in [VertexId::new(0), v, VertexId::new(10), VertexId::new(11)] {
+            for (w, e) in pv.incidences(v) {
+                let (a, b) = pv.endpoints(e);
+                assert_eq!((a.min(b), a.max(b)), (v.min(w), v.max(w)));
+                if let Some(prev) = seen.insert((v.min(w), v.max(w)), e) {
+                    assert_eq!(prev, e, "edge id must be stable across queries");
+                }
+            }
+        }
+        // Full lazy enumeration still sees each power edge exactly once:
+        // path^2 has (n-1) + (n-2) edges. Afterwards every edge has been
+        // interned, so num_edges (the id span) matches.
+        assert_eq!(pv.edges().count(), 2 * n - 3);
+        assert_eq!(pv.num_edges(), 2 * n - 3);
+    }
+
+    /// A topology-free stand-in that only claims a vertex count, so the
+    /// constructor guard can be exercised without allocating `O(n)` state.
+    struct ClaimedVertexCount(usize);
+
+    impl GraphView for ClaimedVertexCount {
+        fn num_vertices(&self) -> usize {
+            self.0
+        }
+        fn num_edges(&self) -> usize {
+            0
+        }
+        fn endpoints(&self, _: EdgeId) -> (VertexId, VertexId) {
+            unreachable!("edgeless")
+        }
+        fn degree(&self, _: VertexId) -> usize {
+            0
+        }
+        fn incidences(&self, _: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+            std::iter::empty()
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "PowerView supports at most")]
     fn power_view_rejects_oversized_graphs() {
-        let g = MultiGraph::new(PowerView::<MultiGraph>::MAX_VERTICES + 1);
+        let g = ClaimedVertexCount(PowerView::<ClaimedVertexCount>::MAX_VERTICES + 1);
         let _ = PowerView::new(&g, 1);
     }
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_pr7.json: the performance snapshot of the Decomposer
+# Regenerates BENCH_pr8.json: the performance snapshot of the Decomposer
 # facade (graph sizes x engines x wall-clock, the 64-graph decomposer_batch
 # workload with its BENCH_pr2 baseline, the thaw-free sharded-vs-unsharded
 # large-graph run under identity and RCM split orders — prepared and cold,
@@ -13,8 +13,13 @@
 # sharded-HSV wall-clock before/after the lazy PowerView + ball-local
 # cluster pipeline, the forced-radii workload that previously materialized
 # the power graph, and the PipelineStats counters of a direct
-# algorithm2_frozen run — with host core/thread counts recorded in the
-# environment block).
+# algorithm2_frozen run (now with per-class power_layer_deltas), and the
+# PR 8 out_of_core rows: external-sort CSR build from a raw edge file
+# (spilled runs, one-pass Nash-Williams watermark) and run_out_of_core
+# under a memory ceiling 8x smaller than the CSR file, with the driver's
+# peak-resident accounting vs. the budget and byte-identity to the
+# in-memory sharded run asserted inline — with host core/thread counts
+# recorded in the environment block).
 #
 # Snapshots are appended as new BENCH_pr<N>.json files per PR, never
 # overwritten — the history of numbers lives in git alongside the code.
@@ -23,7 +28,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr8.json}"
 
 cargo build --release -p bench --bin bench_snapshot
 ./target/release/bench_snapshot > "$out"

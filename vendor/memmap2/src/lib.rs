@@ -1,25 +1,81 @@
 //! Offline stand-in for the `memmap2` crate (workspace-local vendored
-//! subset, matching the offline-deps pattern of `vendor/rand` & co).
+//! subset, matching the offline-deps pattern of `vendor/rand` & co) — now
+//! backed by a **real `mmap(2)`** on 64-bit unix hosts.
 //!
-//! The real `memmap2` maps a file into the address space with `mmap(2)`, so
-//! pages are loaded lazily by the kernel and shared between processes. This
-//! sandbox has no crates.io access and the workspace forbids `unsafe`, so the
-//! stand-in provides the same *API shape* — [`Mmap::map`] on an open
-//! [`File`], `Deref<Target = [u8]>` — over a private heap buffer read once at
-//! map time. Swapping in the real crate is a one-line `Cargo.toml` change
-//! (plus the `unsafe { ... }` block its `map` requires); no caller code
-//! changes.
+//! [`Mmap::map`] maps the file read-only and `MAP_PRIVATE` into the address
+//! space, so pages are faulted in lazily by the kernel: mapping a file far
+//! larger than physical memory costs O(1) and only the bytes a caller
+//! actually touches ever become resident. On targets without the syscall
+//! (non-unix, 32-bit) the old portable fallback — read the whole file into a
+//! heap buffer once at map time — is kept, with the identical API.
 //!
-//! Only the read-only subset used by `forest-graph::csr` is provided.
+//! This crate is the **only** place in the workspace allowed to use `unsafe`
+//! (every other crate carries `#![forbid(unsafe_code)]`); the unsafety is
+//! confined to the two raw syscalls, the `Deref` reconstruction of the
+//! mapped slice, and the alignment-checked [`as_u32s_le`] reinterpret
+//! helper, each with its invariant documented inline.
+//!
+//! # Safety model
+//!
+//! The real `memmap2::Mmap::map` is `unsafe` because the mapping's validity
+//! depends on no other process truncating the file while it is mapped
+//! (access past the new end raises `SIGBUS`). This vendored subset keeps
+//! `map` a *safe* function — callers are single-process pipelines that own
+//! their CSR files — and documents the truncation caveat here instead, like
+//! the stand-in always did. Only the read-only subset used by
+//! `forest-graph::csr` is provided.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 use std::fs::File;
 use std::io::{self, Read};
 use std::ops::Deref;
 
-/// A read-only "mapping" of an entire file.
+/// The raw `mmap(2)` / `munmap(2)` bindings, declared here so the workspace
+/// needs no `libc` crate: Rust already links the platform C runtime on the
+/// unix targets this path is gated to, and the three constants below are
+/// identical on Linux and the BSD/mac family.
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::ffi::{c_int, c_void};
+
+    /// `PROT_READ`: pages may be read.
+    pub const PROT_READ: c_int = 1;
+    /// `MAP_PRIVATE`: copy-on-write, changes invisible to other processes
+    /// (we never write, so this is just "not MAP_SHARED").
+    pub const MAP_PRIVATE: c_int = 2;
+    /// The error sentinel `mmap` returns (`(void *)-1`).
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+}
+
+/// How the bytes are held: a live kernel mapping (demand-paged) or an owned
+/// heap buffer (the portable fallback and the zero-length case, which
+/// `mmap(2)` rejects with `EINVAL`).
+enum Backing {
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped {
+        /// Page-aligned base address returned by `mmap`.
+        ptr: *const u8,
+        /// Mapping length in bytes (nonzero).
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+/// A read-only mapping of an entire file.
 ///
 /// ```no_run
 /// let file = std::fs::File::open("graph.csr")?;
@@ -29,35 +85,139 @@ use std::ops::Deref;
 /// # Ok::<(), std::io::Error>(())
 /// ```
 pub struct Mmap {
-    data: Vec<u8>,
+    backing: Backing,
 }
+
+// SAFETY: the mapped region is read-only (`PROT_READ`) and private for the
+// whole lifetime of the value — no interior mutability, no aliasing writes —
+// so sharing or moving it across threads is as safe as sharing a `&[u8]`.
+#[cfg(all(unix, target_pointer_width = "64"))]
+unsafe impl Send for Mmap {}
+#[cfg(all(unix, target_pointer_width = "64"))]
+unsafe impl Sync for Mmap {}
 
 impl Mmap {
     /// Maps `file` read-only in its entirety.
     ///
-    /// The real `memmap2::Mmap::map` is `unsafe` (the mapping's validity
-    /// depends on no other process truncating the file); the stand-in reads
-    /// the contents eagerly instead, so it is safe — and callers migrating to
-    /// the real crate must wrap this call in `unsafe`.
+    /// On 64-bit unix this issues a real `mmap(2)`: the call is O(1) in the
+    /// file size and pages become resident only when touched. Elsewhere the
+    /// file is read eagerly into a heap buffer. Empty files always use the
+    /// (empty) heap buffer, since `mmap` rejects zero-length mappings.
+    ///
+    /// The mapping stays valid after `file` is closed — the kernel holds its
+    /// own reference — but truncating the file from another process while
+    /// mapped raises `SIGBUS` on access (see the crate-level safety model).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from `stat`/`mmap` (or, on the fallback
+    /// path, from reading the file).
+    pub fn map(file: &File) -> io::Result<Mmap> {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            use std::os::unix::io::AsRawFd;
+            let len = file.metadata()?.len();
+            if len == 0 {
+                return Ok(Mmap {
+                    backing: Backing::Owned(Vec::new()),
+                });
+            }
+            let len = len as usize;
+            // SAFETY: fd is a valid open descriptor for the duration of the
+            // call, len is nonzero, and we request a fresh read-only private
+            // mapping at a kernel-chosen address.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_PRIVATE,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr == sys::MAP_FAILED {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Mmap {
+                backing: Backing::Mapped {
+                    ptr: ptr as *const u8,
+                    len,
+                },
+            })
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            let mut data = Vec::new();
+            let mut reader = file;
+            reader.read_to_end(&mut data)?;
+            Ok(Mmap {
+                backing: Backing::Owned(data),
+            })
+        }
+    }
+
+    /// Reads `file` eagerly into a heap buffer regardless of platform — the
+    /// portable path, exposed so callers can opt out of demand paging (e.g.
+    /// when they will touch every byte anyway and want the read-ahead).
     ///
     /// # Errors
     ///
     /// Propagates any I/O error from reading the file.
-    pub fn map(file: &File) -> io::Result<Mmap> {
+    pub fn map_eager(file: &File) -> io::Result<Mmap> {
         let mut data = Vec::new();
         let mut reader = file;
         reader.read_to_end(&mut data)?;
-        Ok(Mmap { data })
+        Ok(Mmap {
+            backing: Backing::Owned(data),
+        })
+    }
+
+    /// `true` when the bytes are backed by a live kernel mapping (lazily
+    /// paged), `false` when they live in an owned heap buffer.
+    pub fn is_demand_paged(&self) -> bool {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped { .. } => true,
+            Backing::Owned(_) => false,
+        }
     }
 
     /// Length of the mapping in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.as_bytes().len()
     }
 
     /// Returns `true` if the mapped file was empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
+    }
+
+    fn as_bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Backing::Mapped { ptr, len } => {
+                // SAFETY: ptr/len describe a live PROT_READ mapping created
+                // in `map` and not unmapped until Drop; u8 has no alignment
+                // or validity requirements; the lifetime is tied to &self.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Backing::Owned(data) => data,
+        }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if let Backing::Mapped { ptr, len } = self.backing {
+            // SAFETY: exactly the region returned by the successful `mmap`
+            // in `map`; after this the pointer is never read again (we are
+            // in Drop). munmap only fails on invalid arguments, which this
+            // pairing rules out.
+            let rc = unsafe { sys::munmap(ptr as *mut std::ffi::c_void, len) };
+            debug_assert_eq!(rc, 0, "munmap failed on a region mmap returned");
+        }
     }
 }
 
@@ -65,22 +225,47 @@ impl Deref for Mmap {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_bytes()
     }
 }
 
 impl AsRef<[u8]> for Mmap {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_bytes()
     }
 }
 
 impl std::fmt::Debug for Mmap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Mmap")
-            .field("len", &self.data.len())
+            .field("len", &self.len())
+            .field("demand_paged", &self.is_demand_paged())
             .finish()
     }
+}
+
+/// Reinterprets `bytes` as a slice of native `u32` words **when the host
+/// representation matches the little-endian on-disk encoding**: requires a
+/// little-endian target, a length that is a multiple of 4, and a 4-byte
+/// aligned base pointer. Returns `None` otherwise, and callers fall back to
+/// an owned per-word decode.
+///
+/// This is the zero-copy bridge that keeps demand paging intact: a caller
+/// that decodes the mapping into a `Vec<u32>` touches every page up front,
+/// while this view touches none.
+pub fn as_u32s_le(bytes: &[u8]) -> Option<&[u32]> {
+    if !cfg!(target_endian = "little") {
+        return None;
+    }
+    if !bytes.len().is_multiple_of(4)
+        || bytes.as_ptr().align_offset(std::mem::align_of::<u32>()) != 0
+    {
+        return None;
+    }
+    // SAFETY: length and alignment checked above; on a little-endian host a
+    // 4-byte LE group is exactly the in-memory u32; u32 tolerates every bit
+    // pattern; the returned lifetime is the input lifetime.
+    Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u32, bytes.len() / 4) })
 }
 
 #[cfg(test)]
@@ -100,6 +285,8 @@ mod tests {
         assert_eq!(&map[..], b"hello mapping");
         assert_eq!(map.len(), 13);
         assert!(!map.is_empty());
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(map.is_demand_paged());
         std::fs::remove_file(&path).unwrap();
     }
 
@@ -111,6 +298,64 @@ mod tests {
         let f = File::open(&path).unwrap();
         let map = Mmap::map(&f).unwrap();
         assert!(map.is_empty());
+        assert!(!map.is_demand_paged());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapping_survives_closing_the_file_handle() {
+        let path =
+            std::env::temp_dir().join(format!("memmap2-standin-c-{}.bin", std::process::id()));
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(&[7u8; 9000]).unwrap(); // > one page
+        }
+        let map = {
+            let f = File::open(&path).unwrap();
+            Mmap::map(&f).unwrap()
+            // f dropped here; the kernel keeps the mapping alive.
+        };
+        assert!(map.iter().all(|&b| b == 7));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn eager_map_matches_lazy_map() {
+        let path =
+            std::env::temp_dir().join(format!("memmap2-standin-g-{}.bin", std::process::id()));
+        {
+            let mut f = File::create(&path).unwrap();
+            f.write_all(b"same bytes either way").unwrap();
+        }
+        let f = File::open(&path).unwrap();
+        let lazy = Mmap::map(&f).unwrap();
+        let eager = Mmap::map_eager(&f).unwrap();
+        assert_eq!(&lazy[..], &eager[..]);
+        assert!(!eager.is_demand_paged());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn u32_view_round_trips_le_words() {
+        let words: Vec<u32> = (0..257u64)
+            .map(|i| (i * 2654435761 % 99991) as u32)
+            .collect();
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        // A mmap-returned base is page-aligned; a Vec<u8> is not guaranteed
+        // 4-aligned, so probe at an aligned offset of the buffer.
+        let off = bytes.as_ptr().align_offset(4);
+        let aligned = &bytes[off..bytes.len() - (bytes.len() - off) % 4];
+        if let Some(view) = as_u32s_le(aligned) {
+            let expect: Vec<u32> = aligned
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            assert_eq!(view, &expect[..]);
+        }
+        // Misaligned or ragged inputs are refused, never mis-read.
+        assert!(
+            as_u32s_le(&bytes[1..5]).is_none() || (bytes[1..].as_ptr() as usize).is_multiple_of(4)
+        );
+        assert!(as_u32s_le(&bytes[..6]).is_none());
     }
 }
