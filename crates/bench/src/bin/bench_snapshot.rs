@@ -442,9 +442,7 @@ fn main() {
             std::env::temp_dir().join(format!("bench-snapshot-ooc-{}.csr", std::process::id()));
         write_binary_edge_file(
             &edge_file,
-            ooc_graph
-                .edges()
-                .map(|(_, u, v)| (u.index() as u32, v.index() as u32)),
+            ooc_graph.edges().map(|(_, u, v)| (u.raw(), v.raw())),
         )
         .unwrap();
         let sort_budget = 64 << 10;

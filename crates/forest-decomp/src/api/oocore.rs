@@ -305,8 +305,8 @@ impl Decomposer {
         let mut boundary_verts: Vec<Vec<u32>> = vec![Vec::new(); k];
         for &e in &boundary_list {
             let (u, v) = csr.endpoints(e);
-            boundary_verts[plan.shard_of(u)].push(u.index() as u32);
-            boundary_verts[plan.shard_of(v)].push(v.index() as u32);
+            boundary_verts[plan.shard_of(u)].push(u.raw());
+            boundary_verts[plan.shard_of(v)].push(v.raw());
         }
         for verts in &mut boundary_verts {
             verts.sort_unstable();
@@ -372,7 +372,7 @@ impl Decomposer {
                 .iter()
                 .zip(outcome.decomposition.colors())
             {
-                spill_pair(&mut spill, global, color.index() as u32)
+                spill_pair(&mut spill, global, color.raw())
                     .map_err(|err| io_err(format!("spilling shard {s} coloring: {err}")))?;
                 written += 1;
             }
@@ -384,7 +384,7 @@ impl Decomposer {
                     .map(|c| match connectivity.cached_forest(Color::new(c)) {
                         Some(uf) => {
                             let root = uf.find(local.index());
-                            plan.global_vertex(s, VertexId::new(root)).index() as u32
+                            plan.global_vertex(s, VertexId::new(root)).raw()
                         }
                         None => gv,
                     })
@@ -415,7 +415,7 @@ impl Decomposer {
         if boundary > 0 {
             let mut stitch: Vec<SparseUf> = (0..budget_span).map(|_| SparseUf::default()).collect();
             let rep = |reps: &HashMap<u32, Vec<u32>>, c: usize, v: VertexId| -> u32 {
-                let v = v.index() as u32;
+                let v = v.raw();
                 if c >= budget_span {
                     return v;
                 }
@@ -445,7 +445,7 @@ impl Decomposer {
             for &e in &boundary_list {
                 match place(&mut stitch, &reps, e, budget_span) {
                     Some(c) => {
-                        boundary_colors.push((e.index() as u32, c));
+                        boundary_colors.push((e.raw(), c));
                         written += 1;
                         stitched_fast += 1;
                     }
@@ -472,11 +472,11 @@ impl Decomposer {
                             total_colors += 1;
                             stitch.push(SparseUf::default());
                             let (u, v) = csr.endpoints(e);
-                            stitch[fresh.index()].union(u.index() as u32, v.index() as u32);
+                            stitch[fresh.index()].union(u.raw(), v.raw());
                             fresh
                         }
                     };
-                    boundary_colors.push((e.index() as u32, c));
+                    boundary_colors.push((e.raw(), c));
                     written += 1;
                 }
                 ledger.charge(

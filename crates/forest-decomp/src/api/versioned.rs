@@ -63,7 +63,7 @@ use super::report::DecompositionReport;
 use super::{Decomposer, DecompositionRequest};
 use crate::error::FdError;
 use forest_graph::dynamic::EdgeIdRemap;
-use forest_graph::{Color, EdgeId, GraphView, MultiGraph, VertexId};
+use forest_graph::{u32_of, Color, EdgeId, GraphView, MultiGraph, VertexId};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, PoisonError, RwLock, TryLockError};
 
@@ -156,7 +156,7 @@ impl ColoringSnapshot {
             }
             touched.sort_unstable();
             touched.dedup();
-            let mut roots: Vec<u32> = (0..n as u32).collect();
+            let mut roots: Vec<u32> = (0..u32_of(n)).collect();
             // Ascending scan: the first unvisited vertex of a component is
             // its minimum, so roots are canonical regardless of insertion
             // order.
@@ -170,7 +170,7 @@ impl ColoringSnapshot {
                     for &(w, e) in &adj[x] {
                         if !visited[w.index()] {
                             visited[w.index()] = true;
-                            roots[w.index()] = s as u32;
+                            roots[w.index()] = u32_of(s);
                             out[w.index()].push(e);
                             stack.push(w.index());
                         }
@@ -192,7 +192,7 @@ impl ColoringSnapshot {
             v.sort_unstable_by_key(|e| e.index());
             max_out_degree = max_out_degree.max(v.len());
             out_edges.extend_from_slice(v);
-            out_offsets.push(out_edges.len() as u32);
+            out_offsets.push(u32_of(out_edges.len()));
         }
 
         let (graph, compact_to_stable) = dec.snapshot_graph();

@@ -17,7 +17,7 @@ use crate::error::{check_epsilon, FdError};
 use forest_graph::decomposition::PartialEdgeColoring;
 use forest_graph::kernels;
 use forest_graph::{
-    Color, EdgeId, ForestDecomposition, GraphView, ListAssignment, Orientation, VertexId,
+    u32_of, Color, EdgeId, ForestDecomposition, GraphView, ListAssignment, Orientation, VertexId,
 };
 use local_model::cole_vishkin::{cole_vishkin_three_coloring, RootedForestView};
 use local_model::RoundLedger;
@@ -95,8 +95,8 @@ pub fn h_partition<G: GraphView>(
     let mut active: Vec<u8> = vec![1; n];
     // Degrees fit u32 (edge ids are u32-backed); a threshold beyond u32::MAX
     // accepts every degree either way, so the clamp preserves comparisons.
-    let threshold_u32 = threshold.min(u32::MAX as usize) as u32;
-    let mut active_degree: Vec<u32> = g.vertices().map(|v| g.degree(v) as u32).collect();
+    let threshold_u32 = u32_of(threshold.min(u32::MAX as usize));
+    let mut active_degree: Vec<u32> = g.vertices().map(|v| u32_of(g.degree(v))).collect();
     let mut remaining = n;
     let mut class = 0usize;
     let mut forced_classes = 0usize;
@@ -144,7 +144,7 @@ pub fn h_partition<G: GraphView>(
                     let before = active_degree[ui];
                     active_degree[ui] -= 1;
                     if before > threshold_u32 && active_degree[ui] <= threshold_u32 {
-                        next_frontier.push(ui as u32);
+                        next_frontier.push(u32_of(ui));
                     }
                 }
             }

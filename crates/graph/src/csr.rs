@@ -46,7 +46,7 @@
 //! and preserves `MultiGraph`'s incidence order, so algorithm output is
 //! identical on both representations.
 
-use crate::ids::{EdgeId, VertexId};
+use crate::ids::{u32_of, EdgeId, VertexId};
 use crate::multigraph::MultiGraph;
 use crate::view::GraphView;
 use std::fs::File;
@@ -218,7 +218,7 @@ impl OwnedCsr {
                 neighbors.len() <= u32::MAX as usize,
                 "CSR incidence count exceeds u32 (graph too large for 32-bit offsets)"
             );
-            offsets.push(neighbors.len() as u32);
+            offsets.push(u32_of(neighbors.len()));
         }
         let mut endpoints = Vec::with_capacity(2 * m);
         for e in g.edge_ids() {
@@ -572,10 +572,10 @@ impl<S: CsrStorage> CsrGraph<S> {
         for (slot, &e) in edge_ids.iter().enumerate() {
             let other = &mut first[e as usize];
             if *other == u32::MAX {
-                *other = slot as u32;
+                *other = u32_of(slot);
             } else {
                 mirror[slot] = *other;
-                mirror[*other as usize] = slot as u32;
+                mirror[*other as usize] = u32_of(slot);
             }
         }
         mirror

@@ -52,7 +52,7 @@
 //! 2-edge, and biconnectivity.* J. ACM 48(4), 2001.
 
 use crate::error::GraphError;
-use crate::ids::{EdgeId, VertexId};
+use crate::ids::{u32_of, EdgeId, VertexId};
 use crate::view::GraphView;
 
 /// Sentinel for "no node" in the splay arena.
@@ -320,7 +320,7 @@ impl DynamicForest {
             }
             None => {
                 self.nodes.push(Node::arc(edge));
-                (self.nodes.len() - 1) as u32
+                u32_of(self.nodes.len() - 1)
             }
         }
     }
@@ -328,7 +328,7 @@ impl DynamicForest {
     /// Rotates the tour of `v`'s tree so it starts at `v`'s loop node;
     /// returns the root of the rotated tour.
     fn reroot(&mut self, v: VertexId) -> u32 {
-        let s = v.index() as u32;
+        let s = v.raw();
         let (l, r) = self.split_before(s);
         self.join(r, l)
     }
@@ -340,7 +340,7 @@ impl DynamicForest {
         if u == v {
             return true;
         }
-        let (a, b) = (u.index() as u32, v.index() as u32);
+        let (a, b) = (u.raw(), v.raw());
         self.splay(a);
         self.splay(b);
         // Splaying `b` only touches `b`'s tree: `a` regained a parent iff it
@@ -350,7 +350,7 @@ impl DynamicForest {
 
     /// Number of vertices in `v`'s tree. Amortized `O(log n)`.
     pub fn component_size(&mut self, v: VertexId) -> usize {
-        let s = v.index() as u32;
+        let s = v.raw();
         self.splay(s);
         self.nodes[s as usize].loops as usize
     }
@@ -431,7 +431,7 @@ impl DynamicForest {
 
     /// Sets/clears the "has a non-tree edge at this level" mark of `v`.
     pub(crate) fn set_vertex_mark(&mut self, v: VertexId, on: bool) {
-        let s = v.index() as u32;
+        let s = v.raw();
         self.splay(s);
         if on {
             self.nodes[s as usize].flags |= VERTEX_MARK;
@@ -467,7 +467,7 @@ impl DynamicForest {
     }
 
     fn find_marked(&mut self, v: VertexId, own: u8, sub: u8) -> Option<u32> {
-        let root = v.index() as u32;
+        let root = v.raw();
         self.splay(root);
         let mut x = root;
         if self.nodes[x as usize].flags & (own | sub) == 0 {
@@ -493,7 +493,7 @@ impl DynamicForest {
 
     #[cfg(test)]
     fn tour_len(&mut self, v: VertexId) -> usize {
-        let s = v.index() as u32;
+        let s = v.raw();
         self.splay(s);
         self.nodes[s as usize].size as usize
     }
@@ -605,8 +605,8 @@ impl DynamicConnectivity {
 
     fn alloc_slot(&mut self, u: VertexId, v: VertexId) -> u32 {
         let slot = EdgeSlot {
-            u: u.index() as u32,
-            v: v.index() as u32,
+            u: u.raw(),
+            v: v.raw(),
             level: 0,
             tree: Vec::new(),
             pos_u: 0,
@@ -620,7 +620,7 @@ impl DynamicConnectivity {
             }
             None => {
                 self.slots.push(slot);
-                (self.slots.len() - 1) as u32
+                u32_of(self.slots.len() - 1)
             }
         }
     }
@@ -642,7 +642,7 @@ impl DynamicConnectivity {
         };
         for (x, is_u) in [(u, true), (v, false)] {
             let list = &mut self.nontree[level][x];
-            let pos = list.len() as u32;
+            let pos = u32_of(list.len());
             list.push(idx);
             let slot = &mut self.slots[idx as usize];
             if is_u {
@@ -671,10 +671,10 @@ impl DynamicConnectivity {
             if let Some(&moved) = list.get(pos) {
                 let moved_slot = &mut self.slots[moved as usize];
                 if moved_slot.u as usize == x {
-                    moved_slot.pos_u = pos as u32;
+                    moved_slot.pos_u = u32_of(pos);
                 } else {
                     debug_assert_eq!(moved_slot.v as usize, x);
-                    moved_slot.pos_v = pos as u32;
+                    moved_slot.pos_v = u32_of(pos);
                 }
             }
             if list.is_empty() {
@@ -766,7 +766,7 @@ impl DynamicConnectivity {
                 let (eu, ev) = {
                     let slot = &mut self.slots[edge_idx as usize];
                     debug_assert_eq!(slot.level as usize, i);
-                    slot.level = (i + 1) as u32;
+                    slot.level = u32_of(i + 1);
                     (
                         VertexId::new(slot.u as usize),
                         VertexId::new(slot.v as usize),
@@ -796,7 +796,7 @@ impl DynamicConnectivity {
                 if self.forests[i].connected(x, y) {
                     if i < self.max_level {
                         self.remove_nontree(i, edge_idx);
-                        self.slots[edge_idx as usize].level = (i + 1) as u32;
+                        self.slots[edge_idx as usize].level = u32_of(i + 1);
                         self.insert_nontree(i + 1, edge_idx);
                         // The swap-remove refilled `cursor`; do not advance.
                     } else {

@@ -386,7 +386,7 @@ where
         if num_edges >= u64::from(u32::MAX) {
             return Err(invalid("edge count exceeds the format's u32 edge ids"));
         }
-        let id = num_edges as u32;
+        let id = u32::try_from(num_edges).expect("checked against u32::MAX above");
         num_edges += 1;
         max_endpoint = Some(max_endpoint.map_or(u.max(v), |m| m.max(u).max(v)));
         endpoints_out.write_all(&u.to_le_bytes())?;

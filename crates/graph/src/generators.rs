@@ -244,18 +244,25 @@ pub fn preferential_attachment<R: Rng + ?Sized>(
     let mut pool: Vec<usize> = vec![0];
     for v in 1..n {
         let targets_wanted = attach.min(v);
-        let mut targets = std::collections::HashSet::new();
+        // Deduplicated in insertion order: `targets` is tiny (≤ attach), and
+        // a Vec keeps the edge-insertion order — and hence the generated
+        // graph — identical across runs, where a HashSet would not (FL001).
+        let mut targets: Vec<usize> = Vec::with_capacity(targets_wanted);
         let mut guard = 0;
         while targets.len() < targets_wanted && guard < 50 * (targets_wanted + 1) {
             let &t = pool.choose(rng).expect("pool is non-empty");
-            targets.insert(t);
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
             guard += 1;
         }
         // Fall back to the most recent vertices if sampling stalled.
         let mut fallback = v;
         while targets.len() < targets_wanted && fallback > 0 {
             fallback -= 1;
-            targets.insert(fallback);
+            if !targets.contains(&fallback) {
+                targets.push(fallback);
+            }
         }
         for &t in &targets {
             if g.add_edge(VertexId::new(v), VertexId::new(t)).is_ok() {

@@ -6,6 +6,20 @@
 
 use std::fmt;
 
+/// Audited narrowing of a dense index to `u32`.
+///
+/// Every identifier in the workspace is internally `u32` (graphs are bounded
+/// at `u32::MAX` vertices/edges), so this conversion is lossless for every
+/// reachable index; the debug assertion documents and enforces that bound.
+/// Code outside this helper must not write bare `expr as u32` — the FL004
+/// lint rejects it.
+#[inline]
+pub fn u32_of(index: usize) -> u32 {
+    debug_assert!(index <= u32::MAX as usize, "index {index} overflows u32");
+    // forest-lint: allow(FL004) the single audited usize->u32 narrowing; bound asserted above
+    index as u32
+}
+
 /// Identifier of a vertex in a [`MultiGraph`](crate::MultiGraph).
 ///
 /// Vertices are numbered densely from `0` to `n - 1`.
@@ -39,7 +53,7 @@ macro_rules! impl_id {
             #[inline]
             pub fn new(index: usize) -> Self {
                 debug_assert!(index <= u32::MAX as usize, "{} index overflow", $name);
-                $ty(index as u32)
+                $ty(crate::ids::u32_of(index))
             }
 
             /// Returns the dense index wrapped by this identifier.

@@ -107,7 +107,7 @@ pub use decomposition::{DecompositionStats, ForestDecomposition, PartialEdgeColo
 pub use dynamic::{DynamicConnectivity, DynamicForest, DynamicGraph, EdgeIdRemap};
 pub use error::{GraphError, ValidationError};
 pub use flow::FlowNetwork;
-pub use ids::{Color, EdgeId, VertexId};
+pub use ids::{u32_of, Color, EdgeId, VertexId};
 pub use multigraph::{edge_subgraph, InducedSubgraph, MultiGraph, SimpleGraph};
 pub use orientation::Orientation;
 pub use palette::ListAssignment;

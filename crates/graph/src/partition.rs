@@ -29,7 +29,7 @@
 //! the boundary list.
 
 use crate::csr::{CsrGraph, CsrRef, CsrStorage, OwnedCsr};
-use crate::ids::{EdgeId, VertexId};
+use crate::ids::{u32_of, EdgeId, VertexId};
 use crate::reorder::VertexPermutation;
 use crate::view::GraphView;
 
@@ -170,7 +170,7 @@ impl ShardPlan {
         for v in range.clone() {
             for (nbr, ge) in csr.incidences(VertexId::new(v)) {
                 if range.contains(&nbr.index()) && v < nbr.index() {
-                    global_edges.push(ge.index() as u32);
+                    global_edges.push(ge.raw());
                 }
             }
         }
@@ -183,20 +183,20 @@ impl ShardPlan {
         for v in range.clone() {
             for (nbr, ge) in csr.incidences(VertexId::new(v)) {
                 if range.contains(&nbr.index()) {
-                    neighbors.push((nbr.index() - base) as u32);
+                    neighbors.push(u32_of(nbr.index() - base));
                     let local = global_edges
-                        .binary_search(&(ge.index() as u32))
+                        .binary_search(&ge.raw())
                         .expect("internal incidences reference collected edges");
-                    edge_ids.push(local as u32);
+                    edge_ids.push(u32_of(local));
                 }
             }
-            offsets.push(neighbors.len() as u32);
+            offsets.push(u32_of(neighbors.len()));
         }
         let mut endpoints = Vec::with_capacity(slots);
         for &ge in &global_edges {
             let (u, v) = csr.endpoints(EdgeId::new(ge as usize));
-            endpoints.push((u.index() - base) as u32);
-            endpoints.push((v.index() - base) as u32);
+            endpoints.push(u32_of(u.index() - base));
+            endpoints.push(u32_of(v.index() - base));
         }
         ExtractedShard {
             csr: OwnedCsr::from_raw_parts(offsets, neighbors, edge_ids, endpoints),
@@ -296,7 +296,7 @@ impl CsrPartition {
         // splitter cuts in exactly the same places.
         let mut shard_of = vec![0u32; n];
         for (pos, s) in assignment_walk(csr, k, perm) {
-            shard_of[vertex_at(pos).index()] = s as u32;
+            shard_of[vertex_at(pos).index()] = u32_of(s);
         }
         // Contiguity + monotonicity along the order hold by construction;
         // derive the position bases and local ids.
@@ -310,7 +310,7 @@ impl CsrPartition {
         let mut local_of = vec![0u32; n];
         for pos in 0..n {
             let v = vertex_at(pos);
-            local_of[v.index()] = pos as u32 - vertex_base[shard_of[v.index()] as usize];
+            local_of[v.index()] = u32_of(pos) - vertex_base[shard_of[v.index()] as usize];
         }
         // Classify edges in one pass: count per-shard internal edges and
         // same-shard degrees, record each internal edge's local id, and
@@ -334,7 +334,7 @@ impl CsrPartition {
                 let s = su as usize;
                 edge_local[e] = internal[s];
                 internal[s] += 1;
-                edge_global[s].push(e as u32);
+                edge_global[s].push(u32_of(e));
                 endpoints[s].push(local_of[u]);
                 endpoints[s].push(local_of[v]);
             } else {
@@ -362,7 +362,7 @@ impl CsrPartition {
                             edge_ids.push(edge_local[ge.index()]);
                         }
                     }
-                    offsets.push(neighbors.len() as u32);
+                    offsets.push(u32_of(neighbors.len()));
                 }
                 OwnedCsr::from_raw_parts(
                     offsets,

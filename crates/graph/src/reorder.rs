@@ -21,7 +21,7 @@
 //! orders are deterministic functions of the topology.
 
 use crate::csr::{CsrGraph, CsrStorage, OwnedCsr};
-use crate::ids::VertexId;
+use crate::ids::{u32_of, VertexId};
 use crate::multigraph::MultiGraph;
 use crate::view::GraphView;
 use std::collections::VecDeque;
@@ -45,7 +45,7 @@ pub struct VertexPermutation {
 impl VertexPermutation {
     /// The identity permutation on `n` vertices.
     pub fn identity(n: usize) -> Self {
-        let ids: Vec<u32> = (0..n as u32).collect();
+        let ids: Vec<u32> = (0..u32_of(n)).collect();
         VertexPermutation {
             new_of_old: ids.clone(),
             old_of_new: ids,
@@ -67,7 +67,7 @@ impl VertexPermutation {
                 new_of_old[old as usize] == u32::MAX,
                 "vertex {old} appears twice in the order"
             );
-            new_of_old[old as usize] = pos as u32;
+            new_of_old[old as usize] = u32_of(pos);
         }
         VertexPermutation {
             new_of_old,
@@ -90,7 +90,7 @@ impl VertexPermutation {
         self.new_of_old
             .iter()
             .enumerate()
-            .all(|(old, &new)| old as u32 == new)
+            .all(|(old, &new)| u32_of(old) == new)
     }
 
     /// The new id of old vertex `v`.

@@ -7,7 +7,7 @@
 //! so that a single [`MultiGraph`] can be traversed per color class without
 //! materializing subgraphs.
 
-use crate::ids::{EdgeId, VertexId};
+use crate::ids::{u32_of, EdgeId, VertexId};
 use crate::view::GraphView;
 use std::collections::VecDeque;
 
@@ -91,7 +91,7 @@ impl BfsScratch {
             for (w, e) in g.incidences(u) {
                 if self.stamp[w.index()] != self.epoch && edge_filter(e) {
                     self.stamp[w.index()] = self.epoch;
-                    self.dist[w.index()] = (du + 1) as u32;
+                    self.dist[w.index()] = u32_of(du + 1);
                     self.order.push(w);
                 }
             }

@@ -3,6 +3,8 @@
 //! Used by spanning-forest extraction, forest validation and the matroid
 //! partition baseline.
 
+use crate::ids::u32_of;
+
 /// A disjoint-set union structure over `0..n`.
 ///
 /// ```
@@ -36,7 +38,7 @@ impl UnionFind {
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "UnionFind is u32-indexed");
         UnionFind {
-            parent: (0..n as u32).collect(),
+            parent: (0..u32_of(n)).collect(),
             rank: vec![0; n],
             components: n,
         }
@@ -68,11 +70,11 @@ impl UnionFind {
 
     /// Finds the representative of `x` (with path compression).
     pub fn find(&mut self, x: usize) -> usize {
-        let mut root = x as u32;
+        let mut root = u32_of(x);
         while self.parent[root as usize] != root {
             root = self.parent[root as usize];
         }
-        let mut cur = x as u32;
+        let mut cur = u32_of(x);
         while self.parent[cur as usize] != root {
             let next = self.parent[cur as usize];
             self.parent[cur as usize] = root;
@@ -95,7 +97,7 @@ impl UnionFind {
         } else {
             (ry, rx)
         };
-        self.parent[lo] = hi as u32;
+        self.parent[lo] = u32_of(hi);
         if self.rank[hi] == self.rank[lo] {
             self.rank[hi] += 1;
         }
@@ -116,7 +118,7 @@ impl UnionFind {
     /// Resets the structure to `n` singletons, reusing allocations.
     pub fn reset(&mut self) {
         for (i, p) in self.parent.iter_mut().enumerate() {
-            *p = i as u32;
+            *p = u32_of(i);
         }
         self.rank.fill(0);
         self.components = self.parent.len();

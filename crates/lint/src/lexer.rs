@@ -1,0 +1,560 @@
+//! A hand-rolled token-level lexer for Rust source.
+//!
+//! The rules in this crate only need a *token-accurate* view of a file —
+//! enough to know that `unsafe` inside a string literal is data, that
+//! `HashMap` inside a comment is prose, and where each real token starts —
+//! not a parse tree. So the lexer handles exactly the lexical structure
+//! that would otherwise cause false positives:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments,
+//! * string literals with escapes, byte strings, and raw strings with an
+//!   arbitrary number of `#` guards (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! * char literals vs. lifetimes (`'a'` is a literal, `'a` is a lifetime),
+//! * numeric literals with underscores, radix prefixes and type suffixes
+//!   (without swallowing the `..` of a range expression).
+//!
+//! Everything else is an identifier or a single-character punctuation
+//! token. Comments are kept in a side list (with their spans) because two
+//! rules read them: FL002 looks for `// SAFETY:` and the suppression layer
+//! looks for inline `forest-lint` allow directives.
+//!
+//! No external parser dependencies, consistent with the workspace's
+//! offline vendored-deps policy.
+
+/// The coarse kind of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `HashMap`, `for`, …).
+    Ident,
+    /// A single punctuation character (`.`, `[`, `:`, …).
+    Punct,
+    /// A string literal of any flavor (plain, byte, raw).
+    Str,
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal, including any type suffix.
+    Num,
+    /// A lifetime (`'a`, `'static`, `'_`).
+    Lifetime,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The token text (for [`TokKind::Punct`], the single character).
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based column (in characters) of the first character.
+    pub col: usize,
+}
+
+impl Tok {
+    /// `true` if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// `true` if this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// One comment (line or block) with its span.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// The comment text, including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based column of the first character.
+    pub col: usize,
+    /// 1-based line of the last character (equals `line` for line
+    /// comments; block comments may span several lines).
+    pub end_line: usize,
+}
+
+/// The result of lexing one file: real tokens and comments, separately.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn eof(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments.
+///
+/// The lexer is total: any byte sequence produces *some* token stream
+/// (unterminated literals simply run to end of file), which is the right
+/// failure mode for a linter — it must never panic on the code it checks.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+
+    while !cur.eof() {
+        let line = cur.line;
+        let col = cur.col;
+        let c = match cur.peek(0) {
+            Some(c) => c,
+            None => break,
+        };
+
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(n) = cur.peek(0) {
+                if n == '\n' {
+                    break;
+                }
+                text.push(n);
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                col,
+                end_line: line,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            let mut text = String::new();
+            text.push(cur.bump().unwrap_or('/'));
+            text.push(cur.bump().unwrap_or('*'));
+            let mut depth = 1usize;
+            while depth > 0 && !cur.eof() {
+                if cur.peek(0) == Some('/') && cur.peek(1) == Some('*') {
+                    depth += 1;
+                    text.push(cur.bump().unwrap_or('/'));
+                    text.push(cur.bump().unwrap_or('*'));
+                } else if cur.peek(0) == Some('*') && cur.peek(1) == Some('/') {
+                    depth -= 1;
+                    text.push(cur.bump().unwrap_or('*'));
+                    text.push(cur.bump().unwrap_or('/'));
+                } else if let Some(n) = cur.bump() {
+                    text.push(n);
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                col,
+                end_line: cur.line,
+            });
+            continue;
+        }
+
+        // Identifiers, keywords, and the literal prefixes r / b / br.
+        if is_ident_start(c) {
+            let mut ident = String::new();
+            while let Some(n) = cur.peek(0) {
+                if is_ident_continue(n) {
+                    ident.push(n);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+            let raw_capable = ident == "r" || ident == "br";
+            let byte_capable = ident == "b" || ident == "br";
+            match cur.peek(0) {
+                Some('"') if raw_capable || byte_capable => {
+                    // r"…" / b"…" / br"…" (zero raw guards).
+                    let text = if ident == "b" {
+                        scan_plain_string(&mut cur, &ident)
+                    } else {
+                        scan_raw_string(&mut cur, &ident, 0)
+                    };
+                    out.tokens.push(Tok {
+                        kind: TokKind::Str,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                Some('#') if raw_capable => {
+                    let mut guards = 0usize;
+                    while cur.peek(guards) == Some('#') {
+                        guards += 1;
+                    }
+                    if cur.peek(guards) == Some('"') {
+                        let text = scan_raw_string(&mut cur, &ident, guards);
+                        out.tokens.push(Tok {
+                            kind: TokKind::Str,
+                            text,
+                            line,
+                            col,
+                        });
+                    } else {
+                        out.tokens.push(Tok {
+                            kind: TokKind::Ident,
+                            text: ident,
+                            line,
+                            col,
+                        });
+                    }
+                }
+                Some('\'') if ident == "b" => {
+                    // A byte-char literal b'x'.
+                    let text = scan_char_literal(&mut cur, &ident);
+                    out.tokens.push(Tok {
+                        kind: TokKind::Char,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                _ => out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text: ident,
+                    line,
+                    col,
+                }),
+            }
+            continue;
+        }
+
+        // Plain string literal.
+        if c == '"' {
+            let text = scan_plain_string(&mut cur, "");
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Char literal or lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by another quote.
+            if cur
+                .peek(1)
+                .map(|n| is_ident_start(n) || n == '_')
+                .unwrap_or(false)
+            {
+                let mut run = 2;
+                while cur.peek(run).map(is_ident_continue).unwrap_or(false) {
+                    run += 1;
+                }
+                if cur.peek(run) != Some('\'') {
+                    let mut text = String::new();
+                    for _ in 0..run {
+                        if let Some(n) = cur.bump() {
+                            text.push(n);
+                        }
+                    }
+                    out.tokens.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text,
+                        line,
+                        col,
+                    });
+                    continue;
+                }
+            }
+            let text = scan_char_literal(&mut cur, "");
+            out.tokens.push(Tok {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Numeric literal.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            if c == '0'
+                && matches!(cur.peek(1), Some('x') | Some('o') | Some('b') | Some('X'))
+                && cur.peek(2).map(is_ident_continue).unwrap_or(false)
+            {
+                // Radix prefix: consume 0x / 0o / 0b and the digit run.
+                text.push(cur.bump().unwrap_or('0'));
+                if let Some(n) = cur.bump() {
+                    text.push(n);
+                }
+                while cur.peek(0).map(is_ident_continue).unwrap_or(false) {
+                    if let Some(n) = cur.bump() {
+                        text.push(n);
+                    }
+                }
+            } else {
+                while cur.peek(0).map(is_ident_continue).unwrap_or(false) {
+                    if let Some(n) = cur.bump() {
+                        text.push(n);
+                    }
+                }
+                // A fractional part — only if the dot is followed by a digit,
+                // so `0..n` keeps its range dots.
+                if cur.peek(0) == Some('.')
+                    && cur.peek(1).map(|n| n.is_ascii_digit()).unwrap_or(false)
+                {
+                    text.push(cur.bump().unwrap_or('.'));
+                    while cur.peek(0).map(is_ident_continue).unwrap_or(false) {
+                        if let Some(n) = cur.bump() {
+                            text.push(n);
+                        }
+                    }
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Everything else: one punctuation character.
+        if let Some(p) = cur.bump() {
+            out.tokens.push(Tok {
+                kind: TokKind::Punct,
+                text: p.to_string(),
+                line,
+                col,
+            });
+        }
+    }
+
+    out
+}
+
+/// Scans a `"…"` literal with escapes; the opening quote is at the cursor.
+fn scan_plain_string(cur: &mut Cursor, prefix: &str) -> String {
+    let mut text = String::from(prefix);
+    text.push(cur.bump().unwrap_or('"')); // opening quote
+    while let Some(n) = cur.peek(0) {
+        if n == '\\' {
+            text.push(cur.bump().unwrap_or('\\'));
+            if let Some(e) = cur.bump() {
+                text.push(e);
+            }
+            continue;
+        }
+        text.push(cur.bump().unwrap_or('"'));
+        if n == '"' {
+            break;
+        }
+    }
+    text
+}
+
+/// Scans `r"…"` / `br#"…"#` with `guards` `#` characters; the cursor sits
+/// on the first `#` (or the quote when `guards == 0`).
+fn scan_raw_string(cur: &mut Cursor, prefix: &str, guards: usize) -> String {
+    let mut text = String::from(prefix);
+    for _ in 0..guards {
+        text.push(cur.bump().unwrap_or('#'));
+    }
+    text.push(cur.bump().unwrap_or('"')); // opening quote
+    while !cur.eof() {
+        if cur.peek(0) == Some('"') {
+            let closed = (0..guards).all(|g| cur.peek(1 + g) == Some('#'));
+            if closed {
+                text.push(cur.bump().unwrap_or('"'));
+                for _ in 0..guards {
+                    text.push(cur.bump().unwrap_or('#'));
+                }
+                break;
+            }
+        }
+        if let Some(n) = cur.bump() {
+            text.push(n);
+        }
+    }
+    text
+}
+
+/// Scans a `'…'` char (or byte-char) literal; the opening quote is at the
+/// cursor.
+fn scan_char_literal(cur: &mut Cursor, prefix: &str) -> String {
+    let mut text = String::from(prefix);
+    text.push(cur.bump().unwrap_or('\'')); // opening quote
+    while let Some(n) = cur.peek(0) {
+        if n == '\\' {
+            text.push(cur.bump().unwrap_or('\\'));
+            if let Some(e) = cur.bump() {
+                text.push(e);
+            }
+            continue;
+        }
+        text.push(cur.bump().unwrap_or('\''));
+        if n == '\'' {
+            break;
+        }
+    }
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_hide_keywords() {
+        let src = r#"let s = "unsafe { HashMap }"; let t = 1;"#;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_hide_keywords_and_quotes() {
+        let src = "let s = r#\"a \"quoted\" unsafe HashMap\"#; unsafe_marker();";
+        let ids = idents(src);
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(ids.contains(&"unsafe_marker".to_string()));
+    }
+
+    #[test]
+    fn byte_and_guarded_raw_strings() {
+        let src = "f(b\"unsafe\", br##\"HashMap \"# still\"##, b'x', 'y');";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["f".to_string()]);
+        let chars: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn comments_hide_keywords_but_are_kept() {
+        let src = "// unsafe HashMap\n/* for x in map.iter() */\ncode();";
+        let lexed = lex(src);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("unsafe")));
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ real();";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("real")));
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("still")));
+    }
+
+    #[test]
+    fn block_comment_spans_lines() {
+        let src = "/* a\nb\nc */ x();";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[0].end_line, 3);
+        assert_eq!(lexed.tokens[0].line, 3);
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'a'; let q = '\\''; }";
+        let lexed = lex(src);
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..n { let x = 1_000u64; let f = 2.5f32; }";
+        let lexed = lex(src);
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "range dots survive");
+        assert!(lexed.tokens.iter().any(|t| t.text == "1_000u64"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "2.5f32"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let src = "ab\n  cd";
+        let lexed = lex(src);
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        for src in ["let s = \"abc", "let s = r#\"abc", "let c = 'x", "/* abc"] {
+            let _ = lex(src);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! `forest-lint`: workspace static analysis enforcing the determinism and
+//! unsafe-hygiene contracts of the Harris–Su–Vu decomposition suite.
+//!
+//! The whole pipeline is byte-deterministic by contract — `canonical_bytes`
+//! of a decomposition must be identical across the in-memory, virtual-view
+//! and out-of-core paths, across runs, and across machines. That contract
+//! is easy to break silently: one `for _ in &hash_map` in a
+//! determinism-bearing crate, one `u64 as u32` in the server decoder, one
+//! `Instant::now()` leaking into an artifact. This crate is a token-level
+//! scanner (hand-rolled lexer, **no external parser deps** — the workspace
+//! vendors all dependencies and builds offline) that walks the workspace
+//! and rejects exactly those shapes.
+//!
+//! See [`rules`] for the rule catalogue (FL001–FL005), [`config`] for the
+//! checked-in `lint.toml` allowlist and [`lexer`] for the tokenizer.
+//!
+//! Suppression is explicit and always justified:
+//!
+//! - inline, for a single site:
+//!   `// forest-lint: allow(FL004) bounded by the MAX_FRAME_LEN check above`
+//!   (covers the comment's own line and the next line);
+//! - checked-in, for a file or subtree: an `[[allow]]` entry in
+//!   `lint.toml` at the workspace root, with a mandatory `reason`.
+//!
+//! Run it with `cargo run -p forest-lint -- --workspace` (or
+//! `scripts/lint.sh`); the binary exits nonzero if any finding survives
+//! suppression, and CI runs it on every push.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+use std::path::{Path, PathBuf};
+
+pub use config::{AllowEntry, Config};
+pub use rules::{Finding, RULES};
+
+/// Lints one file's source text against every rule, applying inline
+/// suppressions and the `config` allowlist.
+///
+/// `rel_path` is the workspace-relative path with forward slashes; rules
+/// use it to decide applicability (e.g. FL003 only fires under
+/// `crates/server/src/protocol*`).
+pub fn lint_source(rel_path: &str, src: &str, config: &Config) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let mut findings = rules::check_file(rel_path, &lexed);
+    findings.retain(|f| !config.allows(f.rule, rel_path));
+    findings
+}
+
+/// As [`lint_source`], but without the `lint.toml` allowlist — the raw
+/// diagnostic surface. The allowlist-liveness test uses this to assert
+/// every checked-in entry still suppresses at least one real finding.
+pub fn lint_source_unfiltered(rel_path: &str, src: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    rules::check_file(rel_path, &lexed)
+}
+
+/// Directories at the workspace root that are scanned.
+const SCAN_ROOTS: &[&str] = &["src", "crates", "tests", "examples", "vendor"];
+
+/// Collects every `.rs` file under the workspace root, as sorted
+/// workspace-relative forward-slash paths. `target/` and hidden
+/// directories are never entered, and under `vendor/` only `memmap2`
+/// (first-party unsafe surface) is scanned.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            walk(&dir, root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            if let Some(rel) = rel_of(&path, root) {
+                // Under vendor/, only memmap2 is first-party surface.
+                if let Some(sub) = rel.strip_prefix("vendor/") {
+                    let top = sub.split('/').next().unwrap_or(sub);
+                    if top != "memmap2" {
+                        continue;
+                    }
+                }
+            }
+            walk(&path, root, out)?;
+        } else if name.ends_with(".rs") {
+            if let Some(rel) = rel_of(&path, root) {
+                out.push(rel);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn rel_of(path: &Path, root: &Path) -> Option<String> {
+    let rel = path.strip_prefix(root).ok()?;
+    let s = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/");
+    Some(s)
+}
+
+/// Loads `lint.toml` from the workspace root; a missing file is an empty
+/// config, a malformed file is an error.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("lint.toml");
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Config::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Config::empty()),
+        Err(e) => Err(format!("{}: {e}", path.display())),
+    }
+}
+
+/// The outcome of a workspace run.
+pub struct RunReport {
+    /// All surviving findings, in (path, line, col) order.
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+/// Lints the whole workspace rooted at `root` with its `lint.toml`.
+pub fn run_workspace(root: &Path) -> Result<RunReport, String> {
+    let config = load_config(root)?;
+    let files = workspace_files(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut findings = Vec::new();
+    for rel in &files {
+        let abs: PathBuf = root.join(rel);
+        let src =
+            std::fs::read_to_string(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        findings.extend(lint_source(rel, &src, &config));
+    }
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(RunReport {
+        findings,
+        files_scanned: files.len(),
+    })
+}

@@ -1,0 +1,160 @@
+//! The `forest-lint` CLI.
+//!
+//! ```text
+//! forest-lint --workspace            # lint the whole workspace (CI entry point)
+//! forest-lint --root /path --workspace
+//! forest-lint --list-rules           # print the rule catalogue
+//! forest-lint path/to/file.rs …      # lint specific files (paths relative to root)
+//! ```
+//!
+//! Diagnostics are rustc-style `path:line:col: error[FLxxx]: message` lines
+//! on stdout; the process exits 1 if any finding survives suppression and
+//! 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: forest-lint [--root DIR] [--config FILE] (--workspace | --list-rules | FILE...)\n\
+     \n\
+     --workspace    lint every first-party .rs file under the workspace root\n\
+     --root DIR     workspace root (default: nearest ancestor with lint.toml, else cwd)\n\
+     --config FILE  allowlist to use instead of <root>/lint.toml\n\
+     --list-rules   print the rule catalogue and exit"
+}
+
+fn find_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.clone();
+    loop {
+        if dir.join("lint.toml").is_file() || dir.join("Cargo.toml").is_file() {
+            return dir;
+        }
+        if !dir.pop() {
+            return cwd;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut config_path: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut list_rules = false;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--root needs a value\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => {
+                    eprintln!("--config needs a value\n{}", usage());
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag `{other}`\n{}", usage());
+                return ExitCode::from(2);
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+
+    if list_rules {
+        for r in forest_lint::RULES {
+            println!("{}  {}", r.id, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = root.unwrap_or_else(find_root);
+
+    let config = match config_path {
+        Some(p) => match std::fs::read_to_string(&p) {
+            Ok(text) => match forest_lint::Config::parse(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("{}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            },
+            Err(e) => {
+                eprintln!("{}: {e}", p.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => match forest_lint::load_config(&root) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let (findings, files_scanned) = if workspace {
+        if !files.is_empty() {
+            eprintln!(
+                "--workspace and explicit files are mutually exclusive\n{}",
+                usage()
+            );
+            return ExitCode::from(2);
+        }
+        match forest_lint::run_workspace(&root) {
+            Ok(report) => (report.findings, report.files_scanned),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        if files.is_empty() {
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+        let mut findings = Vec::new();
+        for rel in &files {
+            let abs = root.join(rel);
+            match std::fs::read_to_string(&abs) {
+                Ok(src) => {
+                    let rel_fwd = rel.replace('\\', "/");
+                    findings.extend(forest_lint::lint_source(&rel_fwd, &src, &config));
+                }
+                Err(e) => {
+                    eprintln!("{}: {e}", abs.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        let n = files.len();
+        (findings, n)
+    };
+
+    for f in &findings {
+        println!("{f}");
+    }
+    if findings.is_empty() {
+        eprintln!("forest-lint: {files_scanned} file(s) clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "forest-lint: {} finding(s) in {files_scanned} file(s)",
+            findings.len()
+        );
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,861 @@
+//! The rule engine and the five repo-specific rules.
+//!
+//! Every rule is a pure function over a [`FileCtx`] — the lexed token
+//! stream plus derived structure (attribute spans, `#[cfg(test)]` regions,
+//! per-line classification). Rules are scoped by workspace-relative path:
+//! a determinism rule only fires in the determinism-bearing crates, the
+//! protocol-totality rule only in the server's decode path, and so on.
+//!
+//! | rule  | contract it defends |
+//! |-------|---------------------|
+//! | FL001 | no `HashMap`/`HashSet` iteration in determinism-bearing crates |
+//! | FL002 | every `unsafe` is immediately preceded by a `// SAFETY:` comment |
+//! | FL003 | the server protocol decode path stays total (no panics) |
+//! | FL004 | no bare narrowing `as` casts between integer types |
+//! | FL005 | no wall-clock / environment reads outside allowed modules |
+//! | FL000 | suppression comments themselves are well-formed and justified |
+//!
+//! Scoping decisions, shared by FL003/FL004/FL005: code under a `tests/`,
+//! `benches/` or `examples/` directory and code inside `#[cfg(test)]` /
+//! `#[test]` items is exempt (tests legitimately panic, cast literals and
+//! measure time); vendored stand-ins under `vendor/` are exempt except
+//! `vendor/memmap2`, which is first-party unsafe surface. FL002 applies
+//! everywhere, tests included — a SAFETY obligation does not disappear in
+//! test code.
+
+use crate::lexer::{Comment, Lexed, Tok, TokKind};
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`"FL001"` … `"FL005"`, or `"FL000"` for a malformed
+    /// suppression).
+    pub rule: &'static str,
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: error[{}]: {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Static description of one rule, for `--list-rules` and the docs.
+pub struct RuleInfo {
+    /// The rule id.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// All rules this binary knows, in id order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "FL000",
+        summary: "a `forest-lint: allow(...)` comment is malformed, names an unknown rule, \
+                  or lacks a justification",
+    },
+    RuleInfo {
+        id: "FL001",
+        summary: "HashMap/HashSet iteration in a determinism-bearing crate \
+                  (forest-graph, forest-decomp, local-model)",
+    },
+    RuleInfo {
+        id: "FL002",
+        summary: "`unsafe` not immediately preceded by a `// SAFETY:` comment",
+    },
+    RuleInfo {
+        id: "FL003",
+        summary: "panicking construct (unwrap/expect/panic!/indexing) in the server \
+                  protocol decode path",
+    },
+    RuleInfo {
+        id: "FL004",
+        summary: "bare narrowing `as` cast between integer types (use try_into or an \
+                  audited helper)",
+    },
+    RuleInfo {
+        id: "FL005",
+        summary: "wall-clock or environment nondeterminism (SystemTime/Instant::now, \
+                  env::var, RandomState::new) outside allowed modules",
+    },
+];
+
+/// `true` if `id` names a rule this binary knows.
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// A lexed file plus the derived structure the rules need.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, forward slashes.
+    pub rel_path: &'a str,
+    /// The lexed tokens and comments.
+    pub lexed: &'a Lexed,
+    /// Per-token: inside an attribute (`#[...]` / `#![...]`).
+    in_attr: Vec<bool>,
+    /// Per-token: inside a `#[cfg(test)]` / `#[test]` item.
+    in_test: Vec<bool>,
+}
+
+impl<'a> FileCtx<'a> {
+    /// Builds the context for one file.
+    pub fn new(rel_path: &'a str, lexed: &'a Lexed) -> Self {
+        let in_attr = attribute_spans(&lexed.tokens);
+        let in_test = test_regions(&lexed.tokens, &in_attr);
+        FileCtx {
+            rel_path,
+            lexed,
+            in_attr,
+            in_test,
+        }
+    }
+
+    fn toks(&self) -> &[Tok] {
+        &self.lexed.tokens
+    }
+
+    /// `true` if token `i` is plain code: not attribute content, not inside
+    /// a test region.
+    fn is_live(&self, i: usize) -> bool {
+        !self.in_attr.get(i).copied().unwrap_or(false)
+            && !self.in_test.get(i).copied().unwrap_or(false)
+    }
+
+    /// `true` if token `i` is inside a test region.
+    pub fn in_test_region(&self, i: usize) -> bool {
+        self.in_test.get(i).copied().unwrap_or(false)
+    }
+
+    fn finding(&self, rule: &'static str, tok: &Tok, message: String) -> Finding {
+        Finding {
+            rule,
+            path: self.rel_path.to_string(),
+            line: tok.line,
+            col: tok.col,
+            message,
+        }
+    }
+}
+
+/// Marks tokens belonging to attributes: `#` (optionally `!`) then a
+/// bracket-balanced `[...]`.
+fn attribute_spans(toks: &[Tok]) -> Vec<bool> {
+    let mut in_attr = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') {
+            let mut j = i + 1;
+            if toks.get(j).map(|t| t.is_punct('!')).unwrap_or(false) {
+                j += 1;
+            }
+            if toks.get(j).map(|t| t.is_punct('[')).unwrap_or(false) {
+                let mut depth = 0usize;
+                let mut k = j;
+                while k < toks.len() {
+                    if toks[k].is_punct('[') {
+                        depth += 1;
+                    } else if toks[k].is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                let end = k.min(toks.len().saturating_sub(1));
+                for flag in in_attr.iter_mut().take(end + 1).skip(i) {
+                    *flag = true;
+                }
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    in_attr
+}
+
+/// Marks tokens inside items gated by `#[cfg(test)]` / `#[test]` (and any
+/// `cfg` attribute mentioning `test` without a `not(...)`): the attribute
+/// itself, any stacked attributes after it, and the item body up to its
+/// matching close brace (or terminating semicolon).
+fn test_regions(toks: &[Tok], in_attr: &[bool]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && in_attr.get(i).copied().unwrap_or(false)) {
+            i += 1;
+            continue;
+        }
+        // Slice out this attribute.
+        let mut end = i;
+        while end + 1 < toks.len() && in_attr[end + 1] {
+            // Attribute spans are contiguous per attribute, but stacked
+            // attributes are also contiguous; stop at the close bracket
+            // that balances this attribute.
+            end += 1;
+            if toks[end].is_punct(']') {
+                let depth = toks[i..=end]
+                    .iter()
+                    .filter(|t| t.is_punct('['))
+                    .count()
+                    .saturating_sub(toks[i..=end].iter().filter(|t| t.is_punct(']')).count());
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+        let idents: Vec<&str> = toks[i..=end]
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        let gates_test = idents.contains(&"test")
+            && !idents.contains(&"not")
+            && (idents.first() == Some(&"cfg") || idents.first() == Some(&"test"));
+        if !gates_test {
+            i = end + 1;
+            continue;
+        }
+        // Skip any further stacked attributes.
+        let mut j = end + 1;
+        while j < toks.len() && in_attr[j] {
+            j += 1;
+        }
+        // Find the item body: the first `{` at zero paren/bracket depth, or
+        // a `;` for body-less items (`#[cfg(test)] use …;`).
+        let mut depth = 0isize;
+        let mut body = None;
+        let mut k = j;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.is_punct('(') || t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                depth -= 1;
+            } else if depth == 0 && t.is_punct('{') {
+                body = Some(k);
+                break;
+            } else if depth == 0 && t.is_punct(';') {
+                break;
+            }
+            k += 1;
+        }
+        let region_end = match body {
+            Some(open) => {
+                let mut braces = 0isize;
+                let mut m = open;
+                while m < toks.len() {
+                    if toks[m].is_punct('{') {
+                        braces += 1;
+                    } else if toks[m].is_punct('}') {
+                        braces -= 1;
+                        if braces == 0 {
+                            break;
+                        }
+                    }
+                    m += 1;
+                }
+                m
+            }
+            None => k,
+        };
+        for flag in in_test.iter_mut().take(region_end + 1).skip(i) {
+            *flag = true;
+        }
+        i = region_end + 1;
+    }
+    in_test
+}
+
+// ---------------------------------------------------------------------------
+// Path scoping
+// ---------------------------------------------------------------------------
+
+/// The determinism-bearing crates FL001 watches.
+const FL001_SCOPE: &[&str] = &[
+    "crates/graph/src/",
+    "crates/forest-decomp/src/",
+    "crates/local-model/src/",
+];
+
+/// The total-decode surface FL003 watches.
+const FL003_SCOPE_PREFIX: &str = "crates/server/src/protocol";
+
+fn in_test_dir(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+}
+
+fn in_exempt_vendor(rel: &str) -> bool {
+    rel.starts_with("vendor/") && !rel.starts_with("vendor/memmap2/")
+}
+
+fn fl001_applies(rel: &str) -> bool {
+    FL001_SCOPE.iter().any(|p| rel.starts_with(p))
+}
+
+fn fl003_applies(rel: &str) -> bool {
+    rel.starts_with(FL003_SCOPE_PREFIX)
+}
+
+fn fl004_applies(rel: &str) -> bool {
+    !in_test_dir(rel) && !in_exempt_vendor(rel)
+}
+
+fn fl005_applies(rel: &str) -> bool {
+    !in_test_dir(rel) && !in_exempt_vendor(rel)
+}
+
+// ---------------------------------------------------------------------------
+// FL001: hash iteration in determinism-bearing crates
+// ---------------------------------------------------------------------------
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Collects identifiers bound to `HashMap`/`HashSet` values in this file:
+/// `let` bindings, struct fields and parameters whose declared type (or
+/// initializer) mentions a hash type — including nested positions like
+/// `Vec<HashSet<Color>>`.
+fn hash_bound_names(ctx: &FileCtx) -> Vec<String> {
+    let toks = ctx.toks();
+    let mut names: Vec<String> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        if ctx.in_attr.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        // Walk backwards through type-ish tokens to the introducer: a `let`
+        // (take the bound name), a `:` (field/param: name precedes it) or an
+        // `=` (initializer: name precedes it, past any type annotation).
+        let mut j = i;
+        let mut name: Option<String> = None;
+        while j > 0 {
+            j -= 1;
+            let p = &toks[j];
+            let type_ish = match p.kind {
+                TokKind::Ident => !p.is_ident("let"),
+                TokKind::Lifetime => true,
+                TokKind::Punct => matches!(
+                    p.text.as_str(),
+                    "<" | ">" | "," | "&" | "(" | ")" | "[" | "]"
+                ),
+                _ => false,
+            };
+            if p.is_ident("let") {
+                // `let [mut] name … = HashMap::new()` — name follows.
+                let mut k = j + 1;
+                if toks.get(k).map(|t| t.is_ident("mut")).unwrap_or(false) {
+                    k += 1;
+                }
+                if let Some(n) = toks.get(k).filter(|t| t.kind == TokKind::Ident) {
+                    name = Some(n.text.clone());
+                }
+                break;
+            }
+            if p.is_punct(':') || p.is_punct('=') {
+                // Skip a `::` path separator.
+                if p.is_punct(':') && j > 0 && toks[j - 1].is_punct(':') {
+                    j -= 1;
+                    continue;
+                }
+                if p.is_punct(':') && toks.get(j + 1).map(|t| t.is_punct(':')).unwrap_or(false) {
+                    continue;
+                }
+                // The bound name sits just before the `:` / `=`, past `mut`.
+                let mut k = j;
+                while k > 0 {
+                    k -= 1;
+                    let c = &toks[k];
+                    if c.is_ident("mut") || c.is_punct(':') {
+                        continue;
+                    }
+                    if c.kind == TokKind::Ident {
+                        name = Some(c.text.clone());
+                    }
+                    break;
+                }
+                break;
+            }
+            if !type_ish {
+                break;
+            }
+        }
+        if let Some(n) = name {
+            if n != "mut" && !names.contains(&n) {
+                names.push(n);
+            }
+        }
+    }
+    names
+}
+
+fn fl001(ctx: &FileCtx) -> Vec<Finding> {
+    if !fl001_applies(ctx.rel_path) {
+        return Vec::new();
+    }
+    let names = hash_bound_names(ctx);
+    if names.is_empty() {
+        return Vec::new();
+    }
+    let toks = ctx.toks();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !ctx.is_live(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // `name.iter()` and friends.
+        if t.kind == TokKind::Ident && names.contains(&t.text) {
+            if toks.get(i + 1).map(|n| n.is_punct('.')).unwrap_or(false) {
+                if let Some(m) = toks.get(i + 2) {
+                    if m.kind == TokKind::Ident
+                        && ITER_METHODS.contains(&m.text.as_str())
+                        && toks.get(i + 3).map(|n| n.is_punct('(')).unwrap_or(false)
+                    {
+                        out.push(ctx.finding(
+                            "FL001",
+                            m,
+                            format!(
+                                "`.{}()` iterates hash-ordered `{}`; iteration order is \
+                                 nondeterministic — use BTreeMap/BTreeSet or a sorted Vec",
+                                m.text, t.text
+                            ),
+                        ));
+                    }
+                }
+            }
+            // `for _ in &name {` / `for _ in name {`.
+            if i >= 1 {
+                let mut j = i;
+                // Step over `&` / `mut` before the name.
+                while j > 0 && (toks[j - 1].is_punct('&') || toks[j - 1].is_ident("mut")) {
+                    j -= 1;
+                }
+                let preceded_by_in = j > 0 && toks[j - 1].is_ident("in");
+                let followed_by_body = toks.get(i + 1).map(|n| n.is_punct('{')).unwrap_or(false);
+                if preceded_by_in && followed_by_body {
+                    out.push(ctx.finding(
+                        "FL001",
+                        t,
+                        format!(
+                            "`for _ in` over hash-ordered `{}`; iteration order is \
+                             nondeterministic — use BTreeMap/BTreeSet or a sorted Vec",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// FL002: unsafe hygiene
+// ---------------------------------------------------------------------------
+
+/// Classification of one source line, for the upward walk from an
+/// `unsafe` token: what may sit between the SAFETY comment and the unsafe
+/// code (attributes, other comments) and what breaks the association
+/// (blank lines, real code).
+fn fl002(ctx: &FileCtx) -> Vec<Finding> {
+    let toks = ctx.toks();
+    // Lines that carry at least one non-attribute code token.
+    let mut code_lines = std::collections::BTreeSet::new();
+    // Lines fully covered by attribute tokens (and nothing else).
+    let mut attr_lines = std::collections::BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_attr.get(i).copied().unwrap_or(false) {
+            attr_lines.insert(t.line);
+        } else {
+            code_lines.insert(t.line);
+        }
+    }
+    let comment_on = |line: usize| -> Option<&Comment> {
+        ctx.lexed
+            .comments
+            .iter()
+            .find(|c| c.line <= line && line <= c.end_line)
+    };
+
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") || ctx.in_attr.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        // Same-line block comment before the keyword counts.
+        let same_line_ok = ctx
+            .lexed
+            .comments
+            .iter()
+            .any(|c| c.end_line == t.line && c.col < t.col && c.text.contains("SAFETY:"));
+        let mut ok = same_line_ok;
+        let mut l = t.line;
+        while !ok && l > 1 {
+            l -= 1;
+            if let Some(c) = comment_on(l) {
+                if c.text.contains("SAFETY:") {
+                    ok = true;
+                    break;
+                }
+                // A non-SAFETY comment line: keep walking (doc comments may
+                // sit between), unless the line also carries code.
+                if code_lines.contains(&l) {
+                    break;
+                }
+                continue;
+            }
+            if code_lines.contains(&l) {
+                break;
+            }
+            if attr_lines.contains(&l) {
+                continue;
+            }
+            // Blank line: the association is broken.
+            break;
+        }
+        if !ok {
+            out.push(
+                ctx.finding(
+                    "FL002",
+                    t,
+                    "`unsafe` without an immediately preceding `// SAFETY:` comment — state \
+                 the invariant that makes this sound"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// FL003: totality of the protocol decode path
+// ---------------------------------------------------------------------------
+
+const PANICKING_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+    "debug_assert",
+    "debug_assert_eq",
+    "debug_assert_ne",
+];
+
+fn fl003(ctx: &FileCtx) -> Vec<Finding> {
+    if !fl003_applies(ctx.rel_path) {
+        return Vec::new();
+    }
+    let toks = ctx.toks();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !ctx.is_live(i) {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap()` / `.expect(…)`.
+        if t.kind == TokKind::Ident
+            && (t.text == "unwrap" || t.text == "expect")
+            && i >= 1
+            && toks[i - 1].is_punct('.')
+            && toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+        {
+            out.push(ctx.finding(
+                "FL003",
+                t,
+                format!(
+                    "`.{}()` can panic; the protocol decode path must stay total — return \
+                     a typed `WireError` instead",
+                    t.text
+                ),
+            ));
+        }
+        // panic!-family macros.
+        if t.kind == TokKind::Ident
+            && PANICKING_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).map(|n| n.is_punct('!')).unwrap_or(false)
+        {
+            out.push(ctx.finding(
+                "FL003",
+                t,
+                format!(
+                    "`{}!` panics; the protocol decode path must stay total — return a \
+                     typed `WireError` instead",
+                    t.text
+                ),
+            ));
+        }
+        // Slice/array indexing `expr[...]`: `[` directly after an
+        // identifier, `)`, `]` or `?` is an index expression (attribute
+        // brackets and `vec![…]` are excluded by construction: the
+        // preceding token is `#`/`!` there).
+        if t.is_punct('[') && i >= 1 {
+            let p = &toks[i - 1];
+            let indexes = (p.kind == TokKind::Ident && !is_keyword_before_bracket(&p.text))
+                || p.is_punct(')')
+                || p.is_punct(']')
+                || p.is_punct('?');
+            if indexes {
+                out.push(
+                    ctx.finding(
+                        "FL003",
+                        t,
+                        "slice indexing can panic on decoded values; the protocol decode path \
+                     must stay total — use `.get(..)` and return a typed `WireError`"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Keywords that may directly precede `[` without forming an index
+/// expression (`return [a, b]`, `in [1, 2]`, `let [b] = …`, …).
+fn is_keyword_before_bracket(text: &str) -> bool {
+    matches!(
+        text,
+        "return"
+            | "in"
+            | "let"
+            | "mut"
+            | "ref"
+            | "as"
+            | "const"
+            | "static"
+            | "else"
+            | "match"
+            | "box"
+            | "dyn"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// FL004: lossy integer casts
+// ---------------------------------------------------------------------------
+
+const NARROW_TARGETS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+fn fl004(ctx: &FileCtx) -> Vec<Finding> {
+    if !fl004_applies(ctx.rel_path) {
+        return Vec::new();
+    }
+    let toks = ctx.toks();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !ctx.is_live(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if !t.is_ident("as") {
+            continue;
+        }
+        if let Some(target) = toks.get(i + 1) {
+            if target.kind == TokKind::Ident && NARROW_TARGETS.contains(&target.text.as_str()) {
+                out.push(ctx.finding(
+                    "FL004",
+                    target,
+                    format!(
+                        "bare `as {}` can silently truncate (the PR 6 server decoder bug \
+                         was `u64 as u32`); use `try_into`/`try_from` or an audited \
+                         helper (`u32_of`, `VertexId::raw`, `Dec::id`)",
+                        target.text
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// FL005: wall-clock / environment nondeterminism
+// ---------------------------------------------------------------------------
+
+/// `(head, method)` pairs flagged as nondeterministic reads.
+const NONDET_CALLS: &[(&str, &str)] = &[
+    ("SystemTime", "now"),
+    ("Instant", "now"),
+    ("env", "var"),
+    ("env", "var_os"),
+    ("env", "vars"),
+    ("env", "vars_os"),
+    ("RandomState", "new"),
+];
+
+fn fl005(ctx: &FileCtx) -> Vec<Finding> {
+    if !fl005_applies(ctx.rel_path) {
+        return Vec::new();
+    }
+    let toks = ctx.toks();
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !ctx.is_live(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        // head :: method
+        let is_path = toks.get(i + 1).map(|n| n.is_punct(':')).unwrap_or(false)
+            && toks.get(i + 2).map(|n| n.is_punct(':')).unwrap_or(false);
+        if !is_path {
+            continue;
+        }
+        if let Some(m) = toks.get(i + 3) {
+            if m.kind == TokKind::Ident {
+                for &(head, method) in NONDET_CALLS {
+                    if t.text == head && m.text == method {
+                        out.push(ctx.finding(
+                            "FL005",
+                            t,
+                            format!(
+                                "`{head}::{method}` is nondeterministic (wall clock / \
+                                 process environment); determinism-bearing code must not \
+                                 read it — allowed only in the timing/ledger/bench \
+                                 modules listed in lint.toml",
+                            ),
+                        ));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Inline suppression
+// ---------------------------------------------------------------------------
+
+/// One parsed inline suppression: `// forest-lint: allow(FL004) <reason>`
+/// (one or more comma-separated rule ids inside the parentheses).
+#[derive(Debug)]
+pub struct InlineAllow {
+    /// The rules this comment suppresses.
+    pub rules: Vec<String>,
+    /// First line the suppression covers (the comment's own line).
+    pub line: usize,
+    /// Last line the suppression covers (the line after the comment ends).
+    pub end_line: usize,
+}
+
+/// Extracts inline allows; malformed directives become FL000 findings.
+pub fn inline_allows(ctx: &FileCtx) -> (Vec<InlineAllow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in &ctx.lexed.comments {
+        let Some(at) = c.text.find("forest-lint:") else {
+            continue;
+        };
+        let mut fail = |message: String| {
+            bad.push(Finding {
+                rule: "FL000",
+                path: ctx.rel_path.to_string(),
+                line: c.line,
+                col: c.col,
+                message,
+            });
+        };
+        let rest = c.text[at + "forest-lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            fail(
+                "malformed suppression: expected `forest-lint: allow(FL00x) <reason>`".to_string(),
+            );
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            fail("malformed suppression: missing `)` after the rule list".to_string());
+            continue;
+        };
+        let ids: Vec<String> = rest[..close]
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let reason = rest[close + 1..].trim();
+        if ids.is_empty() {
+            fail("suppression allows no rules".to_string());
+            continue;
+        }
+        if let Some(unknown) = ids.iter().find(|id| !is_known_rule(id)) {
+            fail(format!("suppression names unknown rule `{unknown}`"));
+            continue;
+        }
+        if reason.is_empty() {
+            fail(format!(
+                "suppression of {} lacks a justification — write \
+                 `forest-lint: allow({}) <why this is sound>`",
+                ids.join(","),
+                ids.join(",")
+            ));
+            continue;
+        }
+        allows.push(InlineAllow {
+            rules: ids,
+            line: c.line,
+            end_line: c.end_line + 1,
+        });
+    }
+    (allows, bad)
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+/// Runs every rule over one file and applies inline suppressions.
+///
+/// The checked-in `lint.toml` allowlist is applied by the caller (see
+/// `lint_source` in the crate root), so this function is the "raw"
+/// diagnostic surface used by the allowlist-liveness test.
+pub fn check_file(rel_path: &str, lexed: &Lexed) -> Vec<Finding> {
+    let ctx = FileCtx::new(rel_path, lexed);
+    let (allows, mut findings) = inline_allows(&ctx);
+    for rule in [fl001, fl002, fl003, fl004, fl005] {
+        findings.extend(rule(&ctx));
+    }
+    findings.retain(|f| {
+        !allows.iter().any(|a| {
+            a.rules.iter().any(|r| r == f.rule) && a.line <= f.line && f.line <= a.end_line
+        })
+    });
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings
+}

@@ -1,0 +1,407 @@
+//! Fixture-based positive/negative tests for every rule, including the
+//! historical bug shapes the rules exist to catch and the lexing traps
+//! (keywords in strings, hash types in comments, raw strings) that a
+//! naive grep-based linter would trip on.
+
+use forest_lint::{lint_source, Config};
+
+/// Findings for `src` pretending it lives at `path`, with no allowlist.
+fn findings(path: &str, src: &str) -> Vec<String> {
+    lint_source(path, src, &Config::empty())
+        .into_iter()
+        .map(|f| format!("{}:{}", f.rule, f.line))
+        .collect()
+}
+
+fn rules_hit(path: &str, src: &str) -> Vec<&'static str> {
+    lint_source(path, src, &Config::empty())
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+// --- FL001: hash iteration in determinism-bearing crates -------------------
+
+/// The PR 2 bug shape: iterating a HashMap/HashSet in forest-decomp made
+/// RNG consumption order (and hence colorings) differ across processes.
+#[test]
+fn fl001_for_loop_over_hash_map_in_decomp() {
+    let src = "
+        use std::collections::HashMap;
+        fn f() {
+            let mut m: HashMap<u32, u32> = HashMap::new();
+            m.insert(1, 2);
+            for _ in &m {
+                work();
+            }
+        }
+    ";
+    assert_eq!(rules_hit("crates/forest-decomp/src/cut.rs", src), ["FL001"]);
+}
+
+#[test]
+fn fl001_iter_methods_on_hash_set() {
+    for method in ["iter", "keys", "values", "drain"] {
+        let src = format!(
+            "
+            use std::collections::HashMap;
+            fn f() {{
+                let mut targets = HashMap::new();
+                targets.insert(1u32, 2u32);
+                let v: Vec<_> = targets.{method}().collect();
+            }}
+            "
+        );
+        assert_eq!(
+            rules_hit("crates/graph/src/generators.rs", &src),
+            ["FL001"],
+            "method {method}"
+        );
+    }
+}
+
+#[test]
+fn fl001_membership_checks_are_fine() {
+    let src = "
+        use std::collections::HashSet;
+        fn f() {
+            let mut present = HashSet::new();
+            present.insert((1u32, 2u32));
+            if present.contains(&(1, 2)) {
+                work();
+            }
+            present.remove(&(1, 2));
+        }
+    ";
+    assert!(rules_hit("crates/graph/src/simple.rs", src).is_empty());
+}
+
+#[test]
+fn fl001_out_of_scope_crates_are_exempt() {
+    let src = "
+        fn f() {
+            let m = std::collections::HashMap::<u32, u32>::new();
+            for _ in &m {
+                work();
+            }
+        }
+    ";
+    assert!(rules_hit("crates/server/src/main.rs", src).is_empty());
+    assert!(rules_hit("crates/lint/src/rules.rs", src).is_empty());
+}
+
+#[test]
+fn fl001_hash_map_in_comment_or_string_is_prose() {
+    let src = r#"
+        // A HashMap here would be wrong: for _ in &map is nondeterministic.
+        fn f() {
+            let s = "HashMap iteration: for x in map.iter()";
+            use_it(s);
+        }
+    "#;
+    assert!(rules_hit("crates/forest-decomp/src/cut.rs", src).is_empty());
+}
+
+#[test]
+fn fl001_btree_iteration_is_fine() {
+    let src = "
+        use std::collections::BTreeMap;
+        fn f() {
+            let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+            m.insert(1, 2);
+            for _ in &m {
+                work();
+            }
+            let v: Vec<_> = m.keys().collect();
+        }
+    ";
+    assert!(rules_hit("crates/forest-decomp/src/cut.rs", src).is_empty());
+}
+
+// --- FL002: unsafe hygiene -------------------------------------------------
+
+#[test]
+fn fl002_unsafe_without_safety_comment() {
+    let src = "
+        fn f(p: *const u8) -> u8 {
+            unsafe { *p }
+        }
+    ";
+    assert_eq!(rules_hit("crates/graph/src/mmap.rs", src), ["FL002"]);
+}
+
+#[test]
+fn fl002_safety_comment_directly_above() {
+    let src = "
+        fn f(p: *const u8) -> u8 {
+            // SAFETY: caller guarantees `p` is valid for reads.
+            unsafe { *p }
+        }
+    ";
+    assert!(rules_hit("crates/graph/src/mmap.rs", src).is_empty());
+}
+
+#[test]
+fn fl002_attribute_between_comment_and_unsafe_is_ok() {
+    let src = "
+        // SAFETY: the region is immutable for the value's lifetime.
+        #[cfg(unix)]
+        unsafe impl Sync for Mmap {}
+    ";
+    assert!(rules_hit("vendor/memmap2/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn fl002_blank_line_breaks_the_association() {
+    let src = "
+        // SAFETY: stale justification for something else.
+
+        fn f(p: *const u8) -> u8 {
+            unsafe { *p }
+        }
+    ";
+    assert_eq!(rules_hit("crates/graph/src/mmap.rs", src), ["FL002"]);
+}
+
+#[test]
+fn fl002_applies_in_tests_and_unsafe_in_string_is_data() {
+    let with_real_unsafe = "
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() {
+                unsafe { poke() }
+            }
+        }
+    ";
+    assert_eq!(
+        rules_hit("crates/graph/src/mmap.rs", with_real_unsafe),
+        ["FL002"]
+    );
+    let with_string = r##"
+        fn f() {
+            let s = "unsafe { *p }";
+            let r = r#"unsafe"#;
+            use_them(s, r);
+        }
+    "##;
+    assert!(rules_hit("crates/graph/src/mmap.rs", with_string).is_empty());
+}
+
+// --- FL003: protocol decode totality ---------------------------------------
+
+/// The PR 6 decoder originally indexed and unwrapped; a truncated frame
+/// from a misbehaving client could kill the server.
+#[test]
+fn fl003_unwrap_and_indexing_in_decode_path() {
+    let src = "
+        fn decode(buf: &[u8]) -> u32 {
+            let b = buf[0];
+            let v = u32::from_le_bytes(buf[1..5].try_into().unwrap());
+            v + u32::from(b)
+        }
+    ";
+    let hits = rules_hit("crates/server/src/protocol.rs", src);
+    assert_eq!(hits, ["FL003", "FL003", "FL003"], "two indexings + unwrap");
+}
+
+#[test]
+fn fl003_panic_macros_and_expect() {
+    let src = r#"
+        fn decode(v: u64) -> u8 {
+            if v > 255 {
+                panic!("bad");
+            }
+            u8::try_from(v).expect("checked")
+        }
+    "#;
+    let hits = rules_hit("crates/server/src/protocol.rs", src);
+    assert_eq!(hits, ["FL003", "FL003"]);
+}
+
+#[test]
+fn fl003_total_style_is_clean_and_scope_is_narrow() {
+    let total = "
+        fn decode(buf: &[u8]) -> Result<u8, Err> {
+            let [b] = take(buf)?;
+            buf.get(1..5).ok_or(Err::Truncated)?;
+            Ok(b)
+        }
+    ";
+    assert!(rules_hit("crates/server/src/protocol.rs", total).is_empty());
+    // The same panicky code outside the decode path is not FL003's business.
+    let panicky = "fn f(xs: &[u8]) -> u8 { xs[0] }";
+    assert!(rules_hit("crates/server/src/main.rs", panicky).is_empty());
+    // Tests inside the protocol module may panic.
+    let test_code = "
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() {
+                assert_eq!(decode(&[1]).unwrap(), 1);
+            }
+        }
+    ";
+    assert!(rules_hit("crates/server/src/protocol.rs", test_code).is_empty());
+}
+
+// --- FL004: lossy integer casts --------------------------------------------
+
+/// The PR 6 bug shape: a `u64` wire value narrowed with `as u32` silently
+/// truncated out-of-range edge ids instead of rejecting the frame.
+#[test]
+fn fl004_bare_narrowing_cast_in_decoder() {
+    let src = "
+        fn id(v: u64) -> u32 {
+            v as u32
+        }
+    ";
+    assert_eq!(rules_hit("crates/server/src/protocol.rs", src), ["FL004"]);
+}
+
+#[test]
+fn fl004_widening_and_lossless_paths_are_fine() {
+    let src = "
+        fn f(x: u32, n: usize) -> u64 {
+            let wide = x as u64;
+            let idx = x as usize;
+            let narrow = u32::try_from(n).unwrap_or(0);
+            wide + idx as u64 + u64::from(narrow)
+        }
+    ";
+    assert!(rules_hit("crates/graph/src/csr.rs", src).is_empty());
+}
+
+#[test]
+fn fl004_inline_allow_with_reason_suppresses() {
+    let allowed = "
+        fn wire(self) -> u8 {
+            // forest-lint: allow(FL004) discriminants are declared in u8 range
+            self as u8
+        }
+    ";
+    assert!(rules_hit("crates/server/src/protocol.rs", allowed).is_empty());
+}
+
+// --- FL005: wall-clock / environment reads ---------------------------------
+
+#[test]
+fn fl005_clock_and_env_reads() {
+    let src = "
+        fn f() -> u64 {
+            let t = std::time::Instant::now();
+            let s = SystemTime::now();
+            let v = std::env::var(\"SEED\");
+            let h = RandomState::new();
+            combine(t, s, v, h)
+        }
+    ";
+    let hits = rules_hit("crates/graph/src/extsort.rs", src);
+    assert_eq!(hits, ["FL005", "FL005", "FL005", "FL005"]);
+}
+
+#[test]
+fn fl005_tests_and_non_calls_are_fine() {
+    let test_code = "
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn t() {
+                let t = std::time::Instant::now();
+                use_it(t);
+            }
+        }
+    ";
+    assert!(rules_hit("crates/graph/src/extsort.rs", test_code).is_empty());
+    // Mentioning the types without calling the nondeterministic constructors
+    // is fine.
+    let benign = "fn f(t: std::time::Instant) -> Instant { t }";
+    assert!(rules_hit("crates/graph/src/extsort.rs", benign).is_empty());
+}
+
+// --- Suppression machinery -------------------------------------------------
+
+#[test]
+fn fl000_malformed_and_reasonless_directives_are_findings() {
+    // Missing reason.
+    let no_reason = "
+        fn id(v: u64) -> u32 {
+            // forest-lint: allow(FL004)
+            v as u32
+        }
+    ";
+    let hits = rules_hit("crates/server/src/protocol.rs", no_reason);
+    assert!(hits.contains(&"FL000"), "{hits:?}");
+    // A reason-less allow must NOT suppress the underlying finding.
+    assert!(hits.contains(&"FL004"), "{hits:?}");
+
+    // Unknown rule id.
+    let unknown = "
+        fn f() {
+            // forest-lint: allow(FL999) because reasons
+            work();
+        }
+    ";
+    assert_eq!(rules_hit("crates/graph/src/csr.rs", unknown), ["FL000"]);
+
+    // Not the allow(...) form at all.
+    let mangled = "
+        fn f() {
+            // forest-lint: disable everything
+            work();
+        }
+    ";
+    assert_eq!(rules_hit("crates/graph/src/csr.rs", mangled), ["FL000"]);
+}
+
+#[test]
+fn inline_allow_only_covers_adjacent_lines() {
+    let src = "
+        fn f(v: u64) -> u32 {
+            // forest-lint: allow(FL004) audited here
+            let a = v as u32;
+            let b = v as u32;
+            a + b
+        }
+    ";
+    let hits = findings("crates/graph/src/csr.rs", src);
+    assert_eq!(hits, ["FL004:5"], "only the non-adjacent cast fires");
+}
+
+#[test]
+fn allowlist_suppresses_by_path() {
+    let cfg = Config::parse(
+        "[[allow]]\nrule = \"FL004\"\npath = \"crates/graph/src/kernels.rs\"\nreason = \"audited\"\n",
+    )
+    .unwrap();
+    let src = "fn f(n: usize) -> u32 { n as u32 }";
+    assert!(lint_source("crates/graph/src/kernels.rs", src, &cfg).is_empty());
+    assert_eq!(
+        lint_source("crates/graph/src/csr.rs", src, &cfg).len(),
+        1,
+        "other files unaffected"
+    );
+}
+
+// --- Cross-cutting scoping -------------------------------------------------
+
+#[test]
+fn vendor_except_memmap2_and_test_dirs_are_exempt() {
+    let cast = "fn f(v: u64) -> u32 { v as u32 }";
+    assert!(rules_hit("vendor/rand/src/lib.rs", cast).is_empty());
+    assert_eq!(rules_hit("vendor/memmap2/src/lib.rs", cast), ["FL004"]);
+    assert!(rules_hit("tests/decomposition.rs", cast).is_empty());
+    assert!(rules_hit("crates/graph/benches/scan.rs", cast).is_empty());
+}
+
+#[test]
+fn findings_carry_positions_and_render_rustc_style() {
+    let src = "fn f(v: u64) -> u32 {\n    v as u32\n}\n";
+    let fs = lint_source("crates/graph/src/csr.rs", src, &Config::empty());
+    assert_eq!(fs.len(), 1);
+    let rendered = fs[0].to_string();
+    assert!(
+        rendered.starts_with("crates/graph/src/csr.rs:2:10: error[FL004]:"),
+        "{rendered}"
+    );
+}

@@ -1,0 +1,105 @@
+//! The lint's own gate: the checked-in workspace must be clean, and the
+//! checked-in allowlist must be both valid and *live* (every entry still
+//! suppresses at least one real finding — stale allows rot into blanket
+//! permissions).
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has two ancestors")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let report = forest_lint::run_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "walker found only {} files — scan roots look wrong",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.to_string()).collect();
+    assert!(
+        rendered.is_empty(),
+        "forest-lint findings in the checked-in workspace:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn checked_in_allowlist_parses_and_round_trips() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists");
+    let cfg = forest_lint::Config::parse(&text).expect("lint.toml is valid");
+    assert!(!cfg.allows.is_empty());
+    let reparsed = forest_lint::Config::parse(&cfg.to_toml()).expect("round-trip");
+    assert_eq!(cfg, reparsed);
+}
+
+#[test]
+fn every_allowlist_entry_is_live() {
+    let root = workspace_root();
+    let cfg = forest_lint::load_config(&root).expect("lint.toml loads");
+    let files = forest_lint::workspace_files(&root).expect("walk");
+    // Raw findings (inline allows applied, file allowlist NOT applied).
+    let mut raw = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel)).expect("read source");
+        raw.extend(forest_lint::lint_source_unfiltered(rel, &src));
+    }
+    for entry in &cfg.allows {
+        let hits = raw
+            .iter()
+            .filter(|f| f.rule == entry.rule && entry.matches_path(&f.path))
+            .count();
+        assert!(
+            hits > 0,
+            "stale allowlist entry: {} on `{}` suppresses nothing — delete it",
+            entry.rule,
+            entry.path
+        );
+    }
+}
+
+/// Re-introducing the historical bug shapes must fail the lint: hash
+/// iteration in forest-decomp (the PR 2 nondeterministic-coloring bug) and
+/// a bare `u64 as u32` in the server decoder (the PR 6 truncation bug) —
+/// checked against the *real* checked-in `lint.toml`, proving the allowlist
+/// does not accidentally cover these paths.
+#[test]
+fn historical_bug_shapes_still_fail_under_real_config() {
+    let root = workspace_root();
+    let cfg = forest_lint::load_config(&root).expect("lint.toml loads");
+
+    let hash_iteration = "
+        fn order_cut(map: &mut std::collections::HashMap<u32, u32>) {
+            let mut map2 = std::collections::HashMap::new();
+            map2.insert(1u32, 2u32);
+            for _ in &map2 {
+                recolor();
+            }
+        }
+    ";
+    let hits = forest_lint::lint_source("crates/forest-decomp/src/cut.rs", hash_iteration, &cfg);
+    assert!(
+        hits.iter().any(|f| f.rule == "FL001"),
+        "hash iteration in forest-decomp must fail the lint"
+    );
+
+    let truncating_decode = "
+        fn id(&mut self) -> DecResult<usize> {
+            let v = self.u64()?;
+            Ok(v as u32 as usize)
+        }
+    ";
+    let hits = forest_lint::lint_source("crates/server/src/protocol.rs", truncating_decode, &cfg);
+    assert!(
+        hits.iter().any(|f| f.rule == "FL004"),
+        "bare u64->u32 narrowing in the decoder must fail the lint"
+    );
+}

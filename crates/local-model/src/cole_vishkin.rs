@@ -123,7 +123,10 @@ pub fn cole_vishkin_three_coloring(
     }
     // At this point colors are in {0..5} and adjacent (child, parent) pairs
     // differ. Eliminate colors 5, 4, 3 one at a time using shift-down.
-    let mut colors: Vec<u8> = colors.iter().map(|&c| c as u8).collect();
+    let mut colors: Vec<u8> = colors
+        .iter()
+        .map(|&c| u8::try_from(c).expect("Cole-Vishkin colors reduced into 0..6"))
+        .collect();
     for eliminate in (3u8..6).rev() {
         // Shift down: every non-root vertex adopts its parent's color; roots
         // pick a color different from their own previous color (and hence

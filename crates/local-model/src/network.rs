@@ -21,7 +21,7 @@
 //! per-vertex functions evaluated in the same slot order, its results are
 //! bit-identical to the sequential [`SyncNetwork::round`].
 
-use forest_graph::{CsrGraph, CsrStorage, EdgeId, GraphView, VertexId};
+use forest_graph::{u32_of, CsrGraph, CsrStorage, EdgeId, GraphView, VertexId};
 use rayon::prelude::*;
 
 /// Identifier material available to a vertex: its id and a globally unique
@@ -167,7 +167,7 @@ impl<S, St: CsrStorage> SyncNetwork<S, St> {
         FCompose: Fn(VertexId, &S, EdgeId, VertexId) -> M + Sync,
         FUpdate: Fn(VertexId, &mut S, &[(EdgeId, VertexId, M)]) + Sync,
     {
-        let ids: Vec<u32> = (0..self.csr.num_vertices() as u32).collect();
+        let ids: Vec<u32> = (0..u32_of(self.csr.num_vertices())).collect();
         let csr = &self.csr;
         let states = &self.states;
         // Phase 1: all outgoing messages, one Vec per vertex in slot order.

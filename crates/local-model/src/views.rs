@@ -341,7 +341,7 @@ impl<'a, G: GraphView> PowerView<'a, G> {
     /// The sorted power-neighborhood of `v` (vertices at base distance
     /// `1..=radius`), shared with the cache.
     fn ball(&self, v: VertexId) -> Rc<Vec<u32>> {
-        let key = v.index() as u32;
+        let key = v.raw();
         let mut inner = self.inner.borrow_mut();
         if let Some(ball) = inner.cache.get(key) {
             inner.stats.cache_hits += 1;
@@ -354,7 +354,7 @@ impl<'a, G: GraphView> PowerView<'a, G> {
             .visited()
             .iter()
             .filter(|&&w| w != v)
-            .map(|w| w.index() as u32)
+            .map(|w| w.raw())
             .collect();
         ball.sort_unstable();
         let ball = Rc::new(ball);
@@ -455,7 +455,7 @@ impl<'a, G: GraphView> GraphView for PowerView<'a, G> {
             view: self,
             ball: self.ball(v),
             pos: 0,
-            center: v.index() as u32,
+            center: v.raw(),
         }
     }
 
@@ -464,7 +464,7 @@ impl<'a, G: GraphView> GraphView for PowerView<'a, G> {
     fn edges(&self) -> impl Iterator<Item = (EdgeId, VertexId, VertexId)> + '_ {
         self.vertices().flat_map(move |v| {
             let ball = self.ball(v);
-            let center = v.index() as u32;
+            let center = v.raw();
             (0..ball.len()).filter_map(move |i| {
                 let w = ball[i];
                 (w > center).then(|| (self.encode_edge(center, w), v, VertexId::new(w as usize)))

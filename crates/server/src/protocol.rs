@@ -70,6 +70,15 @@ impl Opcode {
             _ => return None,
         })
     }
+
+    /// The wire byte of this opcode.
+    ///
+    /// Enum-to-integer is the one place `as` is unavoidable; the
+    /// discriminants are declared `1..=9` above, so the cast is lossless.
+    fn wire(self) -> u8 {
+        // forest-lint: allow(FL004) audited: Opcode discriminants are declared in u8 range
+        self as u8
+    }
 }
 
 /// Where a registered graph's initial edges come from.
@@ -340,6 +349,15 @@ impl ErrorCode {
             _ => return None,
         })
     }
+
+    /// The wire value of this error code.
+    ///
+    /// Enum-to-integer is the one place `as` is unavoidable; the
+    /// discriminants are declared `1..=10` above, so the cast is lossless.
+    fn wire(self) -> u16 {
+        // forest-lint: allow(FL004) audited: ErrorCode discriminants are declared in u16 range
+        self as u16
+    }
 }
 
 /// A typed error frame: a stable [`ErrorCode`] plus the human-readable
@@ -435,6 +453,7 @@ pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
             format!("frame of {} bytes exceeds MAX_FRAME_LEN", payload.len()),
         ));
     }
+    // forest-lint: allow(FL004) bounded: the MAX_FRAME_LEN check above caps payload.len()
     w.write_all(&(payload.len() as u32).to_le_bytes())?;
     w.write_all(payload)?;
     w.flush()
@@ -495,21 +514,28 @@ impl Enc {
     }
 
     fn str(&mut self, s: &str) {
-        self.u32(s.len() as u32);
+        self.u32(len_u32(s.len()));
         self.0.extend_from_slice(s.as_bytes());
     }
 
     fn bytes(&mut self, b: &[u8]) {
-        self.u32(b.len() as u32);
+        self.u32(len_u32(b.len()));
         self.0.extend_from_slice(b);
     }
 
     fn u64s(&mut self, vs: &[u64]) {
-        self.u32(vs.len() as u32);
+        self.u32(len_u32(vs.len()));
         for &v in vs {
             self.u64(v);
         }
     }
+}
+
+/// Total `usize -> u32` for wire length prefixes. Saturating is safe here:
+/// a saturated length implies a payload far beyond [`MAX_FRAME_LEN`], which
+/// [`write_frame`] rejects before anything reaches the wire.
+fn len_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
 }
 
 /// A bounds-checked little-endian cursor: every read is total (truncation
@@ -537,25 +563,39 @@ impl<'a> Dec<'a> {
                 self.remaining()
             )));
         }
-        let s = &self.buf[self.pos..self.pos + n];
+        let s = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or_else(|| WireError::malformed("frame bounds check failed".to_string()))?;
         self.pos += n;
         Ok(s)
     }
 
+    /// The next `N` bytes as a fixed array, without indexing: `take`
+    /// bounds-checks and `first_chunk` re-proves the length to the type
+    /// system, so truncation is a [`WireError`], never a panic.
+    fn array<const N: usize>(&mut self) -> DecResult<[u8; N]> {
+        let s = self.take(N)?;
+        s.first_chunk::<N>()
+            .copied()
+            .ok_or_else(|| WireError::malformed("frame bounds check failed".to_string()))
+    }
+
     fn u8(&mut self) -> DecResult<u8> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array::<1>()?;
+        Ok(b)
     }
 
     fn u16(&mut self) -> DecResult<u16> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
 
     fn u32(&mut self) -> DecResult<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     fn u64(&mut self) -> DecResult<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     /// A wire `u64` carrying a graph id (edge or vertex): the id space is
@@ -638,7 +678,7 @@ impl<'a> Dec<'a> {
 
 /// Encodes a request payload (frame it with [`write_frame`]).
 pub fn encode_request(req: &Request) -> Vec<u8> {
-    let op = |o: Opcode| Enc::new(&[o as u8]);
+    let op = |o: Opcode| Enc::new(&[o.wire()]);
     let mut e = match req {
         Request::RegisterGraph {
             tenant,
@@ -665,7 +705,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 } => {
                     e.u8(1);
                     e.u64(*num_vertices);
-                    e.u32(edges.len() as u32);
+                    e.u32(len_u32(edges.len()));
                     for &(u, v) in edges {
                         e.u64(u);
                         e.u64(v);
@@ -686,7 +726,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             let mut e = op(Opcode::ApplyUpdates);
             e.str(tenant);
             e.str(graph);
-            e.u32(updates.len() as u32);
+            e.u32(len_u32(updates.len()));
             for u in updates {
                 match *u {
                     EdgeUpdate::Insert { u, v } => {
@@ -895,7 +935,7 @@ impl Response {
 /// Encodes a response payload (frame it with [`write_frame`]).
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     let mut e = match resp.opcode() {
-        Some(op) => Enc::new(&[0, op as u8]),
+        Some(op) => Enc::new(&[0, op.wire()]),
         None => Enc::new(&[1]),
     };
     match resp {
@@ -979,7 +1019,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::ShuttingDown => {}
         Response::Error(err) => {
-            e.u16(err.code as u16);
+            e.u16(err.code.wire());
             e.str(&err.message);
         }
     }
@@ -1054,23 +1094,21 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, WireError> {
                 },
                 Opcode::Stats => {
                     let epoch = d.u64()?;
-                    let mut vals = [0u64; 10];
-                    for v in &mut vals {
-                        *v = d.u64()?;
-                    }
+                    // Field order matches encode_response's `for v in [...]`
+                    // loop; reading sequentially keeps the decode total.
                     Response::StatsReport {
                         epoch,
                         stats: WireStats {
-                            updates: vals[0],
-                            fast_inserts: vals[1],
-                            exchanges: vals[2],
-                            exchange_recolorings: vals[3],
-                            budget_raises: vals[4],
-                            fast_deletes: vals[5],
-                            compactions: vals[6],
-                            compaction_recolorings: vals[7],
-                            live_edges: vals[8],
-                            color_budget: vals[9],
+                            updates: d.u64()?,
+                            fast_inserts: d.u64()?,
+                            exchanges: d.u64()?,
+                            exchange_recolorings: d.u64()?,
+                            budget_raises: d.u64()?,
+                            fast_deletes: d.u64()?,
+                            compactions: d.u64()?,
+                            compaction_recolorings: d.u64()?,
+                            live_edges: d.u64()?,
+                            color_budget: d.u64()?,
                         },
                     }
                 }

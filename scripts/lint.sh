@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs forest-lint over the whole workspace — the same invocation as the CI
+# `lint` job. Exits nonzero if any finding survives suppression (inline
+# allow directives or lint.toml entries, both of which require a written
+# justification; see the "Static analysis" section of README.md).
+#
+# Usage: scripts/lint.sh [extra forest-lint args]
+#   scripts/lint.sh                 # lint the workspace
+#   scripts/lint.sh --list-rules    # print the rule catalogue
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ $# -gt 0 ]]; then
+    exec cargo run -q -p forest-lint -- "$@"
+fi
+exec cargo run -q -p forest-lint -- --workspace

@@ -90,10 +90,14 @@ pub struct Mmap {
 
 // SAFETY: the mapped region is read-only (`PROT_READ`) and private for the
 // whole lifetime of the value — no interior mutability, no aliasing writes —
-// so sharing or moving it across threads is as safe as sharing a `&[u8]`.
+// so moving the handle to another thread is as safe as moving a `Vec<u8>`.
 #[cfg(all(unix, target_pointer_width = "64"))]
 unsafe impl Send for Mmap {}
 #[cfg(all(unix, target_pointer_width = "64"))]
+// SAFETY: same invariant as `Send` above — the mapping is immutable
+// (`PROT_READ`, `MAP_PRIVATE`) until it is unmapped in `Drop`, which needs
+// `&mut self`, so concurrent `&Mmap` readers see a frozen byte range exactly
+// like shared `&[u8]`.
 unsafe impl Sync for Mmap {}
 
 impl Mmap {
