@@ -1,4 +1,4 @@
-//! Emits a machine-readable performance snapshot (`BENCH_pr8.json` via
+//! Emits a machine-readable performance snapshot (`BENCH_pr10.json` via
 //! `scripts/bench_snapshot.sh`): wall-clock of the `Decomposer` facade across
 //! graph sizes × engines, the 64-graph `decomposer_batch` workload the
 //! acceptance criteria track across PRs, a sharded-vs-unsharded large-graph
@@ -24,8 +24,15 @@
 //! and `run_out_of_core` decomposing a graph ≥8× its memory ceiling with
 //! the driver's peak-resident accounting vs. the budget, asserted
 //! byte-identical to the in-memory `run_sharded` at the derived shard
-//! count. Every snapshot records the host's core and thread counts in its
-//! `environment` block.
+//! count — and, new in PR 10, the **observability layer**: the process-wide
+//! `forest-obs` metric registry read back after every workload above has
+//! run through the instrumented pipeline, an interleaved
+//! instrumented-vs-disabled wall-clock comparison on the `decomposer_batch`
+//! and dynamic-churn acceptance workloads, and the measured disabled-path
+//! bound behind the "recorder off costs < 3%" criterion. All wall-clock in
+//! this binary is taken through `forest_obs::clock::Stopwatch` (the
+//! workspace's single FL005-allowed clock). Every snapshot records the
+//! host's core and thread counts in its `environment` block.
 //!
 //! The `pr2_baseline` block records the medians from `BENCH_pr2.json`
 //! (post-CSR-refactor facade, commit `c2da8ed`) for the identical workload,
@@ -38,9 +45,10 @@ use forest_decomp::api::{
     GraphInput, ProblemKind, ReorderKind, ShardedGraph, ShardingSpec, StitchPolicy,
 };
 use forest_graph::{generators, CsrGraph, EdgeId, GraphView, ListAssignment, MultiGraph, VertexId};
+use forest_obs::clock::Stopwatch;
+use forest_obs::{recorder, Registry, Span};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::time::Instant;
 
 /// Medians recorded in `BENCH_pr2.json` (the PR 2 facade, commit `c2da8ed`)
 /// for the exact `decomposer_batch` workload below, in milliseconds — on the
@@ -78,7 +86,7 @@ fn batch_workload() -> Vec<MultiGraph> {
 fn median_ms<F: FnMut()>(samples: usize, mut run: F) -> f64 {
     let mut times: Vec<f64> = (0..samples)
         .map(|_| {
-            let start = Instant::now();
+            let start = Stopwatch::start();
             run();
             start.elapsed().as_secs_f64() * 1e3
         })
@@ -95,7 +103,7 @@ fn main() {
     let num_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
     let rayon_threads = rayon::current_num_threads();
     let mut out = String::from("{\n");
-    out.push_str("  \"snapshot\": \"BENCH_pr8\",\n");
+    out.push_str("  \"snapshot\": \"BENCH_pr10\",\n");
     out.push_str(&format!(
         "  \"environment\": {{\"num_cpus\": {num_cpus}, \"rayon_threads\": {rayon_threads}, \"os\": \"{}\", \"arch\": \"{}\"}},\n",
         std::env::consts::OS,
@@ -563,7 +571,7 @@ fn main() {
         let n = g.num_vertices();
         let m = g.num_edges();
         // Build stream: every edge applied as an insert.
-        let build_start = Instant::now();
+        let build_start = Stopwatch::start();
         let mut dyn_dec = DynamicDecomposer::from_graph(request.clone(), &g).unwrap();
         let build_us = build_start.elapsed().as_secs_f64() * 1e6 / m as f64;
         let build_fallback = dyn_dec.stats().fallback_rate();
@@ -576,7 +584,7 @@ fn main() {
             .map(|(e, _, _)| e)
             .collect();
         let before = dyn_dec.stats();
-        let churn_start = Instant::now();
+        let churn_start = Stopwatch::start();
         let mut applied = 0usize;
         while applied < churn_updates {
             let slot = churn_rng.gen_range(0..live.len());
@@ -609,10 +617,10 @@ fn main() {
         // measured (see the section note).
         let (final_graph, _) = dyn_dec.snapshot_graph();
         let cold_decomposer = Decomposer::new(request);
-        let cold_start = Instant::now();
+        let cold_start = Stopwatch::start();
         let cold_report = cold_decomposer.run(&final_graph).unwrap();
         let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
-        let snap_start = Instant::now();
+        let snap_start = Stopwatch::start();
         let snap = dyn_dec.snapshot().unwrap();
         let snap_ms = snap_start.elapsed().as_secs_f64() * 1e3;
         assert_eq!(
@@ -690,10 +698,10 @@ fn main() {
                 let greedy_dec = Decomposer::new(base.clone());
                 let exact_dec =
                     Decomposer::new(base.clone().with_stitch_policy(StitchPolicy::ExactAlpha));
-                let greedy_start = Instant::now();
+                let greedy_start = Stopwatch::start();
                 let greedy = greedy_dec.run_sharded(&frozen, k).unwrap();
                 let greedy_ms = greedy_start.elapsed().as_secs_f64() * 1e3;
-                let exact_start = Instant::now();
+                let exact_start = Stopwatch::start();
                 let exact = exact_dec.run_sharded(&frozen, k).unwrap();
                 let exact_ms = exact_start.elapsed().as_secs_f64() * 1e3;
                 rows.push(format!(
@@ -798,7 +806,7 @@ fn main() {
                 })
                 .collect();
             let rounds = 300usize;
-            let start = Instant::now();
+            let start = Stopwatch::start();
             let mut publishes = 0u64;
             if writer_mode == "live" {
                 let mut live: Vec<EdgeId> = writer
@@ -888,7 +896,7 @@ fn main() {
                 .collect();
             let mut writer_client = Client::connect(addr).unwrap();
             let batches = 120usize;
-            let start = Instant::now();
+            let start = Stopwatch::start();
             for _ in 0..batches {
                 let mut updates = Vec::with_capacity(8);
                 for _ in 0..4 {
@@ -935,7 +943,7 @@ fn main() {
         let seen: Arc<Vec<AtomicU64>> =
             Arc::new((0..=lag_rounds).map(|_| AtomicU64::new(0)).collect());
         let stop = Arc::new(AtomicBool::new(false));
-        let base_time = Instant::now();
+        let base_time = Stopwatch::start();
         let probe = {
             let seen = Arc::clone(&seen);
             let stop = Arc::clone(&stop);
@@ -1016,6 +1024,198 @@ fn main() {
         ));
         out.push_str("  },\n");
         eprintln!("bench_snapshot: snapshot_service epoch lag done");
+    }
+
+    // --- observability (new in PR 10) -----------------------------------
+    // Three views of the forest-obs layer itself:
+    //  (a) the process-wide metric registry, read back after every workload
+    //      above has run through the instrumented pipeline — the timings
+    //      this snapshot used to carry in ad-hoc accumulators now come off
+    //      the same counters production code feeds,
+    //  (b) interleaved instrumented-vs-disabled wall-clock on the
+    //      decomposer_batch and dynamic-churn acceptance workloads (the
+    //      recorder toggles between samples, so drift hits both arms),
+    //  (c) the disabled-path bound: a microbenched per-site cost of
+    //      `Span::enter` with the recorder off, multiplied by the span
+    //      sites one instrumented batch run actually visits, as a fraction
+    //      of the batch wall-clock — asserted below the 3% criterion.
+    {
+        let reg = Registry::global();
+        let metric = |name: &str| reg.value_of(name).unwrap_or(0);
+        out.push_str("  \"observability\": {\n");
+        out.push_str("    \"note\": \"registry values are cumulative over this whole binary (every section above feeds them); nanos_total counters are reported in ms for readability. overhead rows interleave recorder-off/recorder-on samples of the same workload; disabled_path multiplies the microbenched cost of a recorder-off Span::enter by the span sites per instrumented batch run, over the batch wall-clock — the quantity the < 3% acceptance bound constrains. Metrics (counters/gauges/histograms) are always on by design; only span capture toggles\",\n");
+        out.push_str(&format!(
+            "    \"registry\": {{\"metrics_registered\": {}, \"facade_runs_total\": {}, \"facade_run_ms_sum\": {}, \"algo2_runs_total\": {}, \"algo2_clusters_total\": {}, \"algo2_cluster_bfs_ms\": {}, \"algo2_ball_expansions_total\": {}, \"algo2_cache_hits_total\": {}, \"hpartition_peel_rounds_total\": {}, \"hpartition_peel_ms\": {}, \"extsort_builds_total\": {}, \"extsort_edges_read_total\": {}, \"extsort_read_spill_ms\": {}, \"extsort_merge_ms\": {}, \"dynamic_updates_total\": {}, \"dynamic_fast_path_total\": {}, \"dynamic_exchanges_total\": {}, \"dynamic_apply_ms_sum\": {}, \"ooc_runs_total\": {}, \"ooc_peak_resident_bytes\": {}, \"versioned_publishes_total\": {}, \"versioned_publish_lag_ms_sum\": {}, \"local_model_rounds_charged_total\": {}}},\n",
+            reg.len(),
+            metric("facade.runs_total"),
+            json_f(metric("facade.run_nanos") as f64 / 1e6),
+            metric("algo2.runs_total"),
+            metric("algo2.clusters_total"),
+            json_f(metric("algo2.cluster_bfs_nanos_total") as f64 / 1e6),
+            metric("algo2.ball_expansions_total"),
+            metric("algo2.cache_hits_total"),
+            metric("hpartition.peel_rounds_total"),
+            json_f(metric("hpartition.peel_nanos_total") as f64 / 1e6),
+            metric("extsort.builds_total"),
+            metric("extsort.edges_read_total"),
+            json_f(metric("extsort.read_spill_nanos_total") as f64 / 1e6),
+            json_f(metric("extsort.merge_nanos_total") as f64 / 1e6),
+            metric("dynamic.updates_total"),
+            metric("dynamic.fast_path_total"),
+            metric("dynamic.exchanges_total"),
+            json_f(metric("dynamic.apply_nanos") as f64 / 1e6),
+            metric("ooc.runs_total"),
+            metric("ooc.peak_resident_bytes"),
+            metric("versioned.publishes_total"),
+            json_f(metric("versioned.publish_lag_nanos") as f64 / 1e6),
+            metric("local_model.rounds_charged_total"),
+        ));
+
+        // (b) decomposer_batch: the recorder state must never leak into
+        // the decomposition itself — asserted on canonical bytes first.
+        let obs_decomposer = Decomposer::new(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_engine(Engine::HarrisSuVu)
+                .with_epsilon(0.5)
+                .with_alpha(3)
+                .with_seed(9)
+                .without_validation(),
+        );
+        let quiet_bytes = obs_decomposer.run(&graphs[0]).unwrap().canonical_bytes();
+        recorder().clear();
+        recorder().enable();
+        let traced_bytes = obs_decomposer.run(&graphs[0]).unwrap().canonical_bytes();
+        recorder().disable();
+        assert_eq!(
+            quiet_bytes, traced_bytes,
+            "recorder state must not change canonical bytes"
+        );
+        // Span sites one instrumented batch run visits (Begin + Instant
+        // events are each one `Span::enter`/`event` call).
+        recorder().clear();
+        recorder().enable();
+        for g in &graphs {
+            obs_decomposer.run(g).unwrap();
+        }
+        recorder().disable();
+        let batch_events = recorder().drain();
+        let batch_span_sites = batch_events
+            .iter()
+            .filter(|e| !matches!(e.phase, forest_obs::Phase::End))
+            .count();
+        // Interleaved medians: recorder off on even samples, on for odd.
+        let mut batch_ms = [Vec::new(), Vec::new()];
+        for sample in 0..10 {
+            let on = sample % 2 == 1;
+            if on {
+                recorder().enable();
+            }
+            let start = Stopwatch::start();
+            for g in &graphs {
+                obs_decomposer.run(g).unwrap();
+            }
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            recorder().disable();
+            recorder().clear();
+            batch_ms[usize::from(on)].push(ms);
+        }
+        batch_ms[0].sort_by(f64::total_cmp);
+        batch_ms[1].sort_by(f64::total_cmp);
+        let (batch_disabled_ms, batch_enabled_ms) = (batch_ms[0][2], batch_ms[1][2]);
+        out.push_str(&format!(
+            "    \"decomposer_batch_overhead\": {{\"samples_per_arm\": 5, \"disabled_median_ms\": {}, \"enabled_median_ms\": {}, \"enabled_over_disabled\": {}, \"events_per_instrumented_run\": {}, \"span_sites_per_run\": {batch_span_sites}}},\n",
+            json_f(batch_disabled_ms),
+            json_f(batch_enabled_ms),
+            json_f(batch_enabled_ms / batch_disabled_ms),
+            batch_events.len(),
+        ));
+        eprintln!("bench_snapshot: observability decomposer_batch overhead done");
+
+        // (b') dynamic churn: 500-update chunks (delete + insert pairs) on
+        // a persistent decomposer, recorder toggling between chunks. The
+        // dynamic path carries counters/histograms only (always on), so
+        // the two arms bound the metric cost rather than span capture.
+        let churn_graph = generators::grid(40, 40);
+        let churn_n = churn_graph.num_vertices();
+        let mut obs_dyn = DynamicDecomposer::from_graph(
+            DecompositionRequest::new(ProblemKind::Forest)
+                .with_engine(Engine::ExactMatroid)
+                .with_seed(13)
+                .without_validation(),
+            &churn_graph,
+        )
+        .unwrap();
+        let mut obs_rng = StdRng::seed_from_u64(83);
+        let mut live: Vec<EdgeId> = obs_dyn
+            .live_graph()
+            .live_edges()
+            .map(|(e, _, _)| e)
+            .collect();
+        let mut churn_ms = [Vec::new(), Vec::new()];
+        for sample in 0..10 {
+            let on = sample % 2 == 1;
+            if on {
+                recorder().enable();
+            }
+            let start = Stopwatch::start();
+            for _ in 0..250 {
+                let slot = obs_rng.gen_range(0..live.len());
+                let victim = live.swap_remove(slot);
+                obs_dyn.apply(EdgeUpdate::delete(victim)).unwrap();
+                loop {
+                    let u = obs_rng.gen_range(0..churn_n);
+                    let v = obs_rng.gen_range(0..churn_n);
+                    if u != v {
+                        live.push(
+                            obs_dyn
+                                .apply(EdgeUpdate::insert(VertexId::new(u), VertexId::new(v)))
+                                .unwrap()
+                                .edge,
+                        );
+                        break;
+                    }
+                }
+            }
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            recorder().disable();
+            recorder().clear();
+            churn_ms[usize::from(on)].push(ms);
+        }
+        churn_ms[0].sort_by(f64::total_cmp);
+        churn_ms[1].sort_by(f64::total_cmp);
+        let (churn_disabled_ms, churn_enabled_ms) = (churn_ms[0][2], churn_ms[1][2]);
+        out.push_str(&format!(
+            "    \"dynamic_churn_overhead\": {{\"samples_per_arm\": 5, \"updates_per_sample\": 500, \"disabled_median_ms\": {}, \"enabled_median_ms\": {}, \"enabled_over_disabled\": {}}},\n",
+            json_f(churn_disabled_ms),
+            json_f(churn_enabled_ms),
+            json_f(churn_enabled_ms / churn_disabled_ms),
+        ));
+        eprintln!("bench_snapshot: observability dynamic churn overhead done");
+
+        // (c) disabled-path bound. `black_box` keeps the guard from being
+        // optimized to nothing; the probe span name never records because
+        // the recorder is off.
+        recorder().disable();
+        let probe_iters = 4_000_000u64;
+        let probe = Stopwatch::start();
+        for _ in 0..probe_iters {
+            let _ = std::hint::black_box(Span::enter("obs.disabled_probe"));
+        }
+        let ns_per_disabled_span = probe.elapsed_nanos() as f64 / probe_iters as f64;
+        let disabled_bound_pct =
+            batch_span_sites as f64 * ns_per_disabled_span / (batch_disabled_ms * 1e6) * 100.0;
+        assert!(
+            disabled_bound_pct < 3.0,
+            "disabled-path bound {disabled_bound_pct:.4}% breaches the 3% criterion \
+             ({batch_span_sites} sites x {ns_per_disabled_span:.2} ns over {batch_disabled_ms:.1} ms)"
+        );
+        out.push_str(&format!(
+            "    \"disabled_path\": {{\"probe_iters\": {probe_iters}, \"ns_per_disabled_span\": {}, \"span_sites_per_batch_run\": {batch_span_sites}, \"bound_pct\": {}, \"asserted_below_pct\": 3.0}}\n",
+            json_f(ns_per_disabled_span),
+            json_f(disabled_bound_pct),
+        ));
+        out.push_str("  },\n");
+        eprintln!("bench_snapshot: observability disabled-path bound done");
     }
 
     // --- size × engine sweep --------------------------------------------

@@ -48,12 +48,20 @@ use forest_graph::decomposition::PartialEdgeColoring;
 use forest_graph::kernels::{self, StampSet};
 use forest_graph::traversal::{connected_components, BfsScratch};
 use forest_graph::{CsrGraph, EdgeId, GraphView, ListAssignment, MultiGraph, VertexId};
+use forest_obs::{clock::Stopwatch, LazyCounter, Span};
 use local_model::rounds::costs;
 use local_model::{
     network_decomposition, network_decomposition_with_probe, PowerView, RoundLedger,
 };
 use rand::Rng;
-use std::time::Instant;
+
+/// Typed mirrors of the [`PipelineStats`] counters in the `forest-obs`
+/// registry (cumulative across runs).
+static BFS_NANOS: LazyCounter = LazyCounter::new("algo2.cluster_bfs_nanos_total");
+static BALL_EXPANSIONS: LazyCounter = LazyCounter::new("algo2.ball_expansions_total");
+static CACHE_HITS: LazyCounter = LazyCounter::new("algo2.cache_hits_total");
+static CLUSTERS: LazyCounter = LazyCounter::new("algo2.clusters_total");
+static RUNS: LazyCounter = LazyCounter::new("algo2.runs_total");
 
 /// Which CUT rule Algorithm 2 should use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -233,6 +241,7 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<Algorithm2Output, FdError> {
     check_epsilon(config.epsilon)?;
+    RUNS.inc();
     let n = csr.num_vertices();
     let m = csr.num_edges();
     let mut ledger = RoundLedger::new();
@@ -379,6 +388,8 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
                 last = now;
             });
             let stats = pv.stats();
+            BALL_EXPANSIONS.add(stats.ball_expansions);
+            CACHE_HITS.add(stats.cache_hits);
             pipeline_stats.power_ball_expansions = stats.ball_expansions;
             pipeline_stats.power_cache_hits = stats.cache_hits;
             pipeline_stats.power_layer_deltas = layer_deltas;
@@ -421,7 +432,9 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
     let mut conn = ColorConnectivity::new(n);
     let unrestricted = AugmentationContext::new(csr, lists);
     pipeline_stats.scratch_allocations = 12;
+    CLUSTERS.add(num_clusters_total as u64);
 
+    let _cluster_span = Span::enter("algo2.cluster_loop");
     for (class_index, clusters) in classes.iter().enumerate() {
         // All clusters of a class are processed in parallel in the LOCAL
         // model; the simulation charges the cluster-processing cost once per
@@ -433,7 +446,7 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
         for cluster in clusters {
             // C' = N^{R'}(C), C'' = N^{R+R'}(C): one bounded BFS touches
             // exactly the view ball and nothing else.
-            let ball_start = Instant::now();
+            let ball_start = Stopwatch::start();
             region.run_bounded(csr, cluster, locality_radius + cut_radius, |_| true);
             touched.clear();
             touched.extend_from_slice(region.visited());
@@ -454,7 +467,7 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
                 &mut edge_seen,
                 &mut scope_edges,
             );
-            pipeline_stats.cluster_bfs_nanos += ball_start.elapsed().as_nanos() as u64;
+            pipeline_stats.cluster_bfs_nanos += ball_start.elapsed_nanos();
             // CUT(C', R).
             let scope = CutScope {
                 core_vertices: &core_list,
@@ -549,6 +562,7 @@ pub fn algorithm2_frozen<C: GraphView, R: Rng + ?Sized>(
             }
         }
     }
+    BFS_NANOS.add(pipeline_stats.cluster_bfs_nanos);
 
     Ok(Algorithm2Output {
         coloring,

@@ -104,11 +104,15 @@ use forest_graph::decomposition::max_forest_diameter;
 use forest_graph::{
     CsrGraph, CsrPartition, CsrRef, GraphView, ListAssignment, MultiGraph, OwnedCsr,
 };
+use forest_obs::{clock::Stopwatch, LazyCounter, LazyHistogram, Span};
 use local_model::RoundLedger;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
-use std::time::Instant;
+
+/// Facade-level run accounting in the `forest-obs` registry.
+static FACADE_RUNS: LazyCounter = LazyCounter::new("facade.runs_total");
+static FACADE_RUN_NANOS: LazyHistogram = LazyHistogram::new("facade.run_nanos");
 
 /// A graph frozen for decomposition: the original [`MultiGraph`] paired with
 /// its [`CsrGraph`] view, built once and reusable across any number of runs.
@@ -511,7 +515,8 @@ impl Decomposer {
         &self,
         sharded: &ShardedGraph,
     ) -> Result<DecompositionReport, FdError> {
-        let start = Instant::now();
+        let _span = Span::enter("decomp.run_sharded");
+        let start = Stopwatch::start();
         let request = &self.request;
         if request.problem != ProblemKind::Forest {
             return Err(FdError::ShardingUnsupported {
@@ -716,6 +721,8 @@ impl Decomposer {
             wall_clock: start.elapsed(),
             validation: ValidationStatus::Skipped,
         };
+        FACADE_RUNS.inc();
+        FACADE_RUN_NANOS.observe(start.elapsed_nanos());
         if request.validate {
             report.validate(csr)?;
             report.validation = ValidationStatus::Validated;
@@ -728,7 +735,8 @@ impl Decomposer {
         input: FrozenInput<'_>,
         seed: u64,
     ) -> Result<DecompositionReport, FdError> {
-        let start = Instant::now();
+        let _span = Span::enter("decomp.run");
+        let start = Stopwatch::start();
         let request = &self.request;
         let engine = engines::engine_for(request.engine);
         if !engine.supports(request.problem) {
@@ -765,6 +773,8 @@ impl Decomposer {
             wall_clock: start.elapsed(),
             validation: ValidationStatus::Skipped,
         };
+        FACADE_RUNS.inc();
+        FACADE_RUN_NANOS.observe(start.elapsed_nanos());
         if request.validate {
             report.validate(&input.csr)?;
             report.validation = ValidationStatus::Validated;

@@ -44,6 +44,7 @@ use super::{Artifact, ProblemKind, Validate, ValidationStatus};
 use crate::error::FdError;
 use forest_graph::decomposition::max_forest_diameter;
 use forest_graph::{Color, CsrGraph, EdgeId, GraphView, ShardPlan, VertexId};
+use forest_obs::{clock::Stopwatch, LazyCounter, LazyGauge, Span};
 use local_model::RoundLedger;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
@@ -52,7 +53,18 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+
+/// Typed mirrors of the [`OocStats`] phase/residency accounting in the
+/// `forest-obs` registry. Counters are cumulative across runs; the gauges
+/// report the latest run's plan and the high-watermark residency.
+static OOC_RUNS: LazyCounter = LazyCounter::new("ooc.runs_total");
+static OOC_PLAN_NANOS: LazyCounter = LazyCounter::new("ooc.plan_nanos_total");
+static OOC_DECOMPOSE_NANOS: LazyCounter = LazyCounter::new("ooc.decompose_nanos_total");
+static OOC_STITCH_NANOS: LazyCounter = LazyCounter::new("ooc.stitch_nanos_total");
+static OOC_ASSEMBLE_NANOS: LazyCounter = LazyCounter::new("ooc.assemble_nanos_total");
+static OOC_NUM_SHARDS: LazyGauge = LazyGauge::new("ooc.num_shards");
+static OOC_BOUNDARY_EDGES: LazyGauge = LazyGauge::new("ooc.boundary_edges");
+static OOC_PEAK_RESIDENT: LazyGauge = LazyGauge::new("ooc.peak_resident_bytes");
 
 /// Distinguishes concurrent drivers' spill directories within one process.
 static SPILL_COUNTER: AtomicUsize = AtomicUsize::new(0);
@@ -253,7 +265,8 @@ impl Decomposer {
         config: &OocConfig,
     ) -> Result<OocOutcome, FdError> {
         let path = path.as_ref();
-        let start = Instant::now();
+        let _run_span = Span::enter("ooc.run");
+        let start = Stopwatch::start();
         let request = self.request();
         if request.problem != ProblemKind::Forest {
             return Err(FdError::ShardingUnsupported {
@@ -278,7 +291,8 @@ impl Decomposer {
         let mut meter = ResidentMeter::default();
 
         // --- phase 1: plan -------------------------------------------------
-        let plan_start = Instant::now();
+        let plan_span = Span::enter("ooc.plan");
+        let plan_start = Stopwatch::start();
         let mapped = CsrGraph::load_mmap(path)
             .map_err(|err| io_err(format!("loading CSR file {}: {err}", path.display())))?;
         stats.demand_paged = mapped.is_demand_paged();
@@ -313,7 +327,11 @@ impl Decomposer {
             verts.dedup();
         }
         meter.alloc(boundary_verts.iter().map(|v| 4 * v.len() + 32).sum());
-        stats.plan_nanos = plan_start.elapsed().as_nanos() as u64;
+        stats.plan_nanos = plan_start.elapsed_nanos();
+        drop(plan_span);
+        OOC_PLAN_NANOS.add(stats.plan_nanos);
+        OOC_NUM_SHARDS.set(k as u64);
+        OOC_BOUNDARY_EDGES.set(boundary as u64);
 
         // Spill stream for the per-shard colorings.
         let spill_root = config
@@ -343,7 +361,8 @@ impl Decomposer {
         // Mirrors run_sharded_prepared's parallel fan-out: per-shard derived
         // seeds over byte-identical shard CSRs give identical outcomes, and
         // walking in index order reproduces the merge/ledger order.
-        let walk_start = Instant::now();
+        let walk_span = Span::enter("ooc.shard_walk");
+        let walk_start = Stopwatch::start();
         let mut ledger = RoundLedger::new();
         let mut budget_span = 0usize;
         let mut arboricity = 0usize;
@@ -354,6 +373,7 @@ impl Decomposer {
         // vertex itself, exactly like the dense stitch's missing-forest arm.
         let mut reps: HashMap<u32, Vec<u32>> = HashMap::new();
         for (s, shard_boundary) in boundary_verts.iter().enumerate().take(k) {
+            let _shard_span = Span::enter("ooc.shard");
             let extracted = plan.extract_shard(&mapped, s);
             let shard_n = extracted.csr.num_vertices();
             let shard_m = extracted.csr.num_edges();
@@ -402,7 +422,9 @@ impl Decomposer {
             .flush()
             .map_err(|err| io_err(format!("flushing coloring spill: {err}")))?;
         drop(spill);
-        stats.decompose_nanos = walk_start.elapsed().as_nanos() as u64;
+        stats.decompose_nanos = walk_start.elapsed_nanos();
+        drop(walk_span);
+        OOC_DECOMPOSE_NANOS.add(stats.decompose_nanos);
 
         // --- phase 3: boundary stitch --------------------------------------
         // The same two-phase rule as run_sharded_prepared, over sparse
@@ -410,7 +432,8 @@ impl Decomposer {
         // forests are final, so representative lookups are read-only and
         // the stitch forests grow only through the placements below —
         // connectivity answers (hence colors) match the dense stitch.
-        let stitch_start = Instant::now();
+        let stitch_span = Span::enter("ooc.stitch");
+        let stitch_start = Stopwatch::start();
         let mut boundary_colors: Vec<(u32, Color)> = Vec::with_capacity(boundary);
         if boundary > 0 {
             let mut stitch: Vec<SparseUf> = (0..budget_span).map(|_| SparseUf::default()).collect();
@@ -495,11 +518,15 @@ impl Decomposer {
             );
         }
         debug_assert_eq!(written, m, "every edge colored exactly once");
-        stats.stitch_nanos = stitch_start.elapsed().as_nanos() as u64;
+        stats.stitch_nanos = stitch_start.elapsed_nanos();
+        drop(stitch_span);
+        OOC_STITCH_NANOS.add(stats.stitch_nanos);
         stats.peak_resident_bytes = meter.peak;
+        OOC_PEAK_RESIDENT.set_max(meter.peak as u64);
 
         // --- report assembly (after the bounded phases) --------------------
-        let assemble_start = Instant::now();
+        let assemble_span = Span::enter("ooc.assemble");
+        let assemble_start = Stopwatch::start();
         let arboricity = request
             .alpha
             .unwrap_or_else(|| arboricity.max(forest_graph::matroid::arboricity_lower_bound(&csr)));
@@ -552,7 +579,10 @@ impl Decomposer {
             report.validate(&csr)?;
             report.validation = ValidationStatus::Validated;
         }
-        stats.assemble_nanos = assemble_start.elapsed().as_nanos() as u64;
+        stats.assemble_nanos = assemble_start.elapsed_nanos();
+        drop(assemble_span);
+        OOC_ASSEMBLE_NANOS.add(stats.assemble_nanos);
+        OOC_RUNS.inc();
         Ok(OocOutcome { report, stats })
     }
 }

@@ -64,6 +64,7 @@ use super::{Decomposer, DecompositionRequest};
 use crate::error::FdError;
 use forest_graph::dynamic::EdgeIdRemap;
 use forest_graph::{u32_of, Color, EdgeId, GraphView, MultiGraph, VertexId};
+use forest_obs::{clock::Stopwatch, LazyCounter, LazyGauge, LazyHistogram, Span};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, PoisonError, RwLock, TryLockError};
 
@@ -609,9 +610,23 @@ impl VersionedDecomposer {
     /// this returns, every [`SnapshotReader::current`] — including on
     /// other threads — observes the new epoch.
     pub fn publish(&mut self) -> Arc<ColoringSnapshot> {
+        /// Cumulative publish count across decomposer instances.
+        static PUBLISHES: LazyCounter = LazyCounter::new("versioned.publishes_total");
+        /// The most recently published epoch (high watermark — a gauge,
+        /// since epochs are per-instance).
+        static PUBLISHED_EPOCH: LazyGauge = LazyGauge::new("versioned.published_epoch");
+        /// Publish latency — the epoch lag between the live state and
+        /// readers: how long [`SnapshotReader::current`] answers stay one
+        /// epoch behind while the freeze runs.
+        static PUBLISH_LAG_NANOS: LazyHistogram = LazyHistogram::new("versioned.publish_lag_nanos");
+        let _span = Span::enter("versioned.publish");
+        let lag = Stopwatch::start();
         self.epoch += 1;
         let snap = Arc::new(ColoringSnapshot::build(&self.inner, self.epoch));
         self.cell.publish(Arc::clone(&snap));
+        PUBLISHES.inc();
+        PUBLISHED_EPOCH.set_max(self.epoch);
+        PUBLISH_LAG_NANOS.observe(lag.elapsed_nanos());
         snap
     }
 

@@ -36,10 +36,19 @@
 //! reached so callers can assert their ceiling held.
 
 use crate::csr::{FORMAT_MAGIC, FORMAT_VERSION, HEADER_BYTES};
+use forest_obs::{clock::Stopwatch, LazyCounter, Span};
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Typed mirrors of the [`BuildStats`] timing/spill fields in the
+/// `forest-obs` registry (cumulative across builds).
+static READ_SPILL_NANOS: LazyCounter = LazyCounter::new("extsort.read_spill_nanos_total");
+static MERGE_NANOS: LazyCounter = LazyCounter::new("extsort.merge_nanos_total");
+static SPILLED_RUNS: LazyCounter = LazyCounter::new("extsort.spilled_runs_total");
+static EDGES_READ: LazyCounter = LazyCounter::new("extsort.edges_read_total");
+static BUILDS: LazyCounter = LazyCounter::new("extsort.builds_total");
 
 /// Bytes of one incidence record `(endpoint, edge_id, other)` on disk and in
 /// the sort buffer.
@@ -350,7 +359,8 @@ where
     let buffer_records = (config.memory_budget_bytes / RECORD_BYTES).max(MIN_BUFFER_RECORDS);
 
     // --- pass 1: chunked read, run spill, endpoints side-stream ---------
-    let read_start = std::time::Instant::now();
+    let read_span = Span::enter("extsort.read_spill");
+    let read_start = Stopwatch::start();
     let mut source = EdgeSource::open(input, format)?;
     let endpoints_path = temp_dir.join("endpoints.sec");
     let mut endpoints_out = BufWriter::new(File::create(&endpoints_path)?);
@@ -407,7 +417,11 @@ where
     drop(endpoints_out);
     stats.peak_buffer_bytes = stats.peak_buffer_bytes.max(buffer.len() * RECORD_BYTES);
     stats.spilled_runs = run_paths.len();
-    stats.read_spill_nanos = read_start.elapsed().as_nanos() as u64;
+    stats.read_spill_nanos = read_start.elapsed_nanos();
+    drop(read_span);
+    READ_SPILL_NANOS.add(stats.read_spill_nanos);
+    SPILLED_RUNS.add(stats.spilled_runs as u64);
+    EDGES_READ.add(num_edges);
 
     let m = num_edges as usize;
     if 2 * (m as u64) > u64::from(u32::MAX) {
@@ -434,7 +448,8 @@ where
     };
 
     // --- pass 2: k-way merge into the section files ----------------------
-    let merge_start = std::time::Instant::now();
+    let merge_span = Span::enter("extsort.merge");
+    let merge_start = Stopwatch::start();
     // Sort the last buffer in place; it participates as the in-memory run.
     buffer.sort_unstable_by_key(Record::key);
     let mut runs: Vec<RunSource> = Vec::with_capacity(run_paths.len() + 1);
@@ -519,7 +534,10 @@ where
         io::copy(&mut reader, &mut out)?;
     }
     out.flush()?;
-    stats.merge_nanos = merge_start.elapsed().as_nanos() as u64;
+    stats.merge_nanos = merge_start.elapsed_nanos();
+    drop(merge_span);
+    MERGE_NANOS.add(stats.merge_nanos);
+    BUILDS.inc();
     stats.output_bytes = (HEADER_BYTES + 4 * ((n + 1) + 6 * m)) as u64;
     debug_assert_eq!(stats.output_bytes, std::fs::metadata(output)?.len());
     drop(guard);

@@ -1,0 +1,92 @@
+//! Property tests for the mergeable-histogram contract: cross-thread (and
+//! cross-shard) aggregation must not depend on how the per-thread
+//! snapshots are grouped or ordered.
+
+use forest_obs::metrics::{bucket_of, HistogramSnapshot, Registry, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let reg = Registry::new();
+    let h = reg.histogram("t.h");
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+/// A strategy for a 0..32-element vector of full-range u64 observations.
+fn obs_vec() -> impl Strategy<Value = Vec<u64>> {
+    (0..32usize).prop_flat_map(|n| proptest::collection::vec(0..u64::MAX, n))
+}
+
+proptest! {
+    /// merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative((a, b, c) in (obs_vec(), obs_vec(), obs_vec())) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(left, right);
+    }
+
+    /// merge is commutative and agrees with observing the concatenation.
+    #[test]
+    fn merge_commutes_and_matches_concat((a, b) in (obs_vec(), obs_vec())) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        let direct = snapshot_of(&concat);
+        prop_assert_eq!(ab, direct);
+    }
+
+    /// Every value lands in exactly one valid bucket, and the bucket
+    /// bounds are honored: bucket 0 ⇔ value 0, bucket i ⇔ [2^(i-1), 2^i).
+    #[test]
+    fn bucketing_respects_bounds(v in 0..u64::MAX) {
+        let b = bucket_of(v);
+        prop_assert!(b < HISTOGRAM_BUCKETS);
+        if v == 0 {
+            prop_assert_eq!(b, 0);
+        } else if b < HISTOGRAM_BUCKETS - 1 {
+            prop_assert!(v >= 1u64 << (b - 1));
+            prop_assert!(v < 1u64 << b);
+        } else {
+            prop_assert!(v >= 1u64 << (HISTOGRAM_BUCKETS - 2));
+        }
+    }
+}
+
+#[test]
+fn concurrent_observers_sum_exactly() {
+    let reg = Registry::new();
+    let h = reg.histogram("t.concurrent");
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let h = h.clone();
+            s.spawn(move || {
+                for i in 0..1_000u64 {
+                    h.observe(t * 1_000 + i);
+                }
+            });
+        }
+    });
+    let snap = h.snapshot();
+    assert_eq!(snap.count, 4_000);
+    assert_eq!(snap.sum, (0..4_000u64).sum::<u64>());
+    assert_eq!(snap.buckets.iter().sum::<u64>(), 4_000);
+}

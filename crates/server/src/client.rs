@@ -302,6 +302,28 @@ impl Client {
         }
     }
 
+    /// The tenant's service counters as `(name, value)` pairs in
+    /// ascending name order, with the answering epoch. Counters are
+    /// monotonically non-decreasing; clients must tolerate new names
+    /// appearing between calls.
+    ///
+    /// # Errors
+    ///
+    /// See [`call`](Client::call).
+    pub fn metrics(
+        &mut self,
+        tenant: &str,
+        graph: &str,
+    ) -> Result<(u64, Vec<(String, u64)>), ClientError> {
+        match self.call(&Request::Metrics {
+            tenant: tenant.into(),
+            graph: graph.into(),
+        })? {
+            Response::MetricsReport { epoch, entries } => Ok((epoch, entries)),
+            other => Err(unexpected("MetricsReport", &other)),
+        }
+    }
+
     /// Asks the server to shut down cleanly.
     ///
     /// # Errors

@@ -53,6 +53,8 @@ pub enum Opcode {
     Stats = 8,
     /// Stop the server (drains, then exits the accept loop).
     Shutdown = 9,
+    /// Per-tenant observability counters (name/value pairs).
+    Metrics = 10,
 }
 
 impl Opcode {
@@ -67,6 +69,7 @@ impl Opcode {
             7 => Opcode::SnapshotBytes,
             8 => Opcode::Stats,
             9 => Opcode::Shutdown,
+            10 => Opcode::Metrics,
             _ => return None,
         })
     }
@@ -74,7 +77,7 @@ impl Opcode {
     /// The wire byte of this opcode.
     ///
     /// Enum-to-integer is the one place `as` is unavoidable; the
-    /// discriminants are declared `1..=9` above, so the cast is lossless.
+    /// discriminants are declared `1..=10` above, so the cast is lossless.
     fn wire(self) -> u8 {
         // forest-lint: allow(FL004) audited: Opcode discriminants are declared in u8 range
         self as u8
@@ -179,6 +182,14 @@ pub enum Request {
     },
     /// Cumulative stream counters.
     Stats {
+        /// Tenant id.
+        tenant: String,
+        /// Graph id.
+        graph: String,
+    },
+    /// The graph's observability counters (`forest-obs`-style name/value
+    /// pairs: requests served, updates applied, publishes, queries …).
+    Metrics {
         /// Tenant id.
         tenant: String,
         /// Graph id.
@@ -292,6 +303,14 @@ pub enum Response {
         epoch: u64,
         /// The counters.
         stats: WireStats,
+    },
+    /// `Metrics` answer: the graph's counters as sorted name/value pairs.
+    MetricsReport {
+        /// The answering epoch.
+        epoch: u64,
+        /// `(name, value)` pairs in ascending name order (the server emits
+        /// a fixed, documented set; clients must tolerate additions).
+        entries: Vec<(String, u64)>,
     },
     /// `Shutdown` acknowledged; the server stops accepting connections.
     ShuttingDown,
@@ -795,6 +814,12 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             e.str(graph);
             e
         }
+        Request::Metrics { tenant, graph } => {
+            let mut e = op(Opcode::Metrics);
+            e.str(tenant);
+            e.str(graph);
+            e
+        }
         Request::Shutdown => op(Opcode::Shutdown),
     };
     e.u8(0); // reserved trailer, room for flags without a version bump
@@ -904,6 +929,10 @@ pub fn decode_request(buf: &[u8]) -> Result<Request, WireError> {
             tenant: d.str()?,
             graph: d.str()?,
         },
+        Opcode::Metrics => Request::Metrics {
+            tenant: d.str()?,
+            graph: d.str()?,
+        },
         Opcode::Shutdown => Request::Shutdown,
     };
     let _reserved = d.u8()?;
@@ -926,6 +955,7 @@ impl Response {
             Response::Watermark { .. } => Opcode::ArboricityWatermark,
             Response::Snapshot { .. } => Opcode::SnapshotBytes,
             Response::StatsReport { .. } => Opcode::Stats,
+            Response::MetricsReport { .. } => Opcode::Metrics,
             Response::ShuttingDown => Opcode::Shutdown,
             Response::Error(_) => return None,
         })
@@ -1015,6 +1045,14 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 stats.color_budget,
             ] {
                 e.u64(v);
+            }
+        }
+        Response::MetricsReport { epoch, entries } => {
+            e.u64(*epoch);
+            e.u32(len_u32(entries.len()));
+            for (name, value) in entries {
+                e.str(name);
+                e.u64(*value);
             }
         }
         Response::ShuttingDown => {}
@@ -1111,6 +1149,20 @@ pub fn decode_response(buf: &[u8]) -> Result<Response, WireError> {
                             color_budget: d.u64()?,
                         },
                     }
+                }
+                Opcode::Metrics => {
+                    let epoch = d.u64()?;
+                    // Min bytes per entry: a 4-byte (possibly empty-string)
+                    // length prefix + an 8-byte value — validated against
+                    // the remaining frame before the Vec is sized.
+                    let count = d.count(12)?;
+                    let mut entries = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let name = d.str()?;
+                        let value = d.u64()?;
+                        entries.push((name, value));
+                    }
+                    Response::MetricsReport { epoch, entries }
                 }
                 Opcode::Shutdown => Response::ShuttingDown,
             }

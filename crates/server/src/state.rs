@@ -18,12 +18,69 @@ use forest_decomp::api::{DecompositionRequest, EdgeUpdate, ProblemKind};
 use forest_decomp::{Engine, FdError};
 use forest_graph::{Color, EdgeId, MmapCsr, MultiGraph, VertexId};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
-/// One registered graph: the serialized writer and the lock-free reader.
+/// Per-`(tenant, graph)` service counters, maintained by the request
+/// handler and served over the wire by the `Metrics` op.
+///
+/// These are *service-level* counters (what did this tenant ask of the
+/// server), distinct from the process-wide `forest-obs` registry that
+/// the library layers feed: a multi-tenant process has one registry but
+/// one `TenantMetrics` per registered graph. Counter names are dynamic
+/// per tenant, which is exactly what the static-`&str`-keyed registry
+/// is not for — hence a plain struct of atomics.
+///
+/// All counters are monotonically non-decreasing for the lifetime of
+/// the entry; `server_smoke` pins that down across update batches.
+#[derive(Default)]
+pub struct TenantMetrics {
+    /// Requests of any kind routed to this entry (including failed ones).
+    requests_total: AtomicU64,
+    /// `ApplyUpdates` batches routed to this entry.
+    update_batches_total: AtomicU64,
+    /// Individual updates successfully applied across all batches.
+    updates_applied_total: AtomicU64,
+    /// Epochs published by this entry's writer.
+    publishes_total: AtomicU64,
+    /// Read-path queries served from a snapshot.
+    queries_total: AtomicU64,
+    /// Requests answered with a typed error.
+    errors_total: AtomicU64,
+}
+
+impl TenantMetrics {
+    fn bump(counter: &AtomicU64, by: u64) {
+        counter.fetch_add(by, Ordering::Relaxed);
+    }
+
+    /// The counters as `(name, value)` pairs in ascending name order —
+    /// the wire contract of [`Response::MetricsReport`].
+    fn entries(&self) -> Vec<(String, u64)> {
+        let read = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        vec![
+            ("errors_total".to_string(), read(&self.errors_total)),
+            ("publishes_total".to_string(), read(&self.publishes_total)),
+            ("queries_total".to_string(), read(&self.queries_total)),
+            ("requests_total".to_string(), read(&self.requests_total)),
+            (
+                "update_batches_total".to_string(),
+                read(&self.update_batches_total),
+            ),
+            (
+                "updates_applied_total".to_string(),
+                read(&self.updates_applied_total),
+            ),
+        ]
+    }
+}
+
+/// One registered graph: the serialized writer, the lock-free reader,
+/// and the tenant's service counters.
 pub struct GraphEntry {
     writer: Mutex<VersionedDecomposer>,
     reader: SnapshotReader,
+    metrics: TenantMetrics,
 }
 
 impl GraphEntry {
@@ -32,6 +89,7 @@ impl GraphEntry {
         GraphEntry {
             writer: Mutex::new(vd),
             reader,
+            metrics: TenantMetrics::default(),
         }
     }
 
@@ -130,23 +188,32 @@ impl ServerState {
         let Some(entry) = self.lookup(tenant, graph) else {
             return Response::Error(unknown_graph(tenant, graph));
         };
+        TenantMetrics::bump(&entry.metrics.requests_total, 1);
+        TenantMetrics::bump(&entry.metrics.update_batches_total, 1);
         let mut writer = entry.writer.lock().unwrap_or_else(PoisonError::into_inner);
         let outcome = writer.apply_batch(updates);
         let snap = writer.publish();
+        TenantMetrics::bump(&entry.metrics.publishes_total, 1);
         match outcome {
-            Ok(report) => Response::Applied {
-                epoch: snap.epoch(),
-                applied: report.applied as u64,
-                inserted_edges: report
-                    .inserted_edges
-                    .iter()
-                    .map(|e| e.index() as u64)
-                    .collect(),
-                recolored_edges: report.recolored_edges as u64,
-                color_budget: report.color_budget as u64,
-                live_edges: report.live_edges as u64,
-            },
-            Err(err) => Response::Error(WireError::from(err)),
+            Ok(report) => {
+                TenantMetrics::bump(&entry.metrics.updates_applied_total, report.applied as u64);
+                Response::Applied {
+                    epoch: snap.epoch(),
+                    applied: report.applied as u64,
+                    inserted_edges: report
+                        .inserted_edges
+                        .iter()
+                        .map(|e| e.index() as u64)
+                        .collect(),
+                    recolored_edges: report.recolored_edges as u64,
+                    color_budget: report.color_budget as u64,
+                    live_edges: report.live_edges as u64,
+                }
+            }
+            Err(err) => {
+                TenantMetrics::bump(&entry.metrics.errors_total, 1);
+                Response::Error(WireError::from(err))
+            }
         }
     }
 
@@ -269,6 +336,19 @@ impl ServerState {
                     },
                 })
             }),
+            Request::Metrics { tenant, graph } => {
+                let Some(entry) = self.lookup(tenant, graph) else {
+                    return Response::Error(unknown_graph(tenant, graph));
+                };
+                TenantMetrics::bump(&entry.metrics.requests_total, 1);
+                // Read the counters *after* counting this request, so a
+                // client polling only `Metrics` still observes strictly
+                // increasing `requests_total`.
+                Response::MetricsReport {
+                    epoch: entry.reader().current().epoch(),
+                    entries: entry.metrics.entries(),
+                }
+            }
             Request::Shutdown => Response::ShuttingDown,
         }
     }
@@ -282,8 +362,14 @@ impl ServerState {
         let Some(entry) = self.lookup(tenant, graph) else {
             return Response::Error(unknown_graph(tenant, graph));
         };
+        TenantMetrics::bump(&entry.metrics.requests_total, 1);
+        TenantMetrics::bump(&entry.metrics.queries_total, 1);
         let snap = entry.reader().current();
-        f(&snap).unwrap_or_else(Response::Error)
+        let resp = f(&snap).unwrap_or_else(Response::Error);
+        if matches!(resp, Response::Error(_)) {
+            TenantMetrics::bump(&entry.metrics.errors_total, 1);
+        }
+        resp
     }
 }
 
@@ -481,5 +567,74 @@ mod tests {
         };
         assert_eq!(epoch, 1);
         assert_eq!(stats.live_edges, 4);
+    }
+
+    fn metric(entries: &[(String, u64)], name: &str) -> u64 {
+        entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("missing metric {name}"))
+            .1
+    }
+
+    #[test]
+    fn metrics_count_the_tenants_traffic() {
+        let state = ServerState::new();
+        register_triangle(&state);
+        let metrics_req = Request::Metrics {
+            tenant: "acme".into(),
+            graph: "g".into(),
+        };
+        let Response::MetricsReport { epoch, entries } = state.handle(&metrics_req) else {
+            panic!("metrics on a fresh entry");
+        };
+        assert_eq!(epoch, 0);
+        let names: Vec<&str> = entries.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "entries arrive in ascending name order");
+        assert_eq!(metric(&entries, "requests_total"), 1);
+        assert_eq!(metric(&entries, "update_batches_total"), 0);
+        // One update batch + one query + one failed query.
+        state.handle(&Request::ApplyUpdates {
+            tenant: "acme".into(),
+            graph: "g".into(),
+            updates: vec![EdgeUpdate::insert(0, 2)],
+        });
+        state.handle(&Request::Stats {
+            tenant: "acme".into(),
+            graph: "g".into(),
+        });
+        state.handle(&Request::ForestOfVertex {
+            tenant: "acme".into(),
+            graph: "g".into(),
+            color: 99,
+            vertex: 0,
+        });
+        let Response::MetricsReport { epoch, entries } = state.handle(&metrics_req) else {
+            panic!("metrics after traffic");
+        };
+        assert_eq!(epoch, 1);
+        assert_eq!(metric(&entries, "requests_total"), 5);
+        assert_eq!(metric(&entries, "update_batches_total"), 1);
+        assert_eq!(metric(&entries, "updates_applied_total"), 1);
+        assert_eq!(metric(&entries, "publishes_total"), 1);
+        assert_eq!(metric(&entries, "queries_total"), 2);
+        assert_eq!(metric(&entries, "errors_total"), 1);
+        // Unknown graph stays a typed error.
+        let resp = state.handle(&Request::Metrics {
+            tenant: "acme".into(),
+            graph: "nope".into(),
+        });
+        assert!(
+            matches!(
+                resp,
+                Response::Error(WireError {
+                    code: ErrorCode::UnknownGraph,
+                    ..
+                })
+            ),
+            "{resp:?}"
+        );
     }
 }

@@ -39,7 +39,7 @@ const CODES: [ErrorCode; 10] = [
 /// Every request variant, driven by one flat tuple of draws.
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        (0..9usize, 0..NAMES.len(), 0..NAMES.len(), 0..ENGINES.len()),
+        (0..10usize, 0..NAMES.len(), 0..NAMES.len(), 0..ENGINES.len()),
         (1..99u64, 0..1_000_000u64, 0..3usize),
         proptest::collection::vec((0..2usize, 0..64u64, 0..64u64), 8),
         (0..5usize, 0..64u64, 0..64u64),
@@ -99,6 +99,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
                     5 => Request::ArboricityWatermark { tenant, graph },
                     6 => Request::SnapshotBytes { tenant, graph },
                     7 => Request::Stats { tenant, graph },
+                    8 => Request::Metrics { tenant, graph },
                     _ => Request::Shutdown,
                 }
             },
@@ -108,7 +109,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
 /// Every response variant, including well-formed error frames.
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        (0..10usize, 0..50u64, 0..100u64, 0..100u64),
+        (0..11usize, 0..50u64, 0..100u64, 0..100u64),
         proptest::collection::vec(0..1_000u64, 6),
         (0..CODES.len(), 0..NAMES.len(), 0..7usize),
     )
@@ -164,6 +165,14 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     },
                 },
                 8 => Response::ShuttingDown,
+                9 => Response::MetricsReport {
+                    epoch,
+                    entries: vals[..len]
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| (format!("{}_total_{i}", NAMES[msg]), v))
+                        .collect(),
+                },
                 _ => Response::Error(WireError::new(CODES[code], NAMES[msg])),
             },
         )
@@ -260,5 +269,20 @@ fn oversized_counts_are_rejected_without_allocating() {
     buf.extend_from_slice(&0u32.to_le_bytes()); // graph ""
     buf.extend_from_slice(&u32::MAX.to_le_bytes()); // update count
     let err = decode_request(&buf).expect_err("hostile count accepted");
+    assert_eq!(err.code, ErrorCode::Malformed);
+}
+
+/// Same hostile-count discipline for the `Metrics` response decoder: a
+/// claimed 4-billion-entry report in a 21-byte frame fails typed before
+/// the entries `Vec` is ever sized.
+#[test]
+fn oversized_metrics_report_is_rejected_without_allocating() {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&VERSION.to_le_bytes());
+    buf.push(10); // Metrics
+    buf.extend_from_slice(&0u64.to_le_bytes()); // epoch
+    buf.extend_from_slice(&u32::MAX.to_le_bytes()); // entry count
+    let err = decode_response(&buf).expect_err("hostile count accepted");
     assert_eq!(err.code, ErrorCode::Malformed);
 }

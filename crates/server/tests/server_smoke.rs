@@ -28,6 +28,15 @@ fn request() -> DecompositionRequest {
         .with_seed(SEED)
 }
 
+/// Pulls one named counter out of a `Metrics` reply.
+fn metric(entries: &[(String, u64)], name: &str) -> u64 {
+    entries
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("missing metric {name}"))
+        .1
+}
+
 /// Spawns the server binary on port 0 and reads the bound address back
 /// from its announcement line.
 fn spawn_server() -> (Child, SocketAddr) {
@@ -108,6 +117,15 @@ fn register_churn_query_snapshot_shutdown() {
         .map(|(i, &e)| (i as u64, e))
         .collect();
     let (_, stats0) = client.stats("acme", "web").expect("stats");
+    let (metrics_epoch, metrics0) = client.metrics("acme", "web").expect("metrics");
+    assert_eq!(metrics_epoch, 0, "no batch published yet");
+    {
+        let names: Vec<&str> = metrics0.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "metric entries arrive in ascending order");
+    }
+    let mut last_requests = metric(&metrics0, "requests_total");
 
     // 1 000 updates in 4 batches of 250: each batch deletes from the
     // edges live before it, then inserts fresh endpoints (the protocol's
@@ -150,6 +168,23 @@ fn register_churn_query_snapshot_shutdown() {
             mirror.insert(id, endpoints);
         }
         assert_eq!(report.live_edges, mirror.len() as u64);
+
+        // The tenant's service counters track the batch stream and are
+        // monotone between polls.
+        let (metrics_epoch, metrics) = client.metrics("acme", "web").expect("metrics poll");
+        assert_eq!(metrics_epoch, batch_no + 1);
+        assert_eq!(metric(&metrics, "update_batches_total"), batch_no + 1);
+        assert_eq!(metric(&metrics, "publishes_total"), batch_no + 1);
+        assert_eq!(
+            metric(&metrics, "updates_applied_total"),
+            (batch_no + 1) * 250
+        );
+        let requests = metric(&metrics, "requests_total");
+        assert!(
+            requests > last_requests,
+            "requests_total went {last_requests} -> {requests}"
+        );
+        last_requests = requests;
     }
     assert_eq!(applied_total, 1_000);
 

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_pr8.json: the performance snapshot of the Decomposer
+# Regenerates BENCH_pr10.json: the performance snapshot of the Decomposer
 # facade (graph sizes x engines x wall-clock, the 64-graph decomposer_batch
 # workload with its BENCH_pr2 baseline, the thaw-free sharded-vs-unsharded
 # large-graph run under identity and RCM split orders — prepared and cold,
@@ -18,8 +18,12 @@
 # (spilled runs, one-pass Nash-Williams watermark) and run_out_of_core
 # under a memory ceiling 8x smaller than the CSR file, with the driver's
 # peak-resident accounting vs. the budget and byte-identity to the
-# in-memory sharded run asserted inline — with host core/thread counts
-# recorded in the environment block).
+# in-memory sharded run asserted inline, and the PR 10 observability rows:
+# the process-wide forest-obs metric registry read back after every
+# workload above has fed it, interleaved instrumented-vs-disabled
+# wall-clock on the decomposer_batch and dynamic-churn workloads, and the
+# measured disabled-path bound asserted under the 3% criterion — with host
+# core/thread counts recorded in the environment block).
 #
 # Snapshots are appended as new BENCH_pr<N>.json files per PR, never
 # overwritten — the history of numbers lives in git alongside the code.
@@ -28,7 +32,7 @@
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-out="${1:-BENCH_pr8.json}"
+out="${1:-BENCH_pr10.json}"
 
 cargo build --release -p bench --bin bench_snapshot
 ./target/release/bench_snapshot > "$out"

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Schema checker for the chrome-trace JSON that obs_smoke emits.
+
+Independent of the Rust exporter on purpose: forest-obs's own
+`validate_trace` checks the event *stream* before export; this script
+checks the exported *document* the way a consumer (Perfetto,
+chrome://tracing) would read it — valid JSON, the traceEvents array
+shape, required keys per event, phase-specific constraints, per-thread
+timestamp monotonicity and B/E balance.
+
+Usage: scripts/check_trace.py <trace.json>
+Exits non-zero with a message on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    if len(sys.argv) != 2:
+        fail("usage: check_trace.py <trace.json>")
+    with open(sys.argv[1], "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+
+    if not isinstance(doc, dict):
+        fail("top level must be an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents must be an array")
+    if not events:
+        fail("traceEvents is empty — the instrumented run recorded nothing")
+
+    last_ts = {}  # tid -> ts
+    stacks = {}  # tid -> [name]
+    for i, e in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in e:
+                fail(f"event {i} missing {key!r}: {e}")
+        if e["ph"] not in ("B", "E", "i"):
+            fail(f"event {i} has unknown phase {e['ph']!r}")
+        if not isinstance(e["ts"], (int, float)) or e["ts"] < 0:
+            fail(f"event {i} has bad ts {e['ts']!r}")
+        if not isinstance(e["name"], str) or not e["name"]:
+            fail(f"event {i} has bad name {e['name']!r}")
+        tid = e["tid"]
+        if e["ts"] < last_ts.get(tid, 0.0):
+            fail(f"event {i}: ts went backwards on tid {tid}")
+        last_ts[tid] = e["ts"]
+        if e["ph"] == "B":
+            stacks.setdefault(tid, []).append(e["name"])
+        elif e["ph"] == "E":
+            stack = stacks.get(tid, [])
+            if not stack:
+                fail(f"event {i}: E with no open span on tid {tid}")
+            stack.pop()
+        elif e["ph"] == "i":
+            if e.get("s") not in ("t", "p", "g"):
+                fail(f"event {i}: instant missing scope 's'")
+    for tid, stack in stacks.items():
+        if stack:
+            fail(f"tid {tid} left spans open at end of trace: {stack}")
+
+    begins = sum(1 for e in events if e["ph"] == "B")
+    print(
+        f"check_trace: ok — {len(events)} events, {begins} spans, "
+        f"{len(last_ts)} thread(s)"
+    )
+
+
+if __name__ == "__main__":
+    main()
